@@ -1,0 +1,50 @@
+# Convenience targets for the SSMFP reproduction.
+
+GO ?= go
+
+.PHONY: all build test test-short race bench experiments check examples cover fmt vet
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./internal/msgpass/ .
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+experiments:
+	$(GO) run ./cmd/ssmfp-bench
+
+check:
+	$(GO) run ./cmd/ssmfp-check -scenario clean
+	$(GO) run ./cmd/ssmfp-check -scenario same-payload
+	$(GO) run ./cmd/ssmfp-check -scenario figure3
+	$(GO) run ./cmd/ssmfp-check -scenario figure3 -simultaneity 2
+	$(GO) run ./cmd/ssmfp-check -scenario r5-literal
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/figure3
+	$(GO) run ./examples/gridflood
+	$(GO) run ./examples/msgpass
+	$(GO) run ./examples/rpc
+	$(GO) run ./examples/faultstorm
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...

@@ -1,0 +1,124 @@
+// Command ssmfp-bench regenerates every experiment of the reproduction —
+// the figures and propositions of the paper plus the comparison and
+// message-passing extensions — and prints their tables (the data recorded
+// in EXPERIMENTS.md).
+//
+// Usage:
+//
+//	ssmfp-bench [-seed N] [-experiment all|f1|f2|f3|f4|p4|p5|p6|p7|x1..x6]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ssmfp/internal/sim"
+)
+
+func main() {
+	seed := flag.Int64("seed", 2009, "random seed for all experiments")
+	which := flag.String("experiment", "all", "experiment to run (all, f1, f2, f3, f4, p4, p5, p6, p7, x1, x2, x3, x4, x5, x6, ra, mc)")
+	flag.Parse()
+
+	failed := false
+	run := func(id string, fn func() (fmt.Stringer, bool)) {
+		if *which != "all" && *which != id {
+			return
+		}
+		table, ok := fn()
+		fmt.Println(table)
+		if !ok {
+			failed = true
+			fmt.Printf("!! experiment %s FAILED its acceptance check\n\n", strings.ToUpper(id))
+		}
+	}
+
+	run("f1", func() (fmt.Stringer, bool) {
+		r := sim.ExperimentF1()
+		return r.Table, r.Acyclic && r.AllTrees && r.Components == 5
+	})
+	run("f2", func() (fmt.Stringer, bool) {
+		r := sim.ExperimentF2()
+		return r.Table, r.CleanAcyclic && r.CycleLen > 0
+	})
+	run("f3", func() (fmt.Stringer, bool) {
+		r := sim.ExperimentF3()
+		fmt.Println("== E-F3: Figure 3 execution replay ==")
+		fmt.Println(r.Trace)
+		if !r.OK {
+			fmt.Println("failures:", strings.Join(r.Failures, "; "))
+		}
+		return stringer(fmt.Sprintf("deliveries=%d (valid %d, invalid %d), m's color=%d, initial cycle=%v\n",
+			r.Deliveries, r.ValidDelivered, r.InvalidDelivered, r.HelloColor, r.CycleInitially)), r.OK
+	})
+	run("f4", func() (fmt.Stringer, bool) {
+		r := sim.ExperimentF4(*seed)
+		return r.Table, r.AllTypesHit && r.Consistent
+	})
+	run("p4", func() (fmt.Stringer, bool) {
+		r := sim.ExperimentP4(*seed, nil)
+		return r.Table, r.WithinBound
+	})
+	run("p5", func() (fmt.Stringer, bool) {
+		r := sim.ExperimentP5(*seed)
+		return r.Table, r.WithinBound
+	})
+	run("p6", func() (fmt.Stringer, bool) {
+		r := sim.ExperimentP6(*seed)
+		return r.Table, len(r.Rows) > 0
+	})
+	run("p7", func() (fmt.Stringer, bool) {
+		r := sim.ExperimentP7(*seed, nil)
+		fmt.Printf("amortized-vs-D linear fit: slope=%.3f intercept=%.3f R²=%.3f\n",
+			r.Fit.Slope, r.Fit.Intercept, r.Fit.R2)
+		return r.Table, r.Within
+	})
+	run("x1", func() (fmt.Stringer, bool) {
+		r := sim.ExperimentX1(*seed)
+		return r.Table, r.SSMFPOK
+	})
+	run("x2", func() (fmt.Stringer, bool) {
+		r := sim.ExperimentX2(*seed)
+		return r.Table, r.MaxOverhead < 8
+	})
+	run("x3", func() (fmt.Stringer, bool) {
+		r := sim.ExperimentX3(*seed)
+		return r.Table, r.AllOK
+	})
+	run("x4", func() (fmt.Stringer, bool) {
+		r := sim.ExperimentX4(*seed)
+		return r.Table, r.AllOK
+	})
+	run("x5", func() (fmt.Stringer, bool) {
+		r := sim.ExperimentX5(*seed)
+		ok := true
+		for _, row := range r.Rows {
+			if !row.AllDelivered {
+				ok = false
+			}
+		}
+		return r.Table, ok
+	})
+	run("x6", func() (fmt.Stringer, bool) {
+		r := sim.ExperimentX6(*seed)
+		return r.Table, r.AllOK
+	})
+	run("ra", func() (fmt.Stringer, bool) {
+		r := sim.ExperimentRA(*seed)
+		return r.Table, r.Tracks
+	})
+	run("mc", func() (fmt.Stringer, bool) {
+		r := sim.ExperimentMC()
+		return r.Table, r.AllOK
+	})
+
+	if failed {
+		os.Exit(1)
+	}
+}
+
+type stringer string
+
+func (s stringer) String() string { return string(s) }

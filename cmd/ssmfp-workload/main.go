@@ -1,0 +1,73 @@
+// Command ssmfp-workload generates workload files for ssmfp-sim's
+// -workload-file flag: each line is "src dest payload atStep".
+//
+// Usage:
+//
+//	ssmfp-workload -topology ring -n 8 -pattern all-to-one -k 2 -stagger 10 > trace.txt
+//	ssmfp-sim -topology ring -n 8 -workload-file trace.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"ssmfp/internal/graph"
+	"ssmfp/internal/workload"
+)
+
+func main() {
+	topology := flag.String("topology", "ring", "network family (line, ring, star, grid)")
+	n := flag.Int("n", 8, "number of processors")
+	pattern := flag.String("pattern", "random", "traffic pattern (random, all-to-one, one-to-all, all-to-all, permutation, hot-spot)")
+	k := flag.Int("k", 10, "messages (total for random; per pair otherwise)")
+	stagger := flag.Int("stagger", 0, "inject every S steps instead of all at step 0")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	var g *graph.Graph
+	switch *topology {
+	case "line":
+		g = graph.Line(*n)
+	case "ring":
+		g = graph.Ring(*n)
+	case "star":
+		g = graph.Star(*n)
+	case "grid":
+		side := 1
+		for (side+1)*(side+1) <= *n {
+			side++
+		}
+		g = graph.Grid(side, (*n+side-1)/side)
+	default:
+		fmt.Fprintf(os.Stderr, "ssmfp-workload: unknown topology %q\n", *topology)
+		os.Exit(2)
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	var w workload.Workload
+	switch *pattern {
+	case "random":
+		w = workload.RandomPairs(g, *k, rng)
+	case "all-to-one":
+		w = workload.AllToOne(g, 0, *k)
+	case "one-to-all":
+		w = workload.OneToAll(g, 0, *k)
+	case "all-to-all":
+		w = workload.AllToAll(g, 1)
+	case "permutation":
+		w = workload.Permutation(g, rng)
+	case "hot-spot":
+		w = workload.HotSpot(g, 0, *k, rng)
+	default:
+		fmt.Fprintf(os.Stderr, "ssmfp-workload: unknown pattern %q\n", *pattern)
+		os.Exit(2)
+	}
+	if *stagger > 0 {
+		w = w.Staggered(*stagger)
+	}
+	if err := workload.Format(w, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ssmfp-workload:", err)
+		os.Exit(1)
+	}
+}

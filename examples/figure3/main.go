@@ -1,0 +1,43 @@
+// Figure 3 replay: the paper's worked execution example, frame by frame.
+//
+// The scenario reconstructs Figure 3 of the paper on the 4-processor
+// network a, b, c, e (Δ = 3, so colors range over {0,1,2,3}): the routing
+// tables start with a cycle between a and c for destination b, an invalid
+// message with color 0 squats in b's reception buffer, and c sends two
+// messages — the second sharing its payload with the invalid one. The
+// scripted daemon drives the exact rule sequence; the color flag keeps the
+// equal-payload messages apart, the routing algorithm repairs the tables
+// mid-flight, and all three messages are delivered (the valid ones exactly
+// once).
+//
+//	go run ./examples/figure3
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ssmfp/internal/sim"
+)
+
+func main() {
+	fmt.Println("Replaying the paper's Figure 3 on the reconstructed network:")
+	fmt.Println("  edges a-b, a-c, a-e, b-c; destination b; a↔c routing cycle;")
+	fmt.Println("  invalid (data, color 0) in bufR_b; c sends \"hello\" then \"data\".")
+	fmt.Println()
+
+	r := sim.ExperimentF3()
+	fmt.Print(r.Trace)
+
+	if !r.OK {
+		for _, f := range r.Failures {
+			fmt.Println("FAILURE:", f)
+		}
+		log.Fatal("replay diverged from the expected execution")
+	}
+	fmt.Println("replay verdict:")
+	fmt.Printf("  initial buffer-graph cycle present : %v\n", r.CycleInitially)
+	fmt.Printf("  m's color on entering bufE_c       : %d (0 was taken by the invalid)\n", r.HelloColor)
+	fmt.Printf("  deliveries                         : %d (%d valid exactly once, %d invalid)\n",
+		r.Deliveries, r.ValidDelivered, r.InvalidDelivered)
+}

@@ -1,0 +1,32 @@
+package ssmfp
+
+import (
+	"ssmfp/internal/core"
+	"ssmfp/internal/faults"
+)
+
+// InjectFaults strikes the network with count random transient faults —
+// routing tables scrambled, buffered messages dropped, overwritten,
+// cloned or recolored, queues shuffled, request bits flipped — between
+// steps, and returns how many in-flight messages the strike may have
+// touched. Those messages leave the exactly-once accounting (a fault can
+// legitimately destroy or duplicate state it hits); every message sent
+// after the strike is guaranteed again, which is what snap-stabilization
+// means for mid-run faults. The seed argument makes strikes reproducible.
+func (n *Network) InjectFaults(seed int64, count int) (compromised int) {
+	inFlight := faults.InFlightValid(n.engine, n.g)
+	n.tracker.MarkCompromised(inFlight...)
+	n.tracker.MarkCompromised(faults.NewInjector(n.g, seed, nil).Strike(n.engine, count)...)
+	faults.RearmRequests(n.engine, n.g)
+	return n.tracker.Compromised()
+}
+
+// Pending reports how many higher-layer messages are enqueued but not yet
+// accepted by R1 across the network.
+func (n *Network) Pending() int {
+	total := 0
+	for p := 0; p < n.g.N(); p++ {
+		total += len(n.engine.StateOf(ProcessID(p)).(*core.Node).FW.Pending)
+	}
+	return total
+}

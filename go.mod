@@ -1,0 +1,3 @@
+module ssmfp
+
+go 1.22

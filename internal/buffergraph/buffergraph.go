@@ -1,0 +1,358 @@
+// Package buffergraph implements the deadlock-avoidance tool of Merlin and
+// Schweitzer that §3.1 of the paper builds on: a directed graph BG over the
+// buffers of the network such that restricting message moves to the edges
+// of BG prevents deadlock whenever BG is acyclic. Two schemes are provided:
+//
+//   - DestinationBased: the paper's Figure 1 — one buffer b_p(d) per
+//     processor and destination; edges follow the routing tree T_d, so the
+//     graph has n connected components, the one for destination d
+//     isomorphic to T_d.
+//   - SSMFP: the paper's Figure 2 — the two-buffer scheme SSMFP actually
+//     uses: bufR_p(d) → bufE_p(d) inside every processor and
+//     bufE_p(d) → bufR_q(d) along the routing edge q = nextHop_p(d).
+//
+// Both schemes are acyclic exactly when the routing tables are loop-free;
+// the corruption experiments use FindCycle to exhibit the deadlock hazard
+// that motivates snap-stabilizing forwarding.
+package buffergraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ssmfp/internal/graph"
+	"ssmfp/internal/routing"
+)
+
+// Kind distinguishes the buffer roles.
+type Kind int
+
+// Buffer kinds: Single for the destination-based scheme, Reception and
+// Emission for SSMFP's bufR/bufE pairs.
+const (
+	Single Kind = iota
+	Reception
+	Emission
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Single:
+		return "b"
+	case Reception:
+		return "bufR"
+	case Emission:
+		return "bufE"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Buffer identifies one buffer of the network: the processor owning it, the
+// destination it serves, and its role.
+type Buffer struct {
+	Process graph.ProcessID
+	Dest    graph.ProcessID
+	Kind    Kind
+}
+
+func (b Buffer) String() string {
+	return fmt.Sprintf("%s_%d(%d)", b.Kind, b.Process, b.Dest)
+}
+
+// BufferGraph is a directed graph over buffers.
+type BufferGraph struct {
+	nodes []Buffer
+	index map[Buffer]int
+	succ  [][]int
+}
+
+// newBufferGraph allocates a graph over the given node set.
+func newBufferGraph(nodes []Buffer) *BufferGraph {
+	bg := &BufferGraph{
+		nodes: nodes,
+		index: make(map[Buffer]int, len(nodes)),
+		succ:  make([][]int, len(nodes)),
+	}
+	for i, b := range nodes {
+		bg.index[b] = i
+	}
+	return bg
+}
+
+func (bg *BufferGraph) addEdge(from, to Buffer) {
+	fi, ok := bg.index[from]
+	if !ok {
+		panic(fmt.Sprintf("buffergraph: unknown buffer %v", from))
+	}
+	ti, ok := bg.index[to]
+	if !ok {
+		panic(fmt.Sprintf("buffergraph: unknown buffer %v", to))
+	}
+	bg.succ[fi] = append(bg.succ[fi], ti)
+}
+
+// Size returns the number of buffers.
+func (bg *BufferGraph) Size() int { return len(bg.nodes) }
+
+// EdgeCount returns the number of directed edges.
+func (bg *BufferGraph) EdgeCount() int {
+	n := 0
+	for _, s := range bg.succ {
+		n += len(s)
+	}
+	return n
+}
+
+// Buffers returns all buffers (do not modify).
+func (bg *BufferGraph) Buffers() []Buffer { return bg.nodes }
+
+// Successors returns the buffers directly reachable from b.
+func (bg *BufferGraph) Successors(b Buffer) []Buffer {
+	i, ok := bg.index[b]
+	if !ok {
+		return nil
+	}
+	out := make([]Buffer, len(bg.succ[i]))
+	for j, t := range bg.succ[i] {
+		out[j] = bg.nodes[t]
+	}
+	return out
+}
+
+// DestinationBased builds the Figure 1 buffer graph from the routing
+// tables: for every destination d and every p ≠ d, the edge
+// b_p(d) → b_nextHop_p(d)(d).
+func DestinationBased(g *graph.Graph, tables []*routing.NodeState) *BufferGraph {
+	n := g.N()
+	nodes := make([]Buffer, 0, n*n)
+	for d := 0; d < n; d++ {
+		for p := 0; p < n; p++ {
+			nodes = append(nodes, Buffer{Process: graph.ProcessID(p), Dest: graph.ProcessID(d), Kind: Single})
+		}
+	}
+	bg := newBufferGraph(nodes)
+	for d := 0; d < n; d++ {
+		for p := 0; p < n; p++ {
+			if p == d {
+				continue
+			}
+			hop := tables[p].NextHop(graph.ProcessID(d))
+			bg.addEdge(
+				Buffer{Process: graph.ProcessID(p), Dest: graph.ProcessID(d), Kind: Single},
+				Buffer{Process: hop, Dest: graph.ProcessID(d), Kind: Single},
+			)
+		}
+	}
+	return bg
+}
+
+// SSMFP builds the Figure 2 buffer graph from the routing tables: per
+// destination d, bufR_p(d) → bufE_p(d) for every p, and
+// bufE_p(d) → bufR_nextHop_p(d)(d) for every p ≠ d.
+func SSMFP(g *graph.Graph, tables []*routing.NodeState) *BufferGraph {
+	n := g.N()
+	nodes := make([]Buffer, 0, 2*n*n)
+	for d := 0; d < n; d++ {
+		for p := 0; p < n; p++ {
+			nodes = append(nodes,
+				Buffer{Process: graph.ProcessID(p), Dest: graph.ProcessID(d), Kind: Reception},
+				Buffer{Process: graph.ProcessID(p), Dest: graph.ProcessID(d), Kind: Emission})
+		}
+	}
+	bg := newBufferGraph(nodes)
+	for d := 0; d < n; d++ {
+		for p := 0; p < n; p++ {
+			bg.addEdge(
+				Buffer{Process: graph.ProcessID(p), Dest: graph.ProcessID(d), Kind: Reception},
+				Buffer{Process: graph.ProcessID(p), Dest: graph.ProcessID(d), Kind: Emission})
+			if p == d {
+				continue
+			}
+			hop := tables[p].NextHop(graph.ProcessID(d))
+			bg.addEdge(
+				Buffer{Process: graph.ProcessID(p), Dest: graph.ProcessID(d), Kind: Emission},
+				Buffer{Process: hop, Dest: graph.ProcessID(d), Kind: Reception})
+		}
+	}
+	return bg
+}
+
+// FindCycle returns a directed cycle as a buffer sequence (first == last),
+// or nil if the graph is acyclic. Deadlock freedom of the controller
+// requires acyclicity (Merlin–Schweitzer).
+func (bg *BufferGraph) FindCycle() []Buffer {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, len(bg.nodes))
+	parent := make([]int, len(bg.nodes))
+	for i := range parent {
+		parent[i] = -1
+	}
+	var cycleStart, cycleEnd = -1, -1
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		color[u] = gray
+		for _, v := range bg.succ[u] {
+			switch color[v] {
+			case white:
+				parent[v] = u
+				if dfs(v) {
+					return true
+				}
+			case gray:
+				cycleStart, cycleEnd = v, u
+				return true
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for u := range bg.nodes {
+		if color[u] == white && dfs(u) {
+			break
+		}
+	}
+	if cycleStart < 0 {
+		return nil
+	}
+	var idxs []int
+	for v := cycleEnd; v != cycleStart; v = parent[v] {
+		idxs = append(idxs, v)
+	}
+	idxs = append(idxs, cycleStart)
+	// Reverse into forward order and close the loop.
+	out := make([]Buffer, 0, len(idxs)+1)
+	out = append(out, bg.nodes[cycleStart])
+	for i := len(idxs) - 2; i >= 0; i-- {
+		out = append(out, bg.nodes[idxs[i]])
+	}
+	out = append(out, bg.nodes[cycleStart])
+	return out
+}
+
+// Acyclic reports whether the buffer graph has no directed cycle.
+func (bg *BufferGraph) Acyclic() bool { return bg.FindCycle() == nil }
+
+// Components returns the weakly connected components as sorted buffer
+// slices, largest destination first for stable output. With correct tables
+// the graph has exactly n components, one per destination.
+func (bg *BufferGraph) Components() [][]Buffer {
+	n := len(bg.nodes)
+	adj := make([][]int, n)
+	for u, ss := range bg.succ {
+		for _, v := range ss {
+			adj[u] = append(adj[u], v)
+			adj[v] = append(adj[v], u)
+		}
+	}
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	c := 0
+	for i := 0; i < n; i++ {
+		if comp[i] >= 0 {
+			continue
+		}
+		stack := []int{i}
+		comp[i] = c
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, v := range adj[u] {
+				if comp[v] < 0 {
+					comp[v] = c
+					stack = append(stack, v)
+				}
+			}
+		}
+		c++
+	}
+	out := make([][]Buffer, c)
+	for i, b := range bg.nodes {
+		out[comp[i]] = append(out[comp[i]], b)
+	}
+	for _, cs := range out {
+		sort.Slice(cs, func(i, j int) bool {
+			if cs[i].Dest != cs[j].Dest {
+				return cs[i].Dest < cs[j].Dest
+			}
+			if cs[i].Process != cs[j].Process {
+				return cs[i].Process < cs[j].Process
+			}
+			return cs[i].Kind < cs[j].Kind
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0].Dest < out[j][0].Dest })
+	return out
+}
+
+// ComponentIsTree reports whether the component of destination d (with
+// correct tables: all buffers of destination d) forms a tree rooted at the
+// destination, i.e. every non-destination buffer chain reaches d and edge
+// count equals node count minus one per the tree T_d. Used by experiment
+// E-F1 to verify the Figure 1 claim "isomorphic to T_d".
+func (bg *BufferGraph) ComponentIsTree(d graph.ProcessID) bool {
+	var nodes []int
+	for i, b := range bg.nodes {
+		if b.Dest == d {
+			nodes = append(nodes, i)
+		}
+	}
+	edges := 0
+	for _, u := range nodes {
+		edges += len(bg.succ[u])
+	}
+	// A tree on k nodes directed toward the root has k-1 edges and no cycle.
+	if edges != len(nodes)-1 {
+		return false
+	}
+	sub := bg.restrictTo(d)
+	return sub.Acyclic()
+}
+
+// restrictTo returns the sub-buffer-graph of destination d.
+func (bg *BufferGraph) restrictTo(d graph.ProcessID) *BufferGraph {
+	var nodes []Buffer
+	for _, b := range bg.nodes {
+		if b.Dest == d {
+			nodes = append(nodes, b)
+		}
+	}
+	sub := newBufferGraph(nodes)
+	for ui, b := range bg.nodes {
+		if b.Dest != d {
+			continue
+		}
+		for _, vi := range bg.succ[ui] {
+			sub.addEdge(b, bg.nodes[vi])
+		}
+	}
+	return sub
+}
+
+// Restrict returns the sub-buffer-graph containing only destination d's
+// buffers and edges — the "one connected component" view of the paper's
+// figures.
+func (bg *BufferGraph) Restrict(d graph.ProcessID) *BufferGraph { return bg.restrictTo(d) }
+
+// DOT renders the buffer graph in Graphviz syntax.
+func (bg *BufferGraph) DOT(name string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %s {\n", name)
+	for _, b := range bg.nodes {
+		fmt.Fprintf(&sb, "  %q;\n", b.String())
+	}
+	for ui, b := range bg.nodes {
+		for _, vi := range bg.succ[ui] {
+			fmt.Fprintf(&sb, "  %q -> %q;\n", b.String(), bg.nodes[vi].String())
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,230 @@
+package buffergraph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ssmfp/internal/graph"
+	"ssmfp/internal/routing"
+)
+
+func correctTables(g *graph.Graph) []*routing.NodeState {
+	ts := make([]*routing.NodeState, g.N())
+	for p := 0; p < g.N(); p++ {
+		ts[p] = routing.CorrectState(g, graph.ProcessID(p))
+	}
+	return ts
+}
+
+func TestDestinationBasedShape(t *testing.T) {
+	g := graph.Figure1Network()
+	bg := DestinationBased(g, correctTables(g))
+	n := g.N()
+	if bg.Size() != n*n {
+		t.Fatalf("size = %d, want %d", bg.Size(), n*n)
+	}
+	if bg.EdgeCount() != n*(n-1) {
+		t.Fatalf("edges = %d, want %d", bg.EdgeCount(), n*(n-1))
+	}
+	if !bg.Acyclic() {
+		t.Fatal("destination-based graph with correct tables must be acyclic")
+	}
+	comps := bg.Components()
+	if len(comps) != n {
+		t.Fatalf("components = %d, want n = %d (one per destination)", len(comps), n)
+	}
+	for i, c := range comps {
+		if len(c) != n {
+			t.Fatalf("component %d has %d buffers, want n", i, len(c))
+		}
+		d := c[0].Dest
+		for _, b := range c {
+			if b.Dest != d {
+				t.Fatal("component mixes destinations")
+			}
+		}
+		if !bg.ComponentIsTree(d) {
+			t.Fatalf("component of destination %d is not isomorphic to T_d", d)
+		}
+	}
+}
+
+func TestSSMFPShape(t *testing.T) {
+	g := graph.Figure1Network()
+	bg := SSMFP(g, correctTables(g))
+	n := g.N()
+	if bg.Size() != 2*n*n {
+		t.Fatalf("size = %d, want %d", bg.Size(), 2*n*n)
+	}
+	// n internal edges plus n-1 forwarding edges per destination.
+	if bg.EdgeCount() != n*(2*n-1) {
+		t.Fatalf("edges = %d, want %d", bg.EdgeCount(), n*(2*n-1))
+	}
+	if !bg.Acyclic() {
+		t.Fatal("SSMFP buffer graph with correct tables must be acyclic")
+	}
+	if comps := bg.Components(); len(comps) != n {
+		t.Fatalf("components = %d, want %d", len(comps), n)
+	}
+}
+
+func TestSSMFPInternalEdges(t *testing.T) {
+	g := graph.Line(3)
+	bg := SSMFP(g, correctTables(g))
+	// bufR_1(2) must point to bufE_1(2), which must point to bufR_2(2).
+	succ := bg.Successors(Buffer{Process: 1, Dest: 2, Kind: Reception})
+	if len(succ) != 1 || succ[0] != (Buffer{Process: 1, Dest: 2, Kind: Emission}) {
+		t.Fatalf("bufR successors = %v", succ)
+	}
+	succ = bg.Successors(Buffer{Process: 1, Dest: 2, Kind: Emission})
+	if len(succ) != 1 || succ[0] != (Buffer{Process: 2, Dest: 2, Kind: Reception}) {
+		t.Fatalf("bufE successors = %v", succ)
+	}
+	// The destination's emission buffer is a sink (R6 consumes from it).
+	if succ := bg.Successors(Buffer{Process: 2, Dest: 2, Kind: Emission}); len(succ) != 0 {
+		t.Fatalf("destination bufE must be a sink, got %v", succ)
+	}
+}
+
+func TestCorruptTablesCreateCycle(t *testing.T) {
+	g := graph.Ring(5)
+	ts := correctTables(g)
+	routing.CycleCorrupt(g, 0, 2, 3, ts)
+	for _, bg := range []*BufferGraph{DestinationBased(g, ts), SSMFP(g, ts)} {
+		cycle := bg.FindCycle()
+		if cycle == nil {
+			t.Fatal("corrupted tables must create a buffer-graph cycle")
+		}
+		if cycle[0] != cycle[len(cycle)-1] {
+			t.Fatalf("cycle not closed: %v", cycle)
+		}
+		for _, b := range cycle {
+			if b.Dest != 0 {
+				t.Fatalf("cycle escaped destination 0's component: %v", cycle)
+			}
+		}
+		// Every consecutive pair must be a real edge.
+		for i := 0; i+1 < len(cycle); i++ {
+			found := false
+			for _, s := range bg.Successors(cycle[i]) {
+				if s == cycle[i+1] {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("cycle step %v -> %v is not an edge", cycle[i], cycle[i+1])
+			}
+		}
+	}
+}
+
+func TestRestrictIsolatesDestination(t *testing.T) {
+	g := graph.Figure1Network()
+	bg := SSMFP(g, correctTables(g))
+	sub := bg.Restrict(1)
+	if sub.Size() != 2*g.N() {
+		t.Fatalf("restricted size = %d, want %d", sub.Size(), 2*g.N())
+	}
+	for _, b := range sub.Buffers() {
+		if b.Dest != 1 {
+			t.Fatal("restriction leaked other destinations")
+		}
+	}
+	if !sub.Acyclic() {
+		t.Fatal("restricted component must be acyclic")
+	}
+}
+
+func TestComponentIsTreeDetectsNonTree(t *testing.T) {
+	g := graph.Ring(4)
+	ts := correctTables(g)
+	routing.CycleCorrupt(g, 0, 1, 2, ts)
+	bg := DestinationBased(g, ts)
+	if bg.ComponentIsTree(0) {
+		t.Fatal("cyclic component must not be reported as tree")
+	}
+}
+
+func TestKindAndBufferString(t *testing.T) {
+	b := Buffer{Process: 3, Dest: 1, Kind: Reception}
+	if b.String() != "bufR_3(1)" {
+		t.Fatalf("String = %q", b.String())
+	}
+	if Single.String() != "b" || Emission.String() != "bufE" {
+		t.Fatal("kind strings wrong")
+	}
+	if Kind(9).String() != "kind(9)" {
+		t.Fatal("unknown kind string wrong")
+	}
+}
+
+func TestDOTRendering(t *testing.T) {
+	g := graph.Line(2)
+	bg := SSMFP(g, correctTables(g))
+	dot := bg.DOT("bg")
+	for _, want := range []string{`digraph bg {`, `"bufR_0(1)" -> "bufE_0(1)"`, `"bufE_0(1)" -> "bufR_1(1)"`} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+}
+
+// Property: for random connected graphs with canonical routing tables, both
+// buffer-graph schemes are acyclic and have exactly n weakly connected
+// components (the Merlin–Schweitzer deadlock-freedom precondition).
+func TestQuickAcyclicWithCorrectTables(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(nRaw)%10
+		g := graph.RandomConnected(n, int(mRaw), rng)
+		ts := correctTables(g)
+		d := DestinationBased(g, ts)
+		s := SSMFP(g, ts)
+		return d.Acyclic() && s.Acyclic() && len(d.Components()) == n && len(s.Components()) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random (possibly looping) tables — FindCycle is consistent
+// with Acyclic, and any reported cycle is a real closed walk.
+func TestQuickCycleReportingConsistent(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + int(nRaw)%8
+		g := graph.RandomConnected(n, 3*n, rng)
+		ts := make([]*routing.NodeState, n)
+		for p := 0; p < n; p++ {
+			ts[p] = routing.RandomState(g, graph.ProcessID(p), rng)
+		}
+		bg := SSMFP(g, ts)
+		cycle := bg.FindCycle()
+		if (cycle == nil) != bg.Acyclic() {
+			return false
+		}
+		if cycle == nil {
+			return true
+		}
+		if cycle[0] != cycle[len(cycle)-1] || len(cycle) < 3 {
+			return false
+		}
+		for i := 0; i+1 < len(cycle); i++ {
+			ok := false
+			for _, s := range bg.Successors(cycle[i]) {
+				if s == cycle[i+1] {
+					ok = true
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

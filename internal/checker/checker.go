@@ -1,0 +1,299 @@
+// Package checker provides the specification oracles of the reproduction:
+// it observes an execution through engine events and verifies Specification
+// SP of the paper — every valid (generated) message is delivered to its
+// destination once and only once — plus the supporting invariants the
+// proofs rely on (no valid message is ever lost from all buffers before
+// delivery, invalid deliveries per destination stay within the 2n bound of
+// Proposition 4, messages are only delivered at their destination).
+//
+// The oracles watch simulation-side UIDs, which no protocol guard or action
+// reads, so they detect losses and duplications even when distinct messages
+// collide on the protocol-visible triple (m, q, c).
+package checker
+
+import (
+	"fmt"
+	"sort"
+
+	"ssmfp/internal/core"
+	"ssmfp/internal/graph"
+	sm "ssmfp/internal/statemodel"
+)
+
+// Delivery records one R6 consumption.
+type Delivery struct {
+	Msg   *core.Message
+	At    graph.ProcessID
+	Step  int
+	Round int
+}
+
+// Tracker accumulates generation and delivery events of one execution and
+// answers specification questions about it. Create with New, register with
+// Attach before running the engine, and optionally RecordInitial the
+// initial configuration so invalid messages are known individually.
+type Tracker struct {
+	g       *graph.Graph
+	e       *sm.Engine
+	initial map[uint64]*core.Message // invalid messages present at start
+
+	generated  map[uint64]*core.Message
+	genStep    map[uint64]int
+	genRound   map[uint64]int
+	deliveries []Delivery
+	delivered  map[uint64]int // UID -> delivery count
+
+	violations  []violation
+	compromised map[uint64]bool // UIDs invalidated by an injected fault
+}
+
+// violation is a recorded specification breach; uid == 0 means not
+// attributable to one message.
+type violation struct {
+	uid uint64
+	msg string
+}
+
+// New returns a Tracker for executions on g.
+func New(g *graph.Graph) *Tracker {
+	return &Tracker{
+		g:           g,
+		initial:     make(map[uint64]*core.Message),
+		generated:   make(map[uint64]*core.Message),
+		genStep:     make(map[uint64]int),
+		genRound:    make(map[uint64]int),
+		delivered:   make(map[uint64]int),
+		compromised: make(map[uint64]bool),
+	}
+}
+
+// RecordInitial remembers the invalid messages occupying buffers in the
+// initial configuration (for Proposition 4 accounting).
+func (t *Tracker) RecordInitial(cfg []sm.State) {
+	for uid, m := range core.InvalidMessages(cfg) {
+		t.initial[uid] = m
+	}
+}
+
+// Attach subscribes the tracker to the engine's event stream.
+func (t *Tracker) Attach(e *sm.Engine) {
+	t.e = e
+	e.Subscribe(t.onEvent)
+}
+
+func (t *Tracker) onEvent(ev sm.Event) {
+	switch ev.Kind {
+	case core.KindGenerate:
+		msg := ev.Payload.(core.GenerateEvent).Msg
+		if _, dup := t.generated[msg.UID]; dup {
+			t.violations = append(t.violations, violation{msg.UID, fmt.Sprintf("UID %d generated twice", msg.UID)})
+		}
+		t.generated[msg.UID] = msg
+		t.genStep[msg.UID] = ev.Step
+		t.genRound[msg.UID] = t.e.Rounds()
+	case core.KindDeliver:
+		msg := ev.Payload.(core.DeliverEvent).Msg
+		t.deliveries = append(t.deliveries, Delivery{Msg: msg, At: ev.Process, Step: ev.Step, Round: t.e.Rounds()})
+		t.delivered[msg.UID]++
+		if ev.Process != msg.Dest {
+			t.violations = append(t.violations,
+				violation{msg.UID, fmt.Sprintf("UID %d delivered at %d, destination is %d", msg.UID, ev.Process, msg.Dest)})
+		}
+		if msg.Valid && t.delivered[msg.UID] > 1 {
+			t.violations = append(t.violations,
+				violation{msg.UID, fmt.Sprintf("valid UID %d delivered %d times (duplication)", msg.UID, t.delivered[msg.UID])})
+		}
+	}
+}
+
+// GeneratedCount returns how many messages R1 accepted.
+func (t *Tracker) GeneratedCount() int { return len(t.generated) }
+
+// Deliveries returns all recorded deliveries in order.
+func (t *Tracker) Deliveries() []Delivery { return t.deliveries }
+
+// DeliveredValid returns how many distinct valid messages were delivered.
+func (t *Tracker) DeliveredValid() int {
+	n := 0
+	for uid := range t.generated {
+		if t.delivered[uid] > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// InvalidDeliveredPerDest returns, per destination, how many invalid
+// deliveries occurred (counting repeats: the Proposition 4 bound is on
+// deliveries, not distinct messages).
+func (t *Tracker) InvalidDeliveredPerDest() map[graph.ProcessID]int {
+	out := make(map[graph.ProcessID]int)
+	for _, d := range t.deliveries {
+		if !d.Msg.Valid {
+			out[d.At]++
+		}
+	}
+	return out
+}
+
+// InvalidDeliveredTotal returns the total number of invalid deliveries.
+func (t *Tracker) InvalidDeliveredTotal() int {
+	n := 0
+	for _, d := range t.deliveries {
+		if !d.Msg.Valid {
+			n++
+		}
+	}
+	return n
+}
+
+// MarkCompromised excludes messages from the specification accounting:
+// an injected transient fault destroyed or corrupted them in place, so
+// the exactly-once obligation no longer applies (snap-stabilization
+// guarantees messages generated *after* the last fault; see
+// internal/faults). Idempotent.
+func (t *Tracker) MarkCompromised(uids ...uint64) {
+	for _, uid := range uids {
+		t.compromised[uid] = true
+	}
+}
+
+// Compromised reports how many tracked messages a fault invalidated.
+func (t *Tracker) Compromised() int { return len(t.compromised) }
+
+// AllValidDelivered reports whether every generated, non-compromised
+// message has been delivered (at least once; duplications are reported
+// separately).
+func (t *Tracker) AllValidDelivered() bool {
+	for uid := range t.generated {
+		if t.delivered[uid] == 0 && !t.compromised[uid] {
+			return false
+		}
+	}
+	return true
+}
+
+// UndeliveredValid lists the UIDs of generated messages not yet delivered,
+// sorted for stable output.
+func (t *Tracker) UndeliveredValid() []uint64 {
+	var out []uint64
+	for uid := range t.generated {
+		if t.delivered[uid] == 0 && !t.compromised[uid] {
+			out = append(out, uid)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CheckNoLoss verifies the real-time no-loss invariant against the current
+// configuration: every generated, not-yet-delivered valid message must
+// occupy at least one buffer. It returns an error naming the first lost
+// message, or nil.
+func (t *Tracker) CheckNoLoss(cfg []sm.State) error {
+	present := make(map[uint64]bool)
+	for _, s := range cfg {
+		n := s.(*core.Node).FW
+		for _, ds := range n.Dests {
+			for _, m := range []*core.Message{ds.BufR, ds.BufE} {
+				if m != nil {
+					present[m.UID] = true
+				}
+			}
+		}
+	}
+	for uid, msg := range t.generated {
+		if t.delivered[uid] == 0 && !present[uid] && !t.compromised[uid] {
+			return fmt.Errorf("checker: valid message %d (%s, %d→%d) lost: undelivered and absent from all buffers",
+				uid, msg.Payload, msg.Src, msg.Dest)
+		}
+	}
+	return nil
+}
+
+// Violations returns every specification violation observed so far:
+// duplicate deliveries of valid messages, deliveries at wrong destinations,
+// duplicate generations, plus (computed on demand) Proposition 4 breaches —
+// more than 2n invalid deliveries to one destination.
+func (t *Tracker) Violations() []string {
+	var out []string
+	for _, v := range t.violations {
+		if v.uid != 0 && t.compromised[v.uid] {
+			continue
+		}
+		out = append(out, v.msg)
+	}
+	bound := 2 * t.g.N()
+	for d, c := range t.InvalidDeliveredPerDest() {
+		if c > bound {
+			out = append(out, fmt.Sprintf("destination %d received %d invalid deliveries, bound is 2n=%d", d, c, bound))
+		}
+	}
+	return out
+}
+
+// LatencySteps returns, for every delivered valid message, the number of
+// steps between generation and (first) delivery.
+func (t *Tracker) LatencySteps() map[uint64]int {
+	out := make(map[uint64]int)
+	seen := make(map[uint64]bool)
+	for _, d := range t.deliveries {
+		if d.Msg.Valid && !seen[d.Msg.UID] {
+			seen[d.Msg.UID] = true
+			out[d.Msg.UID] = d.Step - t.genStep[d.Msg.UID]
+		}
+	}
+	return out
+}
+
+// LatencyRounds returns generation-to-delivery latencies in rounds.
+func (t *Tracker) LatencyRounds() map[uint64]int {
+	out := make(map[uint64]int)
+	seen := make(map[uint64]bool)
+	for _, d := range t.deliveries {
+		if d.Msg.Valid && !seen[d.Msg.UID] {
+			seen[d.Msg.UID] = true
+			out[d.Msg.UID] = d.Round - t.genRound[d.Msg.UID]
+		}
+	}
+	return out
+}
+
+// GenerationRoundsBySource returns, per source processor, the rounds at
+// which its generations (R1 executions) occurred, in execution order — the
+// raw data behind the per-processor delay and waiting-time measurements of
+// Proposition 6.
+func (t *Tracker) GenerationRoundsBySource() map[graph.ProcessID][]int {
+	type gen struct{ step, round int }
+	bySrc := make(map[graph.ProcessID][]gen)
+	for uid, m := range t.generated {
+		bySrc[m.Src] = append(bySrc[m.Src], gen{t.genStep[uid], t.genRound[uid]})
+	}
+	out := make(map[graph.ProcessID][]int, len(bySrc))
+	for src, gens := range bySrc {
+		sort.Slice(gens, func(i, j int) bool { return gens[i].step < gens[j].step })
+		rounds := make([]int, len(gens))
+		for i, g := range gens {
+			rounds[i] = g.round
+		}
+		out[src] = rounds
+	}
+	return out
+}
+
+// GenerationRounds returns the rounds at which each generation occurred, in
+// generation order — the raw data behind the delay/waiting-time
+// measurements of Proposition 6.
+func (t *Tracker) GenerationRounds() []int {
+	type gen struct{ step, round int }
+	var gens []gen
+	for uid := range t.generated {
+		gens = append(gens, gen{t.genStep[uid], t.genRound[uid]})
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i].step < gens[j].step })
+	out := make([]int, len(gens))
+	for i, g := range gens {
+		out[i] = g.round
+	}
+	return out
+}

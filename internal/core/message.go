@@ -1,0 +1,113 @@
+// Package core implements SSMFP, the snap-stabilizing message forwarding
+// protocol of the paper (§3.2, Algorithm 1). Every processor p keeps, per
+// destination d, a reception buffer bufR_p(d) and an emission buffer
+// bufE_p(d); messages are triples (m, q, c) of useful information, last hop
+// and color; six guarded rules R1–R6 generate, advance, duplicate-erase and
+// deliver messages so that — provided the self-stabilizing silent routing
+// algorithm A (internal/routing) runs simultaneously with priority — every
+// generated message is delivered to its destination once and only once,
+// regardless of the initial configuration (Specification SP).
+package core
+
+import (
+	"fmt"
+
+	"ssmfp/internal/graph"
+)
+
+// Message is the protocol's message triple (m, q, c): Payload is the useful
+// information m, LastHop the identity q ∈ N_p ∪ {p} of the last processor
+// the message crossed, Color the flag c ∈ {0..Δ} that prevents merges and
+// losses. The destination is implicit in the buffer index holding the
+// message.
+//
+// The remaining fields are simulation-side bookkeeping that no guard or
+// action ever reads: UID is the true identity of the message (the paper's
+// proof-level notion that two messages with equal useful information are
+// still distinct messages), Src/Dest/Valid/GenStep feed the specification
+// checkers.
+type Message struct {
+	Payload string
+	LastHop graph.ProcessID
+	Color   int
+
+	UID     uint64
+	Src     graph.ProcessID
+	Dest    graph.ProcessID
+	Valid   bool
+	GenStep int
+}
+
+// SameMC reports whether two messages agree on payload and color — the
+// paper's "(m, q', c)" comparisons in R2 and R5 that ignore the last hop.
+// Either operand may be nil (an empty buffer), which never matches.
+func (m *Message) SameMC(o *Message) bool {
+	if m == nil || o == nil {
+		return false
+	}
+	return m.Payload == o.Payload && m.Color == o.Color
+}
+
+// Equals reports whether two messages agree on the full protocol triple
+// (payload, last hop, color) — the exact "(m, p, c)" comparison of R4.
+// Either operand may be nil, which never matches.
+func (m *Message) Equals(o *Message) bool {
+	if m == nil || o == nil {
+		return false
+	}
+	return m.Payload == o.Payload && m.LastHop == o.LastHop && m.Color == o.Color
+}
+
+// WithHop returns a copy of m carrying a new last hop (the forwarding copy
+// of R3). Messages are treated as immutable values; rules always construct
+// fresh copies.
+func (m *Message) WithHop(q graph.ProcessID) *Message {
+	c := *m
+	c.LastHop = q
+	return &c
+}
+
+// WithHopColor returns a copy of m with a new last hop and color (the
+// internal move of R2).
+func (m *Message) WithHopColor(q graph.ProcessID, color int) *Message {
+	c := *m
+	c.LastHop = q
+	c.Color = color
+	return &c
+}
+
+// String renders the protocol-visible triple plus validity, e.g.
+// "(hello,q=2,c=1,valid)".
+func (m *Message) String() string {
+	if m == nil {
+		return "∅"
+	}
+	v := "invalid"
+	if m.Valid {
+		v = "valid"
+	}
+	return fmt.Sprintf("(%s,q=%d,c=%d,%s)", m.Payload, m.LastHop, m.Color, v)
+}
+
+// GenerateEvent is emitted by R1 when a message is accepted from the higher
+// layer. DeliverEvent is emitted by R6 when a message is handed to the
+// higher layer at its destination. Both carry the delivered message; the
+// checkers correlate them by UID. ServeEvent is emitted whenever
+// choice_p(d) serves a candidate (R1 serving the processor itself, R3
+// serving a neighbor) — the observable the fairness analyses of
+// Propositions 5 and 6 are about.
+type (
+	GenerateEvent struct{ Msg *Message }
+	DeliverEvent  struct{ Msg *Message }
+	ServeEvent    struct {
+		Dest   graph.ProcessID // destination whose reception buffer was filled
+		Served graph.ProcessID // the candidate that was served
+	}
+)
+
+// Event kinds used with statemodel.View.Emit.
+const (
+	KindGenerate = "generate"
+	KindDeliver  = "deliver"
+	KindServe    = "serve"
+)

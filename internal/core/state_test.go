@@ -1,0 +1,261 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ssmfp/internal/graph"
+)
+
+func TestMessageEqualityHelpers(t *testing.T) {
+	a := &Message{Payload: "x", LastHop: 1, Color: 2}
+	b := &Message{Payload: "x", LastHop: 3, Color: 2}
+	c := &Message{Payload: "x", LastHop: 1, Color: 0}
+	d := &Message{Payload: "y", LastHop: 1, Color: 2}
+
+	if !a.SameMC(b) {
+		t.Error("SameMC must ignore last hop")
+	}
+	if a.SameMC(c) {
+		t.Error("SameMC must compare color")
+	}
+	if a.SameMC(d) {
+		t.Error("SameMC must compare payload")
+	}
+	if a.Equals(b) {
+		t.Error("Equals must compare last hop")
+	}
+	if !a.Equals(&Message{Payload: "x", LastHop: 1, Color: 2, UID: 999}) {
+		t.Error("Equals must ignore simulation-side fields")
+	}
+	if a.SameMC(nil) || a.Equals(nil) || (*Message)(nil).SameMC(a) || (*Message)(nil).Equals(a) {
+		t.Error("nil never matches")
+	}
+}
+
+func TestMessageWithHelpersCopy(t *testing.T) {
+	m := &Message{Payload: "x", LastHop: 1, Color: 2, UID: 7, Valid: true}
+	h := m.WithHop(4)
+	if h == m || h.LastHop != 4 || h.Color != 2 || h.UID != 7 || !h.Valid {
+		t.Fatalf("WithHop wrong: %+v", h)
+	}
+	hc := m.WithHopColor(5, 0)
+	if hc.LastHop != 5 || hc.Color != 0 || hc.UID != 7 {
+		t.Fatalf("WithHopColor wrong: %+v", hc)
+	}
+	if m.LastHop != 1 || m.Color != 2 {
+		t.Fatal("original mutated")
+	}
+}
+
+func TestMessageString(t *testing.T) {
+	if got := (*Message)(nil).String(); got != "∅" {
+		t.Errorf("nil string = %q", got)
+	}
+	m := &Message{Payload: "hi", LastHop: 2, Color: 1, Valid: true}
+	if got := m.String(); got != "(hi,q=2,c=1,valid)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestNodeCloneIsDeep(t *testing.T) {
+	g := graph.Line(3)
+	n := CleanNode(g, 1)
+	n.FW.Enqueue("a", 0)
+	n.FW.Dests[0].BufR = &Message{Payload: "x"}
+	n.FW.Dests[0].Queue = []graph.ProcessID{0, 1}
+
+	c := n.Clone().(*Node)
+	c.FW.Pending[0].Payload = "mutated"
+	c.FW.Dests[0].BufR = nil
+	c.FW.Dests[0].Queue[0] = 2
+	c.RT.Dist[0] = 99
+
+	if n.FW.Pending[0].Payload != "a" {
+		t.Error("Pending shared")
+	}
+	if n.FW.Dests[0].BufR == nil {
+		t.Error("buffer field shared")
+	}
+	if n.FW.Dests[0].Queue[0] != 0 {
+		t.Error("queue shared")
+	}
+	if n.RT.Dist[0] == 99 {
+		t.Error("routing table shared")
+	}
+}
+
+func TestEnqueueRaisesRequestOnce(t *testing.T) {
+	g := graph.Line(2)
+	s := EmptyState(g)
+	if s.Request {
+		t.Fatal("fresh state must not request")
+	}
+	s.Enqueue("a", 1)
+	if !s.Request || len(s.Pending) != 1 {
+		t.Fatal("Enqueue must raise request and append")
+	}
+	s.Enqueue("b", 0)
+	if len(s.Pending) != 2 {
+		t.Fatal("second Enqueue must append")
+	}
+	d, ok := s.NextDestination()
+	if !ok || d != 1 {
+		t.Fatalf("NextDestination = %d,%v; want 1,true", d, ok)
+	}
+}
+
+func TestNextDestinationEmpty(t *testing.T) {
+	s := EmptyState(graph.Line(2))
+	if _, ok := s.NextDestination(); ok {
+		t.Fatal("NextDestination on empty pending must report false")
+	}
+}
+
+func TestRandomConfigWellTyped(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.Figure1Network()
+	delta := g.MaxDegree()
+	for trial := 0; trial < 30; trial++ {
+		cfg := RandomConfig(g, rng, DefaultCorrupt)
+		if len(cfg) != g.N() {
+			t.Fatal("wrong config length")
+		}
+		for pp, s := range cfg {
+			p := graph.ProcessID(pp)
+			node := s.(*Node)
+			for d := 0; d < g.N(); d++ {
+				ds := node.FW.Dests[d]
+				for _, m := range []*Message{ds.BufR, ds.BufE} {
+					if m == nil {
+						continue
+					}
+					if m.Valid {
+						t.Fatal("initial messages must be invalid")
+					}
+					if m.Color < 0 || m.Color > delta {
+						t.Fatalf("color %d out of range", m.Color)
+					}
+					if !g.IsNeighborOrSelf(p, m.LastHop) {
+						t.Fatalf("last hop %d not in N_%d ∪ {%d}", m.LastHop, p, p)
+					}
+				}
+				for _, q := range ds.Queue {
+					if !g.IsNeighborOrSelf(p, q) {
+						t.Fatalf("queue entry %d ill-typed at %d", q, p)
+					}
+				}
+				if len(ds.Queue) > delta+1 {
+					t.Fatalf("queue longer than Δ+1: %d", len(ds.Queue))
+				}
+			}
+		}
+	}
+}
+
+func TestRandomConfigRespectsOptions(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := graph.Ring(5)
+	cfg := RandomConfig(g, rng, CorruptOptions{BufferFill: 0, CorruptRouting: false})
+	for pp, s := range cfg {
+		node := s.(*Node)
+		for d := 0; d < g.N(); d++ {
+			if node.FW.Dests[d].BufR != nil || node.FW.Dests[d].BufE != nil {
+				t.Fatal("BufferFill=0 must leave buffers empty")
+			}
+			if len(node.FW.Dests[d].Queue) != 0 {
+				t.Fatal("CorruptQueues=false must leave queues empty")
+			}
+		}
+		if node.FW.Request {
+			t.Fatal("PhantomRequests=false must leave request down")
+		}
+		for d := 0; d < g.N(); d++ {
+			if node.RT.Dist[d] != g.Dist(graph.ProcessID(pp), graph.ProcessID(d)) {
+				t.Fatal("CorruptRouting=false must give correct tables")
+			}
+		}
+	}
+}
+
+func TestInvalidMessagesCollects(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := graph.Line(4)
+	cfg := RandomConfig(g, rng, CorruptOptions{BufferFill: 1})
+	inv := InvalidMessages(cfg)
+	if len(inv) != 2*g.N()*g.N() { // every buffer of every (p, d) pair filled
+		t.Fatalf("got %d invalid messages, want %d", len(inv), 2*g.N()*g.N())
+	}
+	for uid, m := range inv {
+		if m.UID != uid || m.Valid {
+			t.Fatal("bad invalid-message indexing")
+		}
+	}
+}
+
+func TestOccupancyAndQuiescent(t *testing.T) {
+	g := graph.Line(3)
+	cfg := CleanConfig(g)
+	if !Quiescent(cfg) {
+		t.Fatal("clean config must be quiescent")
+	}
+	total, valid := Occupancy(cfg, 0)
+	if total != 0 || valid != 0 {
+		t.Fatal("clean config must have empty buffers")
+	}
+	cfg[1].(*Node).FW.Dests[0].BufR = &Message{Payload: "x", Valid: true}
+	cfg[2].(*Node).FW.Dests[0].BufE = &Message{Payload: "y"}
+	if Quiescent(cfg) {
+		t.Fatal("occupied config must not be quiescent")
+	}
+	total, valid = Occupancy(cfg, 0)
+	if total != 2 || valid != 1 {
+		t.Fatalf("occupancy = %d,%d; want 2,1", total, valid)
+	}
+	cfg2 := CleanConfig(g)
+	cfg2[0].(*Node).FW.Enqueue("z", 1)
+	if Quiescent(cfg2) {
+		t.Fatal("pending generation must break quiescence")
+	}
+}
+
+func TestCaterpillarTypeString(t *testing.T) {
+	for typ, want := range map[CaterpillarType]string{
+		None: "none", Type1: "type-1", Type2: "type-2", Type3: "type-3",
+	} {
+		if typ.String() != want {
+			t.Errorf("%d.String() = %q, want %q", typ, typ.String(), want)
+		}
+	}
+}
+
+func TestRuleName(t *testing.T) {
+	if RuleName("R3", 7) != "R3@7" {
+		t.Fatalf("RuleName wrong: %s", RuleName("R3", 7))
+	}
+}
+
+func TestNormalizeQueue(t *testing.T) {
+	cases := []struct {
+		stored, cands, want []graph.ProcessID
+	}{
+		{nil, nil, []graph.ProcessID{}},
+		{nil, []graph.ProcessID{2, 5}, []graph.ProcessID{2, 5}},
+		{[]graph.ProcessID{5, 2}, []graph.ProcessID{2, 5}, []graph.ProcessID{5, 2}},    // stored order kept
+		{[]graph.ProcessID{9, 5}, []graph.ProcessID{2, 5}, []graph.ProcessID{5, 2}},    // stale 9 dropped, 2 appended
+		{[]graph.ProcessID{5, 5, 2}, []graph.ProcessID{2, 5}, []graph.ProcessID{5, 2}}, // duplicates collapsed
+		{[]graph.ProcessID{1, 2, 3}, []graph.ProcessID{}, []graph.ProcessID{}},         // all stale
+		{[]graph.ProcessID{3}, []graph.ProcessID{1, 2, 3}, []graph.ProcessID{3, 1, 2}}, // head kept, arrivals appended
+	}
+	for i, c := range cases {
+		got := normalizeQueue(c.stored, c.cands)
+		if len(got) != len(c.want) {
+			t.Fatalf("case %d: got %v, want %v", i, got, c.want)
+		}
+		for j := range got {
+			if got[j] != c.want[j] {
+				t.Fatalf("case %d: got %v, want %v", i, got, c.want)
+			}
+		}
+	}
+}

@@ -1,0 +1,315 @@
+package daemon
+
+import (
+	"testing"
+
+	"ssmfp/internal/graph"
+	sm "ssmfp/internal/statemodel"
+)
+
+// counterState is a toy state: a single integer.
+type counterState struct{ v int }
+
+func (s *counterState) Clone() sm.State { c := *s; return &c }
+
+func config(n int) []sm.State {
+	cfg := make([]sm.State, n)
+	for i := range cfg {
+		cfg[i] = &counterState{}
+	}
+	return cfg
+}
+
+// incProgram: always enabled until v reaches limit.
+func incProgram(limit int) sm.Program {
+	return sm.NewProgram(sm.Rule{
+		Name:   "inc",
+		Guard:  func(v *sm.View) bool { return v.Self().(*counterState).v < limit },
+		Action: func(v *sm.View) { v.Self().(*counterState).v++ },
+	})
+}
+
+// twoRuleProgram has two always-enabled same-priority rules, to observe
+// which rule a daemon picks.
+func twoRuleProgram() sm.Program {
+	return sm.NewProgram(
+		sm.Rule{Name: "first",
+			Guard:  func(v *sm.View) bool { return v.Self().(*counterState).v < 100 },
+			Action: func(v *sm.View) { v.Self().(*counterState).v++ }},
+		sm.Rule{Name: "second",
+			Guard:  func(v *sm.View) bool { return v.Self().(*counterState).v < 100 },
+			Action: func(v *sm.View) { v.Self().(*counterState).v += 10 }},
+	)
+}
+
+func choices(ps ...graph.ProcessID) []sm.Choice {
+	out := make([]sm.Choice, len(ps))
+	for i, p := range ps {
+		out[i] = sm.Choice{Process: p, Rules: []int{0}}
+	}
+	return out
+}
+
+func TestSynchronousSelectsAll(t *testing.T) {
+	d := NewSynchronous(1)
+	sels := d.Select(0, choices(0, 3, 7))
+	if len(sels) != 3 {
+		t.Fatalf("selected %d, want 3", len(sels))
+	}
+	seen := map[graph.ProcessID]bool{}
+	for _, s := range sels {
+		seen[s.Process] = true
+	}
+	if !seen[0] || !seen[3] || !seen[7] {
+		t.Fatalf("selection missing a processor: %v", sels)
+	}
+}
+
+func TestCentralRoundRobinCycles(t *testing.T) {
+	d := NewCentralRoundRobin()
+	en := choices(0, 1, 2)
+	var order []graph.ProcessID
+	for i := 0; i < 6; i++ {
+		sels := d.Select(i, en)
+		if len(sels) != 1 {
+			t.Fatalf("central daemon selected %d processors", len(sels))
+		}
+		order = append(order, sels[0].Process)
+	}
+	want := []graph.ProcessID{0, 1, 2, 0, 1, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestCentralRoundRobinSkipsDisabled(t *testing.T) {
+	d := NewCentralRoundRobin()
+	d.Select(0, choices(0, 1, 2)) // serves 0, next = 1
+	sels := d.Select(1, choices(0, 2))
+	if sels[0].Process != 2 {
+		t.Fatalf("got %d, want 2 (1 is disabled)", sels[0].Process)
+	}
+	// Wraparound: next is now 3, only 0 enabled.
+	sels = d.Select(2, choices(0))
+	if sels[0].Process != 0 {
+		t.Fatalf("got %d, want 0 (wraparound)", sels[0].Process)
+	}
+}
+
+func TestCentralRandomDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) []graph.ProcessID {
+		d := NewCentralRandom(seed)
+		var out []graph.ProcessID
+		for i := 0; i < 20; i++ {
+			out = append(out, d.Select(i, choices(0, 1, 2, 3, 4))[0].Process)
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed should give identical schedules")
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical 20-step schedules (suspicious)")
+	}
+}
+
+func TestDistributedRandomNonEmptyAndValid(t *testing.T) {
+	d := NewDistributedRandom(7, 0.3)
+	en := choices(0, 1, 2, 3)
+	for i := 0; i < 200; i++ {
+		sels := d.Select(i, en)
+		if len(sels) == 0 {
+			t.Fatal("distributed daemon returned empty selection")
+		}
+		seen := map[graph.ProcessID]bool{}
+		for _, s := range sels {
+			if seen[s.Process] {
+				t.Fatal("processor selected twice")
+			}
+			seen[s.Process] = true
+		}
+	}
+}
+
+func TestDistributedRandomRejectsBadProbability(t *testing.T) {
+	for _, p := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("p=%v: expected panic", p)
+				}
+			}()
+			NewDistributedRandom(1, p)
+		}()
+	}
+}
+
+func TestCentralLIFOStarves(t *testing.T) {
+	d := NewCentralLIFO()
+	for i := 0; i < 50; i++ {
+		sels := d.Select(i, choices(0, 1, 5))
+		if sels[0].Process != 5 {
+			t.Fatal("LIFO daemon should always pick the highest ID")
+		}
+	}
+}
+
+func TestCentralLIFOPicksLastRule(t *testing.T) {
+	d := NewCentralLIFO()
+	sels := d.Select(0, []sm.Choice{{Process: 2, Rules: []int{0, 1}}})
+	if sels[0].Rule != 1 {
+		t.Fatalf("rule = %d, want 1 (last offered)", sels[0].Rule)
+	}
+}
+
+func TestWeaklyFairBoundsStarvation(t *testing.T) {
+	const bound = 5
+	d := NewWeaklyFair(NewCentralLIFO(), bound)
+	en := choices(0, 1, 9)
+	lastServed := map[graph.ProcessID]int{}
+	for i := 0; i < 100; i++ {
+		sels := d.Select(i, en)
+		for _, s := range sels {
+			lastServed[s.Process] = i
+		}
+		for _, c := range en {
+			if i-lastServed[c.Process] > bound+1 && lastServed[c.Process] != 0 {
+				t.Fatalf("processor %d starved beyond bound at step %d", c.Process, i)
+			}
+		}
+	}
+	if _, ok := lastServed[0]; !ok {
+		t.Fatal("processor 0 never served despite weak fairness")
+	}
+}
+
+func TestWeaklyFairRejectsBadBound(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewWeaklyFair(NewCentralLIFO(), 0)
+}
+
+func TestWeaklyFairForgetsDisabled(t *testing.T) {
+	d := NewWeaklyFair(NewCentralLIFO(), 2)
+	// Starve 0 almost to the bound, then disable it; its age must reset.
+	d.Select(0, choices(0, 9))
+	d.Select(1, choices(0, 9))
+	d.Select(2, choices(9)) // 0 disabled here: age forgotten
+	sels := d.Select(3, choices(0, 9))
+	if sels[0].Process != 9 {
+		t.Fatalf("got %d; age should have been forgotten while disabled", sels[0].Process)
+	}
+}
+
+func TestEndToEndFairCompletion(t *testing.T) {
+	// Under the weakly fair LIFO daemon every processor still reaches the
+	// limit (fairness forces service of low IDs).
+	g := graph.Ring(5)
+	d := NewWeaklyFair(NewCentralLIFO(), 4)
+	e := sm.NewEngine(g, incProgram(3), d, config(5))
+	_, terminal := e.Run(10_000, nil)
+	if !terminal {
+		t.Fatal("weakly fair execution did not terminate")
+	}
+	for p := graph.ProcessID(0); p < 5; p++ {
+		if got := e.StateOf(p).(*counterState).v; got != 3 {
+			t.Errorf("processor %d = %d, want 3", p, got)
+		}
+	}
+}
+
+func TestScriptedReplaysExactly(t *testing.T) {
+	g := graph.Line(2)
+	prog := twoRuleProgram()
+	script := []ScriptStep{
+		{Act(0, "first")},
+		{Act(1, "second")},
+		{Act(0, "second"), Act(1, "first")},
+	}
+	d := NewScripted(prog, script, nil)
+	e := sm.NewEngine(g, prog, d, config(2))
+	for i := 0; i < 3; i++ {
+		e.Step()
+	}
+	v0 := e.StateOf(0).(*counterState).v
+	v1 := e.StateOf(1).(*counterState).v
+	if v0 != 11 || v1 != 11 {
+		t.Fatalf("values = %d,%d; want 11,11", v0, v1)
+	}
+	if !d.Exhausted() {
+		t.Fatal("script should be exhausted")
+	}
+}
+
+func TestScriptedPanicsOnDisabledRule(t *testing.T) {
+	g := graph.Line(2)
+	prog := incProgram(0) // nothing ever enabled... use limit 1 for p0 only
+	prog = incProgram(1)
+	script := []ScriptStep{{Act(0, "nonexistent")}}
+	d := NewScripted(prog, script, nil)
+	e := sm.NewEngine(g, prog, d, config(2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown rule")
+		}
+	}()
+	e.Step()
+}
+
+func TestScriptedPanicsOnDisabledProcessor(t *testing.T) {
+	g := graph.Line(2)
+	prog := sm.NewProgram(sm.Rule{
+		Name:   "only-p0",
+		Guard:  func(v *sm.View) bool { return v.ID() == 0 },
+		Action: func(v *sm.View) {},
+	})
+	script := []ScriptStep{{Act(1, "only-p0")}}
+	d := NewScripted(prog, script, nil)
+	e := sm.NewEngine(g, prog, d, config(2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for disabled processor")
+		}
+	}()
+	e.Step()
+}
+
+func TestScriptedFallback(t *testing.T) {
+	g := graph.Line(2)
+	prog := incProgram(5)
+	d := NewScripted(prog, []ScriptStep{{Act(0, "inc")}}, NewCentralRoundRobin())
+	e := sm.NewEngine(g, prog, d, config(2))
+	_, terminal := e.Run(100, nil)
+	if !terminal {
+		t.Fatal("fallback daemon should finish the run")
+	}
+}
+
+func TestScriptedExhaustedNoFallbackPanics(t *testing.T) {
+	g := graph.Line(2)
+	prog := incProgram(5)
+	d := NewScripted(prog, []ScriptStep{{Act(0, "inc")}}, nil)
+	e := sm.NewEngine(g, prog, d, config(2))
+	e.Step()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic after script exhaustion")
+		}
+	}()
+	e.Step()
+}

@@ -1,0 +1,229 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Line returns the path graph 0-1-...-(n-1); diameter n-1, Δ = 2.
+func Line(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n-1; i++ {
+		g.AddEdge(ProcessID(i), ProcessID(i+1))
+	}
+	return g.Freeze()
+}
+
+// Ring returns the cycle 0-1-...-(n-1)-0. n must be at least 3.
+func Ring(n int) *Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("graph: Ring(%d): need n >= 3", n))
+	}
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(ProcessID(i), ProcessID((i+1)%n))
+	}
+	return g.Freeze()
+}
+
+// Star returns the star with center 0 and leaves 1..n-1; Δ = n-1, D = 2.
+func Star(n int) *Graph {
+	if n < 2 {
+		panic(fmt.Sprintf("graph: Star(%d): need n >= 2", n))
+	}
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(0, ProcessID(i))
+	}
+	return g.Freeze()
+}
+
+// Complete returns K_n.
+func Complete(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(ProcessID(i), ProcessID(j))
+		}
+	}
+	return g.Freeze()
+}
+
+// BinaryTree returns the complete binary tree on n nodes in heap order
+// (node i has children 2i+1 and 2i+2 when they exist).
+func BinaryTree(n int) *Graph {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(ProcessID((i-1)/2), ProcessID(i))
+	}
+	return g.Freeze()
+}
+
+// Grid returns the rows×cols 2-D mesh; node (r, c) has id r*cols + c.
+func Grid(rows, cols int) *Graph {
+	if rows < 1 || cols < 1 {
+		panic(fmt.Sprintf("graph: Grid(%d,%d): need positive dimensions", rows, cols))
+	}
+	g := New(rows * cols)
+	id := func(r, c int) ProcessID { return ProcessID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				g.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return g.Freeze()
+}
+
+// Torus returns the rows×cols 2-D torus (mesh with wraparound links).
+// Both dimensions must be at least 3 so no duplicate edges arise.
+func Torus(rows, cols int) *Graph {
+	if rows < 3 || cols < 3 {
+		panic(fmt.Sprintf("graph: Torus(%d,%d): need both dimensions >= 3", rows, cols))
+	}
+	g := New(rows * cols)
+	id := func(r, c int) ProcessID { return ProcessID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			g.AddEdge(id(r, c), id(r, (c+1)%cols))
+			g.AddEdge(id(r, c), id((r+1)%rows, c))
+		}
+	}
+	return g.Freeze()
+}
+
+// Hypercube returns the dim-dimensional hypercube on 2^dim processors.
+func Hypercube(dim int) *Graph {
+	if dim < 1 || dim > 20 {
+		panic(fmt.Sprintf("graph: Hypercube(%d): dimension out of range [1,20]", dim))
+	}
+	n := 1 << dim
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for b := 0; b < dim; b++ {
+			v := u ^ (1 << b)
+			if u < v {
+				g.AddEdge(ProcessID(u), ProcessID(v))
+			}
+		}
+	}
+	return g.Freeze()
+}
+
+// RandomTree returns a uniformly random labeled tree on n nodes built from a
+// random Prüfer-like attachment: node i (i >= 1) attaches to a uniform
+// earlier node. Deterministic for a given rng state.
+func RandomTree(n int, rng *rand.Rand) *Graph {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(ProcessID(rng.Intn(i)), ProcessID(i))
+	}
+	return g.Freeze()
+}
+
+// RandomConnected returns a connected graph on n nodes: a random spanning
+// tree plus extra random edges until the graph has m edges (m is clamped to
+// [n-1, n(n-1)/2]).
+func RandomConnected(n, m int, rng *rand.Rand) *Graph {
+	maxM := n * (n - 1) / 2
+	if m < n-1 {
+		m = n - 1
+	}
+	if m > maxM {
+		m = maxM
+	}
+	g := New(n)
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(ProcessID(perm[rng.Intn(i)]), ProcessID(perm[i]))
+	}
+	for g.M() < m {
+		u := ProcessID(rng.Intn(n))
+		v := ProcessID(rng.Intn(n))
+		if u != v && !g.HasEdge(u, v) {
+			g.AddEdge(u, v)
+		}
+	}
+	return g.Freeze()
+}
+
+// Figure1Network returns the 5-processor example network that the paper's
+// Figure 1 builds its "destination-based" buffer graph on. The drawing in
+// the paper is not machine readable; we use a representative 5-node network
+// with a designated destination whose shortest-path tree spans all nodes:
+//
+//	0 - 1 - 2
+//	|   |   |
+//	3 --+-- 4
+//
+// Edges: (0,1) (1,2) (0,3) (1,3) (1,4) (2,4).
+func Figure1Network() *Graph {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 3)
+	g.AddEdge(1, 3)
+	g.AddEdge(1, 4)
+	g.AddEdge(2, 4)
+	return g.Freeze()
+}
+
+// Figure3Network returns the 4-processor network used by our reenactment of
+// the paper's Figure 3 execution example. Processors are a=0, b=1, c=2,
+// e=3; edges a-b, a-c, a-e, b-c, so Δ = 3 (at a) as in the paper's example
+// (which needs Δ+1 = 4 colors).
+func Figure3Network() *Graph {
+	g := New(4)
+	g.AddEdge(0, 1) // a - b
+	g.AddEdge(0, 2) // a - c
+	g.AddEdge(0, 3) // a - e
+	g.AddEdge(1, 2) // b - c
+	return g.Freeze()
+}
+
+// AllConnected enumerates every labeled connected graph on n processors
+// (n ≤ 5; the count grows as 2^(n(n-1)/2)). It is the scenario generator
+// of the exhaustive model-check sweep: combined with corruption templates,
+// it lets the explorer cover every small topology systematically rather
+// than sampling.
+func AllConnected(n int) []*Graph {
+	if n < 2 || n > 5 {
+		panic(fmt.Sprintf("graph: AllConnected(%d): supported range is [2,5]", n))
+	}
+	type edge struct{ u, v ProcessID }
+	var edges []edge
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			edges = append(edges, edge{ProcessID(u), ProcessID(v)})
+		}
+	}
+	var out []*Graph
+	for mask := 0; mask < 1<<len(edges); mask++ {
+		g := New(n)
+		for i, e := range edges {
+			if mask&(1<<i) != 0 {
+				g.AddEdge(e.u, e.v)
+			}
+		}
+		if !g.connected() {
+			continue
+		}
+		out = append(out, g.Freeze())
+	}
+	return out
+}
+
+// connected reports whether the (possibly unfrozen) graph is connected.
+func (g *Graph) connected() bool {
+	d := g.bfs(0)
+	for _, x := range d {
+		if x < 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,35 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz dot syntax, one edge per line, nodes
+// labeled by their ProcessID. Useful for debugging topologies and for the
+// trace tooling.
+func (g *Graph) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %s {\n", name)
+	for p := 0; p < g.n; p++ {
+		fmt.Fprintf(&b, "  %d;\n", p)
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&b, "  %d -- %d;\n", e[0], e[1])
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// AdjacencyMatrix returns the boolean adjacency matrix, mostly for tests
+// and for exporting topologies to external tools.
+func (g *Graph) AdjacencyMatrix() [][]bool {
+	m := make([][]bool, g.n)
+	for u := 0; u < g.n; u++ {
+		m[u] = make([]bool, g.n)
+		for _, v := range g.adj[u] {
+			m[u][v] = true
+		}
+	}
+	return m
+}

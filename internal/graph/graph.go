@@ -1,0 +1,246 @@
+// Package graph provides the undirected network model used throughout the
+// SSMFP reproduction: a connected graph of identified processors with
+// bidirectional links, plus the graph algorithms the protocol stack and the
+// experiment harness rely on (BFS layers, all-pairs distances, diameter,
+// maximal degree, connectivity, component analysis).
+//
+// The model follows §2 of the paper: the network is an undirected connected
+// graph G = (V, E); every processor has a unique identity, knows the set of
+// all identities, and can distinguish its incident links. Processor
+// identities are dense integers 0..n-1 so they can double as slice indices.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ProcessID identifies a processor. Identities are unique and dense in
+// [0, n), matching the paper's set I = {0, ..., n-1}.
+type ProcessID int
+
+// Graph is an immutable undirected graph over processors 0..n-1.
+// Construct one with New and AddEdge, then call Freeze (or use a builder
+// from builders.go); mutating methods panic after Freeze.
+type Graph struct {
+	n      int
+	adj    [][]ProcessID // sorted neighbor lists
+	edges  int
+	frozen bool
+
+	// lazily computed caches (filled by Freeze)
+	dist     [][]int // all-pairs shortest path lengths
+	diameter int
+	maxDeg   int
+}
+
+// New returns an empty mutable graph over n processors and no edges.
+// n must be at least 1.
+func New(n int) *Graph {
+	if n < 1 {
+		panic(fmt.Sprintf("graph: New(%d): need at least one processor", n))
+	}
+	return &Graph{n: n, adj: make([][]ProcessID, n)}
+}
+
+// N returns the number of processors.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of (undirected) edges.
+func (g *Graph) M() int { return g.edges }
+
+// AddEdge inserts the undirected edge (u, v). It panics on self-loops,
+// out-of-range endpoints, duplicate edges, or if the graph is frozen.
+func (g *Graph) AddEdge(u, v ProcessID) {
+	if g.frozen {
+		panic("graph: AddEdge on frozen graph")
+	}
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at %d", u))
+	}
+	g.checkID(u)
+	g.checkID(v)
+	if g.HasEdge(u, v) {
+		panic(fmt.Sprintf("graph: duplicate edge (%d,%d)", u, v))
+	}
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+	g.edges++
+}
+
+func (g *Graph) checkID(p ProcessID) {
+	if p < 0 || int(p) >= g.n {
+		panic(fmt.Sprintf("graph: processor %d out of range [0,%d)", p, g.n))
+	}
+}
+
+// HasEdge reports whether the undirected edge (u, v) exists.
+func (g *Graph) HasEdge(u, v ProcessID) bool {
+	g.checkID(u)
+	g.checkID(v)
+	for _, w := range g.adj[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Neighbors returns the sorted neighbor list N_p of processor p.
+// The returned slice must not be modified.
+func (g *Graph) Neighbors(p ProcessID) []ProcessID {
+	g.checkID(p)
+	return g.adj[p]
+}
+
+// Degree returns |N_p|.
+func (g *Graph) Degree(p ProcessID) int { return len(g.Neighbors(p)) }
+
+// Freeze sorts adjacency lists, verifies the graph is connected, and
+// precomputes all-pairs distances, the diameter, and the maximal degree.
+// It returns the graph to allow chaining. Freeze panics if the graph is
+// disconnected: the paper assumes a connected network.
+func (g *Graph) Freeze() *Graph {
+	if g.frozen {
+		return g
+	}
+	for p := range g.adj {
+		ns := g.adj[p]
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	}
+	g.dist = make([][]int, g.n)
+	for p := 0; p < g.n; p++ {
+		g.dist[p] = g.bfs(ProcessID(p))
+	}
+	g.diameter = 0
+	for p := 0; p < g.n; p++ {
+		for q := 0; q < g.n; q++ {
+			d := g.dist[p][q]
+			if d < 0 {
+				panic(fmt.Sprintf("graph: disconnected: no path %d -> %d", p, q))
+			}
+			if d > g.diameter {
+				g.diameter = d
+			}
+		}
+	}
+	g.maxDeg = 0
+	for p := 0; p < g.n; p++ {
+		if d := len(g.adj[p]); d > g.maxDeg {
+			g.maxDeg = d
+		}
+	}
+	g.frozen = true
+	return g
+}
+
+// Frozen reports whether Freeze has been called.
+func (g *Graph) Frozen() bool { return g.frozen }
+
+// bfs returns distances from src; -1 marks unreachable processors.
+func (g *Graph) bfs(src ProcessID) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []ProcessID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Dist returns dist(p, q), the length of a shortest path between p and q.
+// The graph must be frozen.
+func (g *Graph) Dist(p, q ProcessID) int {
+	g.mustBeFrozen()
+	g.checkID(p)
+	g.checkID(q)
+	return g.dist[p][q]
+}
+
+// Diameter returns D, the eccentricity maximum over all processor pairs.
+func (g *Graph) Diameter() int {
+	g.mustBeFrozen()
+	return g.diameter
+}
+
+// MaxDegree returns Δ, the maximal degree of the network.
+func (g *Graph) MaxDegree() int {
+	g.mustBeFrozen()
+	return g.maxDeg
+}
+
+func (g *Graph) mustBeFrozen() {
+	if !g.frozen {
+		panic("graph: operation requires a frozen graph (call Freeze)")
+	}
+}
+
+// IsNeighborOrSelf reports whether q ∈ N_p ∪ {p}. Message flags (m, q, c)
+// are only well-typed when this holds for the stored last hop q.
+func (g *Graph) IsNeighborOrSelf(p, q ProcessID) bool {
+	return p == q || g.HasEdge(p, q)
+}
+
+// ShortestPathNext returns the set of neighbors of p that lie on a shortest
+// path from p to d (the legal values of nextHop_p(d) once routing tables are
+// correct and minimal). For p == d it returns nil.
+func (g *Graph) ShortestPathNext(p, d ProcessID) []ProcessID {
+	g.mustBeFrozen()
+	if p == d {
+		return nil
+	}
+	var next []ProcessID
+	for _, q := range g.adj[p] {
+		if g.dist[q][d] == g.dist[p][d]-1 {
+			next = append(next, q)
+		}
+	}
+	return next
+}
+
+// Processors returns the identity set I = {0..n-1} as a slice.
+func (g *Graph) Processors() []ProcessID {
+	ps := make([]ProcessID, g.n)
+	for i := range ps {
+		ps[i] = ProcessID(i)
+	}
+	return ps
+}
+
+// Edges returns every undirected edge exactly once, as ordered pairs with
+// the smaller endpoint first, sorted lexicographically.
+func (g *Graph) Edges() [][2]ProcessID {
+	var es [][2]ProcessID
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			if ProcessID(u) < v {
+				es = append(es, [2]ProcessID{ProcessID(u), v})
+			}
+		}
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i][0] != es[j][0] {
+			return es[i][0] < es[j][0]
+		}
+		return es[i][1] < es[j][1]
+	})
+	return es
+}
+
+// String renders a compact description, e.g. "graph(n=5, m=6, Δ=3, D=2)".
+func (g *Graph) String() string {
+	if !g.frozen {
+		return fmt.Sprintf("graph(n=%d, m=%d, unfrozen)", g.n, g.edges)
+	}
+	return fmt.Sprintf("graph(n=%d, m=%d, Δ=%d, D=%d)", g.n, g.edges, g.maxDeg, g.diameter)
+}

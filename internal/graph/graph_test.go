@@ -1,0 +1,469 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOnNonPositive(t *testing.T) {
+	for _, n := range []int{0, -1, -100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d): expected panic", n)
+				}
+			}()
+			New(n)
+		}()
+	}
+}
+
+func TestAddEdgeRejectsSelfLoop(t *testing.T) {
+	g := New(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on self-loop")
+		}
+	}()
+	g.AddEdge(1, 1)
+}
+
+func TestAddEdgeRejectsDuplicate(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate edge")
+		}
+	}()
+	g.AddEdge(1, 0)
+}
+
+func TestAddEdgeRejectsOutOfRange(t *testing.T) {
+	g := New(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range endpoint")
+		}
+	}()
+	g.AddEdge(0, 3)
+}
+
+func TestFreezeRejectsDisconnected(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on disconnected graph")
+		}
+	}()
+	g.Freeze()
+}
+
+func TestFreezeRejectsMutation(t *testing.T) {
+	g := Line(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on AddEdge after Freeze")
+		}
+	}()
+	g.AddEdge(0, 2)
+}
+
+func TestLineProperties(t *testing.T) {
+	g := Line(6)
+	if g.N() != 6 || g.M() != 5 {
+		t.Fatalf("got n=%d m=%d, want 6,5", g.N(), g.M())
+	}
+	if g.Diameter() != 5 {
+		t.Errorf("diameter = %d, want 5", g.Diameter())
+	}
+	if g.MaxDegree() != 2 {
+		t.Errorf("Δ = %d, want 2", g.MaxDegree())
+	}
+	if d := g.Dist(0, 5); d != 5 {
+		t.Errorf("Dist(0,5) = %d, want 5", d)
+	}
+	if d := g.Dist(2, 2); d != 0 {
+		t.Errorf("Dist(2,2) = %d, want 0", d)
+	}
+}
+
+func TestRingProperties(t *testing.T) {
+	g := Ring(8)
+	if g.M() != 8 {
+		t.Errorf("m = %d, want 8", g.M())
+	}
+	if g.Diameter() != 4 {
+		t.Errorf("diameter = %d, want 4", g.Diameter())
+	}
+	if g.MaxDegree() != 2 {
+		t.Errorf("Δ = %d, want 2", g.MaxDegree())
+	}
+	if d := g.Dist(0, 5); d != 3 {
+		t.Errorf("Dist(0,5) = %d, want 3 (wraparound)", d)
+	}
+}
+
+func TestRingRejectsTooSmall(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Ring(2)")
+		}
+	}()
+	Ring(2)
+}
+
+func TestStarProperties(t *testing.T) {
+	g := Star(7)
+	if g.MaxDegree() != 6 {
+		t.Errorf("Δ = %d, want 6", g.MaxDegree())
+	}
+	if g.Diameter() != 2 {
+		t.Errorf("diameter = %d, want 2", g.Diameter())
+	}
+	if g.Degree(0) != 6 {
+		t.Errorf("center degree = %d, want 6", g.Degree(0))
+	}
+	for p := ProcessID(1); p < 7; p++ {
+		if g.Degree(p) != 1 {
+			t.Errorf("leaf %d degree = %d, want 1", p, g.Degree(p))
+		}
+	}
+}
+
+func TestCompleteProperties(t *testing.T) {
+	g := Complete(5)
+	if g.M() != 10 {
+		t.Errorf("m = %d, want 10", g.M())
+	}
+	if g.Diameter() != 1 {
+		t.Errorf("diameter = %d, want 1", g.Diameter())
+	}
+	if g.MaxDegree() != 4 {
+		t.Errorf("Δ = %d, want 4", g.MaxDegree())
+	}
+}
+
+func TestBinaryTreeProperties(t *testing.T) {
+	g := BinaryTree(7)
+	if g.M() != 6 {
+		t.Errorf("m = %d, want 6 (tree)", g.M())
+	}
+	if g.Diameter() != 4 {
+		t.Errorf("diameter = %d, want 4", g.Diameter())
+	}
+	if g.Degree(0) != 2 || g.Degree(1) != 3 {
+		t.Errorf("unexpected degrees: root=%d node1=%d", g.Degree(0), g.Degree(1))
+	}
+}
+
+func TestGridProperties(t *testing.T) {
+	g := Grid(3, 4)
+	if g.N() != 12 {
+		t.Fatalf("n = %d, want 12", g.N())
+	}
+	if g.M() != 3*3+2*4 { // horizontal + vertical
+		t.Errorf("m = %d, want 17", g.M())
+	}
+	if g.Diameter() != 5 { // (3-1)+(4-1)
+		t.Errorf("diameter = %d, want 5", g.Diameter())
+	}
+	if g.MaxDegree() != 4 {
+		t.Errorf("Δ = %d, want 4", g.MaxDegree())
+	}
+}
+
+func TestTorusProperties(t *testing.T) {
+	g := Torus(4, 4)
+	if g.M() != 32 {
+		t.Errorf("m = %d, want 32", g.M())
+	}
+	for p := ProcessID(0); p < 16; p++ {
+		if g.Degree(p) != 4 {
+			t.Errorf("node %d degree = %d, want 4", p, g.Degree(p))
+		}
+	}
+	if g.Diameter() != 4 {
+		t.Errorf("diameter = %d, want 4", g.Diameter())
+	}
+}
+
+func TestHypercubeProperties(t *testing.T) {
+	g := Hypercube(4)
+	if g.N() != 16 {
+		t.Fatalf("n = %d, want 16", g.N())
+	}
+	if g.M() != 32 { // n*dim/2
+		t.Errorf("m = %d, want 32", g.M())
+	}
+	if g.Diameter() != 4 {
+		t.Errorf("diameter = %d, want 4", g.Diameter())
+	}
+	if g.MaxDegree() != 4 {
+		t.Errorf("Δ = %d, want 4", g.MaxDegree())
+	}
+	// Distance on a hypercube is the Hamming distance.
+	if d := g.Dist(0b0000, 0b1011); d != 3 {
+		t.Errorf("Dist(0000,1011) = %d, want 3", d)
+	}
+}
+
+func TestRandomTreeIsTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(30)
+		g := RandomTree(n, rng)
+		if g.M() != n-1 {
+			t.Fatalf("n=%d: m = %d, want %d", n, g.M(), n-1)
+		}
+	}
+}
+
+func TestRandomConnectedRespectsEdgeBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(20)
+		m := rng.Intn(n * n) // intentionally out of range sometimes
+		g := RandomConnected(n, m, rng)
+		maxM := n * (n - 1) / 2
+		want := m
+		if want < n-1 {
+			want = n - 1
+		}
+		if want > maxM {
+			want = maxM
+		}
+		if g.M() != want {
+			t.Fatalf("n=%d m=%d: got %d edges, want %d", n, m, g.M(), want)
+		}
+	}
+}
+
+func TestNeighborsSortedAndSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := RandomConnected(15, 30, rng)
+	for p := ProcessID(0); int(p) < g.N(); p++ {
+		ns := g.Neighbors(p)
+		for i := 1; i < len(ns); i++ {
+			if ns[i-1] >= ns[i] {
+				t.Fatalf("neighbors of %d not strictly sorted: %v", p, ns)
+			}
+		}
+		for _, q := range ns {
+			if !g.HasEdge(q, p) {
+				t.Fatalf("asymmetric edge (%d,%d)", p, q)
+			}
+		}
+	}
+}
+
+func TestDistanceIsAMetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := RandomConnected(12, 20, rng)
+	n := g.N()
+	for u := ProcessID(0); int(u) < n; u++ {
+		for v := ProcessID(0); int(v) < n; v++ {
+			duv := g.Dist(u, v)
+			if (duv == 0) != (u == v) {
+				t.Fatalf("identity violated: Dist(%d,%d)=%d", u, v, duv)
+			}
+			if duv != g.Dist(v, u) {
+				t.Fatalf("symmetry violated at (%d,%d)", u, v)
+			}
+			for w := ProcessID(0); int(w) < n; w++ {
+				if duv > g.Dist(u, w)+g.Dist(w, v) {
+					t.Fatalf("triangle inequality violated at (%d,%d,%d)", u, v, w)
+				}
+			}
+		}
+	}
+}
+
+func TestDistNeighborsExactlyOne(t *testing.T) {
+	g := Figure1Network()
+	for _, e := range g.Edges() {
+		if g.Dist(e[0], e[1]) != 1 {
+			t.Errorf("edge (%d,%d) has distance %d", e[0], e[1], g.Dist(e[0], e[1]))
+		}
+	}
+}
+
+func TestShortestPathNext(t *testing.T) {
+	g := Line(5)
+	next := g.ShortestPathNext(0, 4)
+	if len(next) != 1 || next[0] != 1 {
+		t.Fatalf("ShortestPathNext(0,4) = %v, want [1]", next)
+	}
+	if g.ShortestPathNext(4, 4) != nil {
+		t.Fatal("ShortestPathNext(d,d) should be nil")
+	}
+	// On a ring of even length the antipode has two shortest next hops.
+	r := Ring(6)
+	next = r.ShortestPathNext(0, 3)
+	if len(next) != 2 {
+		t.Fatalf("ring antipode should have 2 next hops, got %v", next)
+	}
+}
+
+func TestShortestPathNextDecreasesDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := RandomConnected(14, 25, rng)
+	for p := ProcessID(0); int(p) < g.N(); p++ {
+		for d := ProcessID(0); int(d) < g.N(); d++ {
+			if p == d {
+				continue
+			}
+			next := g.ShortestPathNext(p, d)
+			if len(next) == 0 {
+				t.Fatalf("no shortest next hop from %d to %d", p, d)
+			}
+			for _, q := range next {
+				if g.Dist(q, d) != g.Dist(p, d)-1 {
+					t.Fatalf("next hop %d of %d->%d does not decrease distance", q, p, d)
+				}
+			}
+		}
+	}
+}
+
+func TestIsNeighborOrSelf(t *testing.T) {
+	g := Line(4)
+	cases := []struct {
+		p, q ProcessID
+		want bool
+	}{
+		{0, 0, true}, {0, 1, true}, {1, 0, true}, {0, 2, false}, {0, 3, false},
+	}
+	for _, c := range cases {
+		if got := g.IsNeighborOrSelf(c.p, c.q); got != c.want {
+			t.Errorf("IsNeighborOrSelf(%d,%d) = %v, want %v", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+func TestProcessorsAndEdges(t *testing.T) {
+	g := Figure3Network()
+	ps := g.Processors()
+	if len(ps) != 4 || ps[0] != 0 || ps[3] != 3 {
+		t.Fatalf("Processors() = %v", ps)
+	}
+	es := g.Edges()
+	want := [][2]ProcessID{{0, 1}, {0, 2}, {0, 3}, {1, 2}}
+	if len(es) != len(want) {
+		t.Fatalf("Edges() = %v, want %v", es, want)
+	}
+	for i := range es {
+		if es[i] != want[i] {
+			t.Fatalf("Edges()[%d] = %v, want %v", i, es[i], want[i])
+		}
+	}
+}
+
+func TestFigure3NetworkShape(t *testing.T) {
+	g := Figure3Network()
+	if g.MaxDegree() != 3 {
+		t.Errorf("Δ = %d, want 3 (paper's example uses 4 colors)", g.MaxDegree())
+	}
+	if g.Diameter() != 2 {
+		t.Errorf("diameter = %d, want 2", g.Diameter())
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	g := Line(3)
+	dot := g.DOT("line3")
+	for _, want := range []string{"graph line3 {", "0 -- 1;", "1 -- 2;", "}"} {
+		if !contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestAdjacencyMatrixMatchesHasEdge(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := RandomConnected(10, 18, rng)
+	m := g.AdjacencyMatrix()
+	for u := ProcessID(0); int(u) < g.N(); u++ {
+		for v := ProcessID(0); int(v) < g.N(); v++ {
+			if m[u][v] != (u != v && g.HasEdge(u, v)) {
+				t.Fatalf("matrix mismatch at (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}
+
+// Property: on any random connected graph, BFS distances computed at Freeze
+// agree with a recomputation from scratch, and the diameter is attained.
+func TestQuickDistancesConsistent(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		n := 2 + int(nRaw)%18
+		m := int(mRaw)
+		rng := rand.New(rand.NewSource(seed))
+		g := RandomConnected(n, m, rng)
+		attained := false
+		for u := ProcessID(0); int(u) < n; u++ {
+			d := g.bfs(u)
+			for v := 0; v < n; v++ {
+				if d[v] != g.Dist(u, ProcessID(v)) {
+					return false
+				}
+				if d[v] == g.Diameter() {
+					attained = true
+				}
+			}
+		}
+		return attained
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFreezeRandomConnected(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		RandomConnected(64, 160, rng)
+	}
+}
+
+func TestAllConnectedCounts(t *testing.T) {
+	// Known counts of labeled connected graphs: n=2 → 1, n=3 → 4, n=4 → 38.
+	for n, want := range map[int]int{2: 1, 3: 4, 4: 38} {
+		if got := len(AllConnected(n)); got != want {
+			t.Errorf("AllConnected(%d) = %d graphs, want %d", n, got, want)
+		}
+	}
+	for _, g := range AllConnected(3) {
+		if !g.Frozen() {
+			t.Fatal("enumerated graphs must be frozen")
+		}
+	}
+}
+
+func TestAllConnectedRejectsOutOfRange(t *testing.T) {
+	for _, n := range []int{1, 6} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("AllConnected(%d): expected panic", n)
+				}
+			}()
+			AllConnected(n)
+		}()
+	}
+}

@@ -1,0 +1,183 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if !almost(s.Mean, 2.5) {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	// Sample stddev of 1..4 is sqrt(5/3).
+	if !almost(s.Stddev, math.Sqrt(5.0/3.0)) {
+		t.Fatalf("stddev = %v", s.Stddev)
+	}
+	if s.P50 != 2 || s.P90 != 4 || s.P99 != 4 {
+		t.Fatalf("percentiles = %v %v %v", s.P50, s.P90, s.P99)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Min != 7 || s.Max != 7 || s.Mean != 7 || s.Stddev != 0 || s.P50 != 7 {
+		t.Fatalf("single summary = %+v", s)
+	}
+}
+
+func TestPercentileEdges(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 100) != 5 {
+		t.Fatal("percentile edges wrong")
+	}
+	if Percentile(xs, 50) != 3 {
+		t.Fatalf("p50 = %v", Percentile(xs, 50))
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile must be 0")
+	}
+}
+
+func TestIntsToFloats(t *testing.T) {
+	fs := IntsToFloats([]int{1, 2, 3})
+	if len(fs) != 3 || fs[2] != 3.0 {
+		t.Fatalf("converted = %v", fs)
+	}
+}
+
+func TestLinearFitExactLine(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{5, 7, 9, 11} // y = 2x + 3
+	f := LinearFit(xs, ys)
+	if !almost(f.Slope, 2) || !almost(f.Intercept, 3) || !almost(f.R2, 1) {
+		t.Fatalf("fit = %+v", f)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	if f := LinearFit([]float64{1}, []float64{2}); f.Slope != 0 {
+		t.Fatal("single point must give zero fit")
+	}
+	// Vertical data (all x equal): slope undefined, fall back to mean.
+	f := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3})
+	if !almost(f.Intercept, 2) {
+		t.Fatalf("degenerate fit = %+v", f)
+	}
+	// Horizontal data: perfect fit with slope 0.
+	f = LinearFit([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if !almost(f.Slope, 0) || !almost(f.R2, 1) {
+		t.Fatalf("horizontal fit = %+v", f)
+	}
+}
+
+func TestLinearFitMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	LinearFit([]float64{1}, []float64{1, 2})
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 5)
+	if h.Total != 10 {
+		t.Fatalf("total = %d", h.Total)
+	}
+	for i, c := range h.Counts {
+		if c != 2 {
+			t.Fatalf("bin %d = %d, want 2", i, c)
+		}
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	h := NewHistogram([]float64{3, 3, 3}, 4)
+	if h.Counts[0] != 3 || h.Total != 3 {
+		t.Fatalf("degenerate histogram = %+v", h)
+	}
+	empty := NewHistogram(nil, 0)
+	if empty.Total != 0 || len(empty.Counts) != 1 {
+		t.Fatalf("empty histogram = %+v", empty)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram([]float64{1, 1, 1, 5}, 2)
+	out := h.Render(10)
+	if !strings.Contains(out, "##########") {
+		t.Fatalf("render missing full bar:\n%s", out)
+	}
+	lines := strings.Count(out, "\n")
+	if lines != 2 {
+		t.Fatalf("render lines = %d", lines)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("alpha", 1)
+	tb.AddRow("b", 2.5)
+	out := tb.String()
+	for _, want := range []string{"== demo ==", "name", "value", "alpha", "2.50", "-----"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	if tb.Rows() != 2 {
+		t.Fatalf("rows = %d", tb.Rows())
+	}
+}
+
+// Property: Summarize respects Min ≤ P50 ≤ P90 ≤ P99 ≤ Max and
+// Min ≤ Mean ≤ Max for any sample.
+func TestQuickSummaryOrdering(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		s := Summarize(xs)
+		return s.Min <= s.P50 && s.P50 <= s.P90 && s.P90 <= s.P99 && s.P99 <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LinearFit recovers slope/intercept of noiseless lines.
+func TestQuickLinearFitRecovers(t *testing.T) {
+	f := func(slope, intercept int8, n uint8) bool {
+		k := 2 + int(n)%20
+		xs := make([]float64, k)
+		ys := make([]float64, k)
+		for i := 0; i < k; i++ {
+			xs[i] = float64(i)
+			ys[i] = float64(slope)*xs[i] + float64(intercept)
+		}
+		fit := LinearFit(xs, ys)
+		return almost(fit.Slope, float64(slope)) && almost(fit.Intercept, float64(intercept))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

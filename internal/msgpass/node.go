@@ -1,0 +1,313 @@
+package msgpass
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"ssmfp/internal/graph"
+)
+
+// destState is the per-destination forwarding state of a node: the bufR /
+// bufE pair of the protocol plus the handshake bookkeeping that replaces
+// the shared-memory R3/R4 reasoning.
+type destState struct {
+	bufR *Message
+	bufE *Message
+
+	// Sender side: the occupancy's outstanding offer. offerSeq == 0 means
+	// no offer issued yet; offerTarget is the single neighbor the sequence
+	// was offered to (retargeting requires the cancel round trip).
+	offerSeq    uint64
+	offerTarget graph.ProcessID
+
+	// Receiver side, per neighbor sender: the highest sequence accepted
+	// here and the highest sequence killed by a cancel. Sequences per
+	// (sender, destination) stream are monotone, so these two high-water
+	// marks resolve every duplicate deterministically: a duplicate offer at
+	// or below the accepted mark is re-acknowledged (the sender, if still
+	// on that sequence, may erase — the message is stored here); one at or
+	// below the killed mark is re-refused; anything newer is fresh.
+	accepted map[graph.ProcessID]uint64
+	killed   map[graph.ProcessID]uint64
+}
+
+// node is one processor goroutine.
+type node struct {
+	nw  *Network
+	id  graph.ProcessID
+	rng *rand.Rand
+
+	// routing: self-stabilizing distance vector.
+	dist   []int
+	parent []graph.ProcessID
+	nbrDV  map[graph.ProcessID][]int
+
+	// forwarding.
+	dests   []destState
+	nextSeq uint64
+
+	// higher layer; written by Network.Send concurrently.
+	mu      sync.Mutex
+	pending []Message
+}
+
+func newNode(nw *Network, id graph.ProcessID, rng *rand.Rand) *node {
+	g := nw.g
+	n := &node{
+		nw:      nw,
+		id:      id,
+		rng:     rand.New(rand.NewSource(rng.Int63())),
+		dist:    make([]int, g.N()),
+		parent:  make([]graph.ProcessID, g.N()),
+		nbrDV:   make(map[graph.ProcessID][]int),
+		dests:   make([]destState, g.N()),
+		nextSeq: 1,
+	}
+	nbrs := g.Neighbors(id)
+	for d := 0; d < g.N(); d++ {
+		n.dests[d].accepted = make(map[graph.ProcessID]uint64)
+		n.dests[d].killed = make(map[graph.ProcessID]uint64)
+		if nw.opts.CorruptInit {
+			n.dist[d] = n.rng.Intn(g.N() + 1)
+			n.parent[d] = nbrs[n.rng.Intn(len(nbrs))]
+		} else {
+			n.dist[d] = g.N() // pessimistic start; the DV converges downward
+			n.parent[d] = nbrs[0]
+		}
+		if graph.ProcessID(d) == id {
+			n.dist[d] = 0
+			n.parent[d] = id
+		}
+	}
+	if nw.opts.CorruptInit {
+		// Plant an invalid message in a random buffer of a random
+		// destination, as the state-model experiments do.
+		d := graph.ProcessID(n.rng.Intn(g.N()))
+		inv := &Message{Payload: "junk", UID: 1<<60 + uint64(id), Src: id, Dest: d, Valid: false}
+		if n.rng.Intn(2) == 0 {
+			n.dests[d].bufR = inv
+		} else {
+			n.dests[d].bufE = inv
+		}
+	}
+	return n
+}
+
+// run is the node main loop: one goroutine per incoming link fans frames
+// into the node's inbox; the loop reacts to frames and ticks.
+func (n *node) run() {
+	defer n.nw.wg.Done()
+	g := n.nw.g
+	ticker := time.NewTicker(n.nw.opts.Tick)
+	defer ticker.Stop()
+
+	inbox := make(chan frame, n.nw.opts.ChannelDepth*len(g.Neighbors(n.id)))
+	for _, q := range g.Neighbors(n.id) {
+		ch := n.nw.links[[2]graph.ProcessID{q, n.id}]
+		n.nw.wg.Add(1)
+		go func(ch chan frame) {
+			defer n.nw.wg.Done()
+			for {
+				select {
+				case f := <-ch:
+					select {
+					case inbox <- f:
+					case <-n.nw.stop:
+						return
+					}
+				case <-n.nw.stop:
+					return
+				}
+			}
+		}(ch)
+	}
+
+	for {
+		select {
+		case <-n.nw.stop:
+			return
+		case f := <-inbox:
+			n.handle(f)
+		case <-ticker.C:
+			n.tick()
+		}
+		n.localMoves()
+	}
+}
+
+// handle processes one incoming frame.
+func (n *node) handle(f frame) {
+	switch {
+	case f.dv != nil:
+		n.nbrDV[f.from] = f.dv
+		n.recomputeRoutes()
+	case f.offer != nil:
+		n.handleOffer(f.from, *f.offer)
+	case f.accept != nil:
+		n.handleAccept(f.from, *f.accept)
+	case f.cancel != nil:
+		n.handleCancel(f.from, *f.cancel)
+	case f.cancelAck != nil:
+		n.handleCancelAck(f.from, *f.cancelAck)
+	}
+}
+
+// recomputeRoutes is the distance-vector correction — the message-passing
+// analogue of routing algorithm A's rule.
+func (n *node) recomputeRoutes() {
+	g := n.nw.g
+	for d := 0; d < g.N(); d++ {
+		if graph.ProcessID(d) == n.id {
+			n.dist[d] = 0
+			n.parent[d] = n.id
+			continue
+		}
+		best := g.N()
+		bestQ := g.Neighbors(n.id)[0]
+		for _, q := range g.Neighbors(n.id) {
+			dv, ok := n.nbrDV[q]
+			if !ok {
+				continue
+			}
+			if cand := dv[d] + 1; cand < best {
+				best = cand
+				bestQ = q
+			}
+		}
+		n.dist[d] = best
+		n.parent[d] = bestQ
+	}
+}
+
+// handleOffer is the receiver half of the hop transfer: store into an
+// empty bufR exactly once per sequence, acknowledge idempotently at or
+// below the watermark, stay silent while busy (the sender retransmits).
+func (n *node) handleOffer(from graph.ProcessID, o offer) {
+	ds := &n.dests[o.dest]
+	switch {
+	case o.seq <= ds.accepted[from]:
+		n.ack(from, o.dest, o.seq)
+	case o.seq <= ds.killed[from]:
+		n.nw.send(n.id, from, frame{from: n.id, cancelAck: &cancel{dest: o.dest, seq: o.seq}}, n.rng)
+	case ds.bufR == nil:
+		m := o.msg
+		ds.bufR = &m
+		ds.accepted[from] = o.seq
+		n.ack(from, o.dest, o.seq)
+	}
+}
+
+func (n *node) ack(to graph.ProcessID, dest graph.ProcessID, seq uint64) {
+	n.nw.send(n.id, to, frame{from: n.id, accept: &accept{dest: dest, seq: seq}}, n.rng)
+}
+
+// handleAccept is the sender half: the offered copy is stored at its
+// single target, so the emission buffer empties — the R4 erase. Sequence
+// matching makes stale accepts (from cancelled sequences or earlier
+// occupancies) harmless.
+func (n *node) handleAccept(from graph.ProcessID, a accept) {
+	ds := &n.dests[a.dest]
+	if ds.bufE != nil && ds.offerSeq == a.seq {
+		ds.bufE = nil
+		ds.offerSeq = 0
+	}
+}
+
+// handleCancel resolves a withdrawn offer at the receiver: if the sequence
+// was never accepted it is killed (watermark raised, cancelAck); if it was
+// already accepted the receiver owns the message and says so (accept).
+func (n *node) handleCancel(from graph.ProcessID, c cancel) {
+	ds := &n.dests[c.dest]
+	if c.seq <= ds.accepted[from] {
+		// Already stored here: the receiver owns the message; telling the
+		// sender lets it erase (the transfer completed after all).
+		n.ack(from, c.dest, c.seq)
+		return
+	}
+	if c.seq > ds.killed[from] {
+		ds.killed[from] = c.seq
+	}
+	n.nw.send(n.id, from, frame{from: n.id, cancelAck: &cancel{dest: c.dest, seq: c.seq}}, n.rng)
+}
+
+// handleCancelAck lets the sender retarget: the old sequence is dead at
+// the old target, so a fresh sequence may be offered to the current parent.
+func (n *node) handleCancelAck(from graph.ProcessID, c cancel) {
+	ds := &n.dests[c.dest]
+	if ds.bufE != nil && ds.offerSeq == c.seq && ds.offerTarget == from {
+		ds.offerSeq = 0 // re-offered to the current parent on the next tick
+	}
+}
+
+// tick gossips the distance vector and drives outstanding transfers.
+func (n *node) tick() {
+	dv := append([]int(nil), n.dist...)
+	for _, q := range n.nw.g.Neighbors(n.id) {
+		n.nw.send(n.id, q, frame{from: n.id, dv: dv}, n.rng)
+	}
+	for d := range n.dests {
+		n.driveTransfer(graph.ProcessID(d))
+	}
+}
+
+// driveTransfer (re)transmits the offer for an occupied emission buffer,
+// or cancels it when routing has moved away from the offered target.
+func (n *node) driveTransfer(d graph.ProcessID) {
+	ds := &n.dests[d]
+	if ds.bufE == nil || d == n.id {
+		return
+	}
+	if ds.offerSeq == 0 {
+		ds.offerSeq = n.nextSeq
+		n.nextSeq++
+		ds.offerTarget = n.parent[d]
+	}
+	if ds.offerTarget == n.parent[d] {
+		n.nw.send(n.id, ds.offerTarget,
+			frame{from: n.id, offer: &offer{dest: d, seq: ds.offerSeq, msg: *ds.bufE}}, n.rng)
+		return
+	}
+	// Routing changed under the outstanding offer: withdraw it before
+	// offering elsewhere, so the sequence has exactly one possible owner.
+	n.nw.send(n.id, ds.offerTarget,
+		frame{from: n.id, cancel: &cancel{dest: d, seq: ds.offerSeq}}, n.rng)
+}
+
+// localMoves performs the purely local rules: generation (R1), the
+// internal bufR→bufE move (R2), and consumption (R6).
+func (n *node) localMoves() {
+	// R6: consume at the destination.
+	self := &n.dests[n.id]
+	if self.bufE != nil {
+		n.nw.deliver(Delivery{Msg: self.bufE, At: n.id})
+		self.bufE = nil
+	}
+	// R2: internal move wherever possible. Hop-level exactly-once is
+	// carried by the handshake sequences in this port; the color field is
+	// kept populated for observability only.
+	for d := range n.dests {
+		ds := &n.dests[d]
+		if ds.bufR != nil && ds.bufE == nil {
+			m := *ds.bufR
+			m.Color = n.rng.Intn(n.nw.g.MaxDegree() + 1)
+			ds.bufE = &m
+			ds.bufR = nil
+			ds.offerSeq = 0 // fresh occupancy, fresh handshake
+			if graph.ProcessID(d) != n.id {
+				n.driveTransfer(graph.ProcessID(d))
+			}
+		}
+	}
+	// R1: accept one pending higher-layer message if its bufR is free.
+	n.mu.Lock()
+	if len(n.pending) > 0 {
+		m := n.pending[0]
+		if ds := &n.dests[m.Dest]; ds.bufR == nil {
+			n.pending = n.pending[1:]
+			mm := m
+			ds.bufR = &mm
+		}
+	}
+	n.mu.Unlock()
+}

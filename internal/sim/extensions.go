@@ -1,0 +1,273 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ssmfp/internal/acyclic"
+	"ssmfp/internal/checker"
+	"ssmfp/internal/core"
+	"ssmfp/internal/faults"
+	"ssmfp/internal/graph"
+	"ssmfp/internal/metrics"
+	"ssmfp/internal/routing"
+	sm "ssmfp/internal/statemodel"
+	"ssmfp/internal/workload"
+)
+
+// --- E-X4: buffer economy of the §4 alternative scheme -----------------
+
+// X4Row compares per-node buffer budgets across schemes for one topology.
+type X4Row struct {
+	Topology    string
+	N           int
+	SSMFP       int     // 2n buffers per node (bufR+bufE per destination)
+	DestBased   int     // n buffers per node (Figure 1 scheme)
+	AcyclicK    int     // k buffers per node (orientation cover)
+	Stretch     float64 // average path length / average shortest distance
+	Drained     bool    // the k-buffer controller delivered everything
+	ExactlyOnce bool
+}
+
+// X4Result quantifies the conclusion's discussion: the acyclic-covering
+// buffer graph needs far fewer buffers (3 for a ring, 2 for a tree), at
+// the price of general applicability (NP-hard minimal rank; our
+// alternating cover is an upper bound) and sometimes path stretch
+// (clockwise-only ring routing).
+type X4Result struct {
+	Rows  []X4Row
+	AllOK bool
+	Table *metrics.Table
+}
+
+// ExperimentX4 runs permutation traffic through the level-buffer
+// controller on a ring (specialized 3-cover, clockwise routing), a tree
+// (2-cover, minimal routing), and general graphs (alternating cover).
+func ExperimentX4(seed int64) X4Result {
+	res := X4Result{AllOK: true}
+	t := metrics.NewTable("E-X4: buffers per node — SSMFP vs destination-based vs acyclic cover (§4)",
+		"topology", "n", "SSMFP (2n)", "dest-based (n)", "acyclic cover (k)", "path stretch", "exactly once")
+
+	cases := []struct {
+		name string
+		make func() (*graph.Graph, *acyclic.Cover, []*routing.NodeState)
+	}{
+		{"ring-8 (clockwise)", func() (*graph.Graph, *acyclic.Cover, []*routing.NodeState) {
+			g := graph.Ring(8)
+			return g, acyclic.RingCover(g), acyclic.ClockwiseRingTables(g)
+		}},
+		{"tree-15 (minimal)", func() (*graph.Graph, *acyclic.Cover, []*routing.NodeState) {
+			g := graph.BinaryTree(15)
+			return g, acyclic.TreeCover(g, 0), correctTables(g)
+		}},
+		{"grid-3x3 (alternating)", func() (*graph.Graph, *acyclic.Cover, []*routing.NodeState) {
+			g := graph.Grid(3, 3)
+			ts := correctTables(g)
+			c, err := acyclic.AlternatingCover(g, ts)
+			if err != nil {
+				panic(err)
+			}
+			return g, c, ts
+		}},
+		{"random-10 (alternating)", func() (*graph.Graph, *acyclic.Cover, []*routing.NodeState) {
+			rng := rand.New(rand.NewSource(seed))
+			g := graph.RandomConnected(10, 20, rng)
+			ts := correctTables(g)
+			c, err := acyclic.AlternatingCover(g, ts)
+			if err != nil {
+				panic(err)
+			}
+			return g, c, ts
+		}},
+	}
+	for i, c := range cases {
+		g, cover, tables := c.make()
+		ctrl := acyclic.NewController(cover, tables, seed+int64(i))
+		rng := rand.New(rand.NewSource(seed + int64(i)))
+		w := workload.Permutation(g, rng)
+		var pathLen, shortest int
+		for _, s := range w {
+			ctrl.Enqueue(s.Src, s.Payload, s.Dest)
+			pathLen += tableDistance(tables, s.Src, s.Dest)
+			shortest += g.Dist(s.Src, s.Dest)
+		}
+		_, stopped := ctrl.Run(4_000_000)
+		seen := map[uint64]int{}
+		for _, p := range ctrl.Delivered() {
+			seen[p.UID]++
+		}
+		exactlyOnce := len(seen) == len(w)
+		for _, c := range seen {
+			if c != 1 {
+				exactlyOnce = false
+			}
+		}
+		row := X4Row{
+			Topology:    c.name,
+			N:           g.N(),
+			SSMFP:       2 * g.N(),
+			DestBased:   g.N(),
+			AcyclicK:    cover.Size(),
+			Drained:     stopped && ctrl.Quiescent(),
+			ExactlyOnce: exactlyOnce,
+		}
+		if shortest > 0 {
+			row.Stretch = float64(pathLen) / float64(shortest)
+		}
+		if !row.Drained || !row.ExactlyOnce {
+			res.AllOK = false
+		}
+		res.Rows = append(res.Rows, row)
+		t.AddRow(row.Topology, row.N, row.SSMFP, row.DestBased, row.AcyclicK, row.Stretch, row.ExactlyOnce)
+	}
+	res.Table = t
+	return res
+}
+
+// tableDistance follows the tables, counting hops.
+func tableDistance(tables []*routing.NodeState, p, d graph.ProcessID) int {
+	hops := 0
+	for p != d {
+		p = tables[p].NextHop(d)
+		hops++
+		if hops > 10_000 {
+			panic("sim: routing loop in tableDistance")
+		}
+	}
+	return hops
+}
+
+// --- E-X5: choice_p(d) policy ablation ----------------------------------
+
+// X5Row is one policy's outcome.
+type X5Row struct {
+	Policy        string
+	AllDelivered  bool
+	ProbeDelivery int // step at which the lone probe message arrived
+	MaxLatency    int // worst latency (rounds) across all messages
+}
+
+// X5Result ablates the fair selection scheme behind choice_p(d) — the
+// paper's conclusion suggests modifying it to improve the worst case, and
+// its fairness requirement exists to prevent starvation. The probe is one
+// message from the highest-ID leaf of a star whose other leaves hammer
+// the center; an unfair policy serves it last (or never, under sustained
+// load), the fair policies serve it within the Δ+1 passing bound.
+type X5Result struct {
+	Rows  []X5Row
+	Table *metrics.Table
+}
+
+// ExperimentX5 runs the same loaded star under each policy.
+func ExperimentX5(seed int64) X5Result {
+	res := X5Result{}
+	t := metrics.NewTable("E-X5: choice policy ablation on a loaded star (§4 future work)",
+		"policy", "all delivered", "probe delivered at step", "max latency (rounds)")
+	for _, policy := range []core.ChoicePolicy{core.PolicyQueue, core.PolicyRotating, core.PolicyLowestID} {
+		g := graph.Star(6)
+		cfg := core.CleanConfig(g)
+		for leaf := graph.ProcessID(1); leaf <= 4; leaf++ {
+			for k := 0; k < 10; k++ {
+				cfg[leaf].(*core.Node).FW.Enqueue(fmt.Sprintf("bulk-%d-%d", leaf, k), 0)
+			}
+		}
+		cfg[5].(*core.Node).FW.Enqueue("probe", 0)
+
+		e := sm.NewEngine(g, core.FullProgramWithPolicy(g, policy), NewDaemon(CentralRandom, seed, g.N()), cfg)
+		tr := checker.New(g)
+		tr.Attach(e)
+		probeStep := -1
+		e.Subscribe(func(ev sm.Event) {
+			if ev.Kind == core.KindDeliver && ev.Payload.(core.DeliverEvent).Msg.Payload == "probe" {
+				probeStep = ev.Step
+			}
+		})
+		e.Run(4_000_000, nil)
+
+		row := X5Row{
+			Policy:        policy.String(),
+			AllDelivered:  tr.AllValidDelivered() && len(tr.Violations()) == 0,
+			ProbeDelivery: probeStep,
+		}
+		for _, l := range tr.LatencyRounds() {
+			if l > row.MaxLatency {
+				row.MaxLatency = l
+			}
+		}
+		res.Rows = append(res.Rows, row)
+		t.AddRow(row.Policy, row.AllDelivered, row.ProbeDelivery, row.MaxLatency)
+	}
+	res.Table = t
+	return res
+}
+
+// --- E-X6: transient faults mid-execution -------------------------------
+
+// X6Row is one fault-storm configuration.
+type X6Row struct {
+	Waves       int
+	Compromised int
+	PostFaultOK bool
+	Violations  int
+}
+
+// X6Result demonstrates the defining property of snap-stabilization with
+// mid-run transient faults instead of a corrupted time zero: after every
+// strike, newly generated messages are still delivered exactly once.
+type X6Result struct {
+	Rows  []X6Row
+	AllOK bool
+	Table *metrics.Table
+}
+
+// ExperimentX6 runs fault storms of growing intensity.
+func ExperimentX6(seed int64) X6Result {
+	res := X6Result{AllOK: true}
+	t := metrics.NewTable("E-X6: transient fault storms (snap-stabilization mid-run)",
+		"fault waves", "messages compromised by faults", "post-fault exactly-once", "violations")
+	for _, waves := range []int{1, 3, 6} {
+		rng := rand.New(rand.NewSource(seed + int64(waves)))
+		g := graph.Grid(3, 3)
+		cfg := core.CleanConfig(g)
+		e := sm.NewEngine(g, core.FullProgram(g), NewDaemon(CentralRandom, seed, g.N()), cfg)
+		tr := checker.New(g)
+		tr.RecordInitial(cfg)
+		tr.Attach(e)
+		in := faults.NewInjector(g, seed+int64(waves), nil)
+
+		for wave := 0; wave < waves; wave++ {
+			for k := 0; k < 4; k++ {
+				src := graph.ProcessID(rng.Intn(g.N()))
+				dst := graph.ProcessID(rng.Intn(g.N()))
+				e.StateOf(src).(*core.Node).FW.Enqueue(fmt.Sprintf("w%d-%d", wave, k), dst)
+			}
+			// Strike while the wave is still in flight.
+			for i := 0; i < 15; i++ {
+				e.Step()
+			}
+			tr.MarkCompromised(faults.InFlightValid(e, g)...)
+			tr.MarkCompromised(in.Strike(e, 4)...)
+			faults.RearmRequests(e, g)
+		}
+		for k := 0; k < 4; k++ {
+			src := graph.ProcessID(rng.Intn(g.N()))
+			dst := graph.ProcessID(rng.Intn(g.N()))
+			e.StateOf(src).(*core.Node).FW.Enqueue(fmt.Sprintf("final-%d", k), dst)
+		}
+		_, terminal := e.Run(4_000_000, nil)
+
+		row := X6Row{
+			Waves:       waves,
+			Compromised: tr.Compromised(),
+			PostFaultOK: terminal && tr.AllValidDelivered(),
+			Violations:  len(tr.Violations()),
+		}
+		if !row.PostFaultOK || row.Violations > 0 {
+			res.AllOK = false
+		}
+		res.Rows = append(res.Rows, row)
+		t.AddRow(row.Waves, row.Compromised, row.PostFaultOK, row.Violations)
+	}
+	res.Table = t
+	return res
+}

@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"fmt"
+
+	"ssmfp/internal/core"
+	"ssmfp/internal/explore"
+	"ssmfp/internal/graph"
+	"ssmfp/internal/metrics"
+	sm "ssmfp/internal/statemodel"
+)
+
+// MCRow is one model-checking scenario's outcome.
+type MCRow struct {
+	Scenario  string
+	States    int
+	Terminals int
+	OK        bool
+}
+
+// MCResult runs the exhaustive model-checking suite (experiment E-MC): the
+// key small scenarios explored over every central schedule (and, where
+// noted, every simultaneous pair), plus the literal-R5 counterexample,
+// whose witness schedule is reported.
+type MCResult struct {
+	Rows            []MCRow
+	AllOK           bool
+	LiteralR5Found  bool
+	LiteralR5States int
+	Witness         []string
+	Table           *metrics.Table
+}
+
+// ExperimentMC runs the suite.
+func ExperimentMC() MCResult {
+	res := MCResult{AllOK: true}
+	t := metrics.NewTable("E-MC: exhaustive model checking (all central schedules)",
+		"scenario", "states", "terminals", "verdict")
+
+	add := func(name string, g *graph.Graph, cfg []sm.State, simultaneity int) {
+		opts := explore.CoreOptions(g)
+		opts.MaxSimultaneity = simultaneity
+		r := explore.Explore(g, core.FullProgram(g), cfg, opts)
+		row := MCRow{Scenario: name, States: r.States, Terminals: r.Terminals, OK: r.OK()}
+		if !row.OK {
+			res.AllOK = false
+		}
+		res.Rows = append(res.Rows, row)
+		t.AddRow(row.Scenario, row.States, row.Terminals, verdict(row.OK))
+	}
+
+	// Clean line, one message.
+	{
+		g := graph.Line(3)
+		cfg := core.CleanConfig(g)
+		cfg[0].(*core.Node).FW.Enqueue("m", 2)
+		add("clean line, 1 message", g, cfg, 1)
+	}
+	// Clean line, two equal payloads.
+	{
+		g := graph.Line(3)
+		cfg := core.CleanConfig(g)
+		cfg[0].(*core.Node).FW.Enqueue("same", 2)
+		cfg[0].(*core.Node).FW.Enqueue("same", 2)
+		add("clean line, 2 equal-payload messages", g, cfg, 1)
+	}
+	// Figure 3 corruption, central and simultaneity 2.
+	fig3 := func() (*graph.Graph, []sm.State) {
+		g := graph.Figure3Network()
+		cfg := core.CleanConfig(g)
+		cfg[0].(*core.Node).RT.Parent[1] = 2
+		cfg[0].(*core.Node).RT.Dist[1] = 2
+		cfg[2].(*core.Node).RT.Parent[1] = 0
+		cfg[2].(*core.Node).RT.Dist[1] = 2
+		cfg[1].(*core.Node).FW.Dests[1].BufR = &core.Message{
+			Payload: "data", LastHop: 2, Color: 0, UID: 1 << 50, Src: 1, Dest: 1, Valid: false}
+		cfg[2].(*core.Node).FW.Enqueue("data", 1)
+		return g, cfg
+	}
+	{
+		g, cfg := fig3()
+		add("Figure 3 corruption (cycle + invalid)", g, cfg, 1)
+	}
+	{
+		g, cfg := fig3()
+		add("Figure 3 corruption, simultaneity 2", g, cfg, 2)
+	}
+
+	// The literal R5: the checker must FIND the loss.
+	{
+		g := graph.Line(3)
+		cfg := core.CleanConfig(g)
+		cfg[0].(*core.Node).FW.Dests[2].BufE = &core.Message{
+			Payload: "x", LastHop: 0, Color: 0, UID: 1 << 51, Src: 0, Dest: 2, Valid: false}
+		cfg[0].(*core.Node).FW.Enqueue("x", 2)
+		r := explore.Explore(g, core.LiteralR5Program(g), cfg, explore.CoreOptions(g))
+		res.LiteralR5Found = r.InvariantErr != nil
+		res.LiteralR5States = r.States
+		res.Witness = r.Witness
+		if !res.LiteralR5Found {
+			res.AllOK = false
+		}
+		t.AddRow("literal R5 (loss expected)", r.States, r.Terminals,
+			fmt.Sprintf("loss found, schedule %v", r.Witness))
+	}
+	res.Table = t
+	return res
+}
+
+func verdict(ok bool) string {
+	if ok {
+		return "OK"
+	}
+	return "FAIL"
+}

@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"ssmfp/internal/core"
+	"ssmfp/internal/graph"
+	"ssmfp/internal/workload"
+)
+
+// TestSoakLargeGridCorrupted is the scale test: a 6×6 grid (36 processors,
+// 36 destinations × 6 rules + 36 routing rules per processor), fully
+// corrupted start, 120 messages in randomized waves, distributed daemon —
+// Specification SP must hold end to end.
+func TestSoakLargeGridCorrupted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	g := graph.Grid(6, 6)
+	rng := rand.New(rand.NewSource(606))
+	w := workload.RandomPairs(g, 120, rng).Staggered(25)
+	r := Run(Scenario{
+		Name:     "soak-grid-6x6",
+		Graph:    g,
+		Corrupt:  &core.DefaultCorrupt,
+		Daemon:   Distributed,
+		Seed:     606,
+		Workload: w,
+		MaxSteps: 20_000_000,
+		NoRA:     true,
+		// Check the §3.2 domain invariants throughout (thinned: the probe
+		// is O(n²) per call).
+		Monitors:     []Monitor{WellTypedMonitor()},
+		MonitorEvery: 64,
+	})
+	if !r.OK() {
+		t.Fatalf("soak failed: %s; violations=%v lost=%d monitor=%v", r.String(), r.Violations, len(r.Lost), r.MonitorErr)
+	}
+	if r.Generated != 120 {
+		t.Fatalf("generated = %d, want 120", r.Generated)
+	}
+	t.Logf("soak: %d steps, %d rounds, %d invalid surfaced, latency p90=%.0f rounds",
+		r.Steps, r.Rounds, r.InvalidDelivered, r.LatencyRounds.P90)
+}
+
+// TestSoakTorusAllToAll saturates a 4×4 torus with all-to-all traffic on a
+// clean start — the throughput regime of Proposition 7 at scale.
+func TestSoakTorusAllToAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	g := graph.Torus(4, 4)
+	r := Run(Scenario{
+		Name:     "soak-torus-a2a",
+		Graph:    g,
+		Daemon:   Synchronous,
+		Seed:     44,
+		Workload: workload.AllToAll(g, 1),
+		MaxSteps: 20_000_000,
+		NoRA:     true,
+	})
+	if !r.OK() {
+		t.Fatalf("soak failed: %s", r.String())
+	}
+	if r.Generated != 16*15 {
+		t.Fatalf("generated = %d", r.Generated)
+	}
+	amortized := float64(r.Rounds) / float64(r.Generated)
+	if amortized > float64(3*g.Diameter())+10 {
+		t.Fatalf("amortized rounds/delivery %.1f above the Prop. 7 envelope", amortized)
+	}
+	t.Logf("soak: %d steps, %d rounds, amortized %.2f rounds/delivery (3D=%d)",
+		r.Steps, r.Rounds, amortized, 3*g.Diameter())
+}

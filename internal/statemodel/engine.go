@@ -1,0 +1,303 @@
+package statemodel
+
+import (
+	"fmt"
+	"sort"
+
+	"ssmfp/internal/graph"
+)
+
+// Engine executes a Program on a Graph under a Daemon, starting from an
+// arbitrary initial configuration (the essence of stabilization: the
+// initial states are inputs, not something the engine sanitizes).
+type Engine struct {
+	g       *graph.Graph
+	program Program
+	rules   []Rule
+	daemon  Daemon
+	states  []State
+
+	step      int
+	rounds    int
+	moves     map[string]int // rule name -> executions
+	listeners []func(Event)
+
+	// round accounting: the set of processors enabled at the start of the
+	// current round that have neither executed nor been neutralized yet.
+	roundPending map[graph.ProcessID]bool
+	roundOpen    bool
+
+	// scratch reused across steps
+	lastEnabled []Choice
+}
+
+// NewEngine builds an engine over g running program under daemon, with the
+// given initial configuration (one State per processor, indexed by ID).
+func NewEngine(g *graph.Graph, program Program, daemon Daemon, initial []State) *Engine {
+	if !g.Frozen() {
+		panic("statemodel: NewEngine requires a frozen graph")
+	}
+	if len(initial) != g.N() {
+		panic(fmt.Sprintf("statemodel: initial configuration has %d states, graph has %d processors", len(initial), g.N()))
+	}
+	for p, s := range initial {
+		if s == nil {
+			panic(fmt.Sprintf("statemodel: nil initial state for processor %d", p))
+		}
+	}
+	rules := program.Rules()
+	if len(rules) == 0 {
+		panic("statemodel: program has no rules")
+	}
+	return &Engine{
+		g:            g,
+		program:      program,
+		rules:        rules,
+		daemon:       daemon,
+		states:       append([]State(nil), initial...),
+		moves:        make(map[string]int),
+		roundPending: make(map[graph.ProcessID]bool),
+	}
+}
+
+// Graph returns the topology the engine runs on.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// StateOf returns the current state of processor p. Callers must treat it
+// as read-only.
+func (e *Engine) StateOf(p graph.ProcessID) State { return e.states[p] }
+
+// SetStateOf replaces the state of processor p. Intended for scenario
+// setup (fault injection between runs); not for use by protocol code.
+func (e *Engine) SetStateOf(p graph.ProcessID, s State) { e.states[p] = s }
+
+// Steps returns the number of executed steps.
+func (e *Engine) Steps() int { return e.step }
+
+// Rounds returns the number of completed rounds (see package comment).
+func (e *Engine) Rounds() int { return e.rounds }
+
+// Moves returns how many times the named rule has executed.
+func (e *Engine) Moves(rule string) int { return e.moves[rule] }
+
+// TotalMoves returns the total number of executed actions.
+func (e *Engine) TotalMoves() int {
+	t := 0
+	for _, c := range e.moves {
+		t += c
+	}
+	return t
+}
+
+// MoveCounts returns a copy of the per-rule execution counters.
+func (e *Engine) MoveCounts() map[string]int {
+	out := make(map[string]int, len(e.moves))
+	for k, v := range e.moves {
+		out[k] = v
+	}
+	return out
+}
+
+// Subscribe registers a listener invoked for every event emitted by actions
+// (in emission order) and for every rule execution (kind "fire").
+func (e *Engine) Subscribe(fn func(Event)) { e.listeners = append(e.listeners, fn) }
+
+func (e *Engine) publish(ev Event) {
+	for _, fn := range e.listeners {
+		fn(ev)
+	}
+}
+
+// Enabled computes the Choice list of the current configuration: every
+// processor with at least one enabled rule, offering only its minimal
+// enabled priority class. Processors appear in ascending ID order and rule
+// indices in program order, so the result is deterministic.
+func (e *Engine) Enabled() []Choice {
+	var enabled []Choice
+	for p := 0; p < e.g.N(); p++ {
+		c := e.enabledAt(graph.ProcessID(p))
+		if len(c.Rules) > 0 {
+			enabled = append(enabled, c)
+		}
+	}
+	return enabled
+}
+
+func (e *Engine) enabledAt(p graph.ProcessID) Choice {
+	return enabledAtConfig(e.g, e.rules, e.states, p, e.step)
+}
+
+// Terminal reports whether no action is enabled in the current
+// configuration.
+func (e *Engine) Terminal() bool { return len(e.Enabled()) == 0 }
+
+// Step executes one atomic step: compute the enabled set, let the daemon
+// select, execute the selected actions against the pre-step snapshot, and
+// commit. It returns false (and does nothing) if the configuration is
+// terminal.
+func (e *Engine) Step() bool {
+	enabled := e.Enabled()
+	e.closeRoundBookkeeping(enabled)
+	if len(enabled) == 0 {
+		return false
+	}
+	if !e.roundOpen {
+		e.openRound(enabled)
+	}
+
+	sels := e.daemon.Select(e.step, enabled)
+	e.validateSelections(enabled, sels)
+
+	// Execute all selected actions against the same pre-step snapshot.
+	snapshot := e.states
+	newStates := make(map[graph.ProcessID]State, len(sels))
+	var events []Event
+	for _, sel := range sels {
+		r := e.rules[sel.Rule]
+		v := &View{
+			id:       sel.Process,
+			g:        e.g,
+			snapshot: snapshot,
+			self:     snapshot[sel.Process].Clone(),
+			step:     e.step,
+			events:   &events,
+		}
+		// Guards were evaluated on this same snapshot when computing the
+		// enabled set, so the action's precondition still holds.
+		r.Action(v)
+		newStates[sel.Process] = v.self
+		events = append(events, Event{Step: e.step, Process: sel.Process, Rule: r.Name, Kind: "fire"})
+		e.moves[r.Name]++
+	}
+	for p, s := range newStates {
+		e.states[p] = s
+	}
+	for _, sel := range sels {
+		delete(e.roundPending, sel.Process)
+	}
+	e.rememberEnabled(enabled)
+	for i := range events {
+		if events[i].Rule == "" {
+			// Events emitted via View.Emit carry the rule of the emitting
+			// selection; fill it from the matching fire event if absent.
+			events[i].Rule = ruleOf(events, i)
+		}
+		e.publish(events[i])
+	}
+	e.step++
+	return true
+}
+
+// ruleOf backfills the rule name for an Emit event from the next "fire"
+// event of the same processor in the same step (actions emit before the
+// engine appends the fire marker).
+func ruleOf(events []Event, i int) string {
+	for j := i + 1; j < len(events); j++ {
+		if events[j].Kind == "fire" && events[j].Process == events[i].Process {
+			return events[j].Rule
+		}
+	}
+	return ""
+}
+
+func (e *Engine) validateSelections(enabled []Choice, sels []Selection) {
+	if len(sels) == 0 {
+		panic(fmt.Sprintf("statemodel: daemon %q selected nothing from a non-empty enabled set", e.daemon.Name()))
+	}
+	offered := make(map[graph.ProcessID]map[int]bool, len(enabled))
+	for _, c := range enabled {
+		m := make(map[int]bool, len(c.Rules))
+		for _, r := range c.Rules {
+			m[r] = true
+		}
+		offered[c.Process] = m
+	}
+	seen := make(map[graph.ProcessID]bool, len(sels))
+	for _, s := range sels {
+		if seen[s.Process] {
+			panic(fmt.Sprintf("statemodel: daemon %q selected processor %d twice", e.daemon.Name(), s.Process))
+		}
+		seen[s.Process] = true
+		m, ok := offered[s.Process]
+		if !ok {
+			panic(fmt.Sprintf("statemodel: daemon %q selected disabled processor %d", e.daemon.Name(), s.Process))
+		}
+		if !m[s.Rule] {
+			panic(fmt.Sprintf("statemodel: daemon %q selected rule %d not enabled at processor %d", e.daemon.Name(), s.Rule, s.Process))
+		}
+	}
+}
+
+// --- round accounting -------------------------------------------------
+
+// rememberEnabled stores the pre-step enabled set so the next step can
+// detect neutralizations (enabled before, not enabled after, not executed).
+func (e *Engine) rememberEnabled(enabled []Choice) {
+	e.lastEnabled = enabled
+}
+
+// closeRoundBookkeeping runs at the start of a step, when the new enabled
+// set is known: any processor still pending in the current round that was
+// enabled at the previous step and is no longer enabled now was neutralized
+// and leaves the round. If the round's pending set empties, the round
+// completes.
+func (e *Engine) closeRoundBookkeeping(enabledNow []Choice) {
+	if !e.roundOpen {
+		return
+	}
+	if len(e.lastEnabled) > 0 {
+		wasEnabled := make(map[graph.ProcessID]bool, len(e.lastEnabled))
+		for _, c := range e.lastEnabled {
+			wasEnabled[c.Process] = true
+		}
+		isEnabled := make(map[graph.ProcessID]bool, len(enabledNow))
+		for _, c := range enabledNow {
+			isEnabled[c.Process] = true
+		}
+		for p := range e.roundPending {
+			if wasEnabled[p] && !isEnabled[p] {
+				delete(e.roundPending, p) // neutralized
+			}
+		}
+	}
+	if len(e.roundPending) == 0 {
+		e.rounds++
+		e.roundOpen = false
+	}
+}
+
+func (e *Engine) openRound(enabled []Choice) {
+	for _, c := range enabled {
+		e.roundPending[c.Process] = true
+	}
+	e.roundOpen = true
+}
+
+// Run executes steps until the configuration is terminal, the optional stop
+// predicate returns true (checked between steps), or maxSteps steps have
+// executed. It returns the number of steps executed by this call and
+// whether the run ended on a terminal configuration.
+func (e *Engine) Run(maxSteps int, stop func(*Engine) bool) (steps int, terminal bool) {
+	for steps < maxSteps {
+		if stop != nil && stop(e) {
+			return steps, false
+		}
+		if !e.Step() {
+			return steps, true
+		}
+		steps++
+	}
+	return steps, false
+}
+
+// EnabledRuleNames returns the names of the rules currently enabled at p,
+// sorted; a debugging and test helper.
+func (e *Engine) EnabledRuleNames(p graph.ProcessID) []string {
+	c := e.enabledAt(p)
+	names := make([]string, 0, len(c.Rules))
+	for _, i := range c.Rules {
+		names = append(names, e.rules[i].Name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,220 @@
+// Package statemodel implements the locally shared memory model of
+// computation from §2.1 of the paper: every processor runs a finite set of
+// guarded actions over shared variables, a processor may write only its own
+// variables and read its own and its neighbors', and execution proceeds in
+// atomic three-phase steps — (i) every processor evaluates its guards on the
+// current configuration, (ii) a daemon chooses a non-empty subset of the
+// enabled processors, (iii) every chosen processor executes one of its
+// enabled actions, all reads referring to the pre-step configuration.
+//
+// The package also implements the round complexity measure of
+// Dolev-Israeli-Moran as modified by Bui-Datta-Petit-Villain: the first
+// round of an execution is its minimal prefix in which every processor that
+// was enabled at the start of the round has either executed an action or
+// been neutralized.
+package statemodel
+
+import (
+	"fmt"
+
+	"ssmfp/internal/graph"
+)
+
+// State is the local state of one processor: the values of its shared
+// variables. States must be deep-cloneable so that actions can mutate a
+// private copy while every other action in the same step still reads the
+// pre-step snapshot.
+type State interface {
+	Clone() State
+}
+
+// Event is an observable side effect emitted by an action, e.g. the
+// delivery of a message to the higher layer. Events are how specification
+// checkers observe an execution without peeking into protocol internals.
+type Event struct {
+	Step    int             // step index at which the action executed
+	Process graph.ProcessID // processor whose action emitted the event
+	Rule    string          // rule name, e.g. "R6"
+	Kind    string          // event kind, e.g. "deliver"
+	Payload any             // event-specific data
+}
+
+// View is a rule's window onto the configuration. During guard evaluation
+// it provides read-only access to the processor's own state and its
+// neighbors' states (pre-step snapshot). During action execution Self
+// returns a private mutable clone; reads of other processors still see the
+// pre-step snapshot, which gives the model's composite atomicity.
+type View struct {
+	id       graph.ProcessID
+	g        *graph.Graph
+	snapshot []State
+	self     State // nil during guard evaluation (fall back to snapshot)
+	step     int
+	events   *[]Event
+}
+
+// ID returns the processor evaluating or executing the rule.
+func (v *View) ID() graph.ProcessID { return v.id }
+
+// Step returns the index of the current step.
+func (v *View) Step() int { return v.step }
+
+// Graph returns the network topology (identities, neighbor sets, Δ, D are
+// assumed known to every processor, per §2 of the paper).
+func (v *View) Graph() *graph.Graph { return v.g }
+
+// Neighbors returns N_p for the executing processor.
+func (v *View) Neighbors() []graph.ProcessID { return v.g.Neighbors(v.id) }
+
+// Self returns the processor's own state: the snapshot during guard
+// evaluation, a private mutable clone during action execution.
+func (v *View) Self() State {
+	if v.self != nil {
+		return v.self
+	}
+	return v.snapshot[v.id]
+}
+
+// Read returns the pre-step state of processor q. The shared memory model
+// only allows a processor to read its own variables and its neighbors';
+// Read panics on any other access, catching locality violations in
+// protocol code.
+func (v *View) Read(q graph.ProcessID) State {
+	if q != v.id && !v.g.HasEdge(v.id, q) {
+		panic(fmt.Sprintf("statemodel: locality violation: %d read state of non-neighbor %d", v.id, q))
+	}
+	return v.snapshot[q]
+}
+
+// Emit records an observable event; only meaningful during action
+// execution.
+func (v *View) Emit(kind string, payload any) {
+	if v.events == nil {
+		panic("statemodel: Emit outside action execution")
+	}
+	*v.events = append(*v.events, Event{Step: v.step, Process: v.id, Kind: kind, Payload: payload})
+}
+
+// Rule is one guarded action < label > :: < guard > → < statement >.
+// Guards must be side-effect free; actions mutate only v.Self() and emit
+// events. Priority implements the paper's inter-protocol priority: a
+// processor with an enabled rule of priority k never executes a rule of
+// priority > k (lower number = higher priority). The routing algorithm A
+// runs at priority 0, SSMFP at priority 1.
+type Rule struct {
+	Name     string
+	Priority int
+	Guard    func(v *View) bool
+	Action   func(v *View)
+}
+
+// Program is the collection of rules run by every processor. Programs are
+// uniform: all processors run the same rule set (rules observe v.ID() to
+// behave per-processor, e.g. the destination acts differently).
+type Program interface {
+	Rules() []Rule
+}
+
+// Compose concatenates programs into one, preserving each rule's declared
+// priority. Use it to run the routing algorithm A "simultaneously" with
+// SSMFP as the paper prescribes.
+func Compose(programs ...Program) Program {
+	var rules []Rule
+	for _, p := range programs {
+		rules = append(rules, p.Rules()...)
+	}
+	return rulesProgram(rules)
+}
+
+type rulesProgram []Rule
+
+func (r rulesProgram) Rules() []Rule { return r }
+
+// NewProgram builds a Program from an explicit rule list.
+func NewProgram(rules ...Rule) Program { return rulesProgram(rules) }
+
+// Choice lists, for one enabled processor, the indices of its enabled rules
+// after priority filtering (only the minimal enabled priority class is
+// offered, per the paper's priority assumption).
+type Choice struct {
+	Process graph.ProcessID
+	Rules   []int
+}
+
+// Selection is a daemon's decision to activate one rule at one processor.
+type Selection struct {
+	Process graph.ProcessID
+	Rule    int
+}
+
+// Daemon decides which enabled processors execute at each step. Contract
+// (checked by the engine): the returned set is non-empty whenever enabled
+// is non-empty, contains each processor at most once, and every selection
+// picks a rule offered in that processor's Choice. This matches the
+// distributed daemon of §2.1; a central daemon simply returns a single
+// selection.
+type Daemon interface {
+	Name() string
+	Select(step int, enabled []Choice) []Selection
+}
+
+// EnabledOf computes the enabled choices of an arbitrary configuration —
+// the pure-function core of Engine.Enabled, exported for exhaustive
+// state-space exploration (internal/explore), which needs to evaluate
+// configurations that are not installed in any engine. Priority filtering
+// is applied exactly as in the engine.
+func EnabledOf(g *graph.Graph, rules []Rule, cfg []State) []Choice {
+	var enabled []Choice
+	for p := 0; p < g.N(); p++ {
+		c := enabledAtConfig(g, rules, cfg, graph.ProcessID(p), 0)
+		if len(c.Rules) > 0 {
+			enabled = append(enabled, c)
+		}
+	}
+	return enabled
+}
+
+// enabledAtConfig evaluates the guards of p on cfg, offering only the
+// minimal enabled priority class.
+func enabledAtConfig(g *graph.Graph, rules []Rule, cfg []State, p graph.ProcessID, step int) Choice {
+	v := &View{id: p, g: g, snapshot: cfg, step: step}
+	best := int(^uint(0) >> 1)
+	var idxs []int
+	for i, r := range rules {
+		if r.Priority > best {
+			continue
+		}
+		if r.Guard(v) {
+			if r.Priority < best {
+				best = r.Priority
+				idxs = idxs[:0]
+			}
+			idxs = append(idxs, i)
+		}
+	}
+	return Choice{Process: p, Rules: idxs}
+}
+
+// ApplySelection executes one selection against cfg without mutating it:
+// it returns the successor state of the selected processor (a mutated
+// clone) and the events the action emitted. The caller is responsible for
+// only applying selections whose guards hold on cfg.
+func ApplySelection(g *graph.Graph, rules []Rule, cfg []State, sel Selection, step int) (State, []Event) {
+	var events []Event
+	r := rules[sel.Rule]
+	v := &View{
+		id:       sel.Process,
+		g:        g,
+		snapshot: cfg,
+		self:     cfg[sel.Process].Clone(),
+		step:     step,
+		events:   &events,
+	}
+	r.Action(v)
+	for i := range events {
+		if events[i].Rule == "" {
+			events[i].Rule = r.Name
+		}
+	}
+	return v.self, events
+}

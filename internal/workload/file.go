@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"ssmfp/internal/graph"
+)
+
+// Parse reads a workload from a simple line format, one send per line:
+//
+//	<src> <dest> <payload> [atStep]
+//
+// Blank lines and lines starting with '#' are ignored; payloads must not
+// contain whitespace; atStep defaults to 0. Endpoints are validated
+// against g. This is the trace-driven input of cmd/ssmfp-sim
+// (-workload-file): recorded or hand-written traffic can be replayed
+// against any protocol configuration.
+func Parse(r io.Reader, g *graph.Graph) (Workload, error) {
+	var w Workload
+	scanner := bufio.NewScanner(r)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 && len(fields) != 4 {
+			return nil, fmt.Errorf("workload: line %d: want 'src dest payload [atStep]', got %q", lineNo, line)
+		}
+		src, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: bad src %q: %v", lineNo, fields[0], err)
+		}
+		dst, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: bad dest %q: %v", lineNo, fields[1], err)
+		}
+		if src < 0 || src >= g.N() || dst < 0 || dst >= g.N() {
+			return nil, fmt.Errorf("workload: line %d: endpoint out of range [0,%d)", lineNo, g.N())
+		}
+		s := Send{Src: graph.ProcessID(src), Dest: graph.ProcessID(dst), Payload: fields[2]}
+		if len(fields) == 4 {
+			at, err := strconv.Atoi(fields[3])
+			if err != nil || at < 0 {
+				return nil, fmt.Errorf("workload: line %d: bad atStep %q", lineNo, fields[3])
+			}
+			s.AtStep = at
+		}
+		w = append(w, s)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("workload: %v", err)
+	}
+	w.sort()
+	return w, nil
+}
+
+// Format renders a workload in the Parse line format (round-trippable).
+func Format(w Workload, out io.Writer) error {
+	bw := bufio.NewWriter(out)
+	fmt.Fprintln(bw, "# src dest payload atStep")
+	for _, s := range w {
+		if strings.ContainsAny(s.Payload, " \t\n") {
+			return fmt.Errorf("workload: payload %q contains whitespace, not representable", s.Payload)
+		}
+		fmt.Fprintf(bw, "%d %d %s %d\n", s.Src, s.Dest, s.Payload, s.AtStep)
+	}
+	return bw.Flush()
+}

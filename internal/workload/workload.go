@@ -1,0 +1,216 @@
+// Package workload generates the traffic patterns the experiments drive
+// SSMFP (and the baselines) with: who sends what to whom, and when. A
+// workload is a list of Send requests with injection steps; the Injector
+// feeds them into a running engine through the higher-layer interface of
+// the paper (the request bit + pending queue of each processor).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ssmfp/internal/graph"
+	sm "ssmfp/internal/statemodel"
+)
+
+// Send is one higher-layer send request: inject at Src, destined to Dest,
+// no earlier than step AtStep (0 = before the run starts).
+type Send struct {
+	Src     graph.ProcessID
+	Dest    graph.ProcessID
+	Payload string
+	AtStep  int
+}
+
+// Workload is a set of sends, kept sorted by injection step.
+type Workload []Send
+
+func (w Workload) Len() int { return len(w) }
+func (w Workload) sort() {
+	sort.SliceStable(w, func(i, j int) bool { return w[i].AtStep < w[j].AtStep })
+}
+func (w Workload) String() string {
+	return fmt.Sprintf("workload(%d sends)", len(w))
+}
+
+// payload builds a unique human-readable payload. Experiments that want
+// payload collisions (to stress the color flag) override payloads
+// afterwards with SamePayload.
+func payload(tag string, src, dst graph.ProcessID, k int) string {
+	return fmt.Sprintf("%s-%d>%d#%d", tag, src, dst, k)
+}
+
+// SamePayload rewrites every payload to the same string, forcing maximal
+// (m, q, c) collision pressure.
+func (w Workload) SamePayload(p string) Workload {
+	for i := range w {
+		w[i].Payload = p
+	}
+	return w
+}
+
+// Staggered spaces the sends every interval steps in their current order.
+func (w Workload) Staggered(interval int) Workload {
+	for i := range w {
+		w[i].AtStep = i * interval
+	}
+	w.sort()
+	return w
+}
+
+// SinglePair emits k messages from src to dst.
+func SinglePair(src, dst graph.ProcessID, k int) Workload {
+	w := make(Workload, k)
+	for i := 0; i < k; i++ {
+		w[i] = Send{Src: src, Dest: dst, Payload: payload("sp", src, dst, i)}
+	}
+	return w
+}
+
+// AllToOne has every processor (except the sink) send k messages to sink.
+func AllToOne(g *graph.Graph, sink graph.ProcessID, k int) Workload {
+	var w Workload
+	for p := 0; p < g.N(); p++ {
+		if graph.ProcessID(p) == sink {
+			continue
+		}
+		for i := 0; i < k; i++ {
+			w = append(w, Send{Src: graph.ProcessID(p), Dest: sink, Payload: payload("a2o", graph.ProcessID(p), sink, i)})
+		}
+	}
+	return w
+}
+
+// OneToAll has src send k messages to every other processor.
+func OneToAll(g *graph.Graph, src graph.ProcessID, k int) Workload {
+	var w Workload
+	for d := 0; d < g.N(); d++ {
+		if graph.ProcessID(d) == src {
+			continue
+		}
+		for i := 0; i < k; i++ {
+			w = append(w, Send{Src: src, Dest: graph.ProcessID(d), Payload: payload("o2a", src, graph.ProcessID(d), i)})
+		}
+	}
+	return w
+}
+
+// AllToAll has every ordered pair (p, d), p ≠ d, exchange k messages.
+func AllToAll(g *graph.Graph, k int) Workload {
+	var w Workload
+	for p := 0; p < g.N(); p++ {
+		for d := 0; d < g.N(); d++ {
+			if p == d {
+				continue
+			}
+			for i := 0; i < k; i++ {
+				w = append(w, Send{Src: graph.ProcessID(p), Dest: graph.ProcessID(d), Payload: payload("a2a", graph.ProcessID(p), graph.ProcessID(d), i)})
+			}
+		}
+	}
+	return w
+}
+
+// RandomPairs draws k (src, dst) pairs uniformly (src ≠ dst).
+func RandomPairs(g *graph.Graph, k int, rng *rand.Rand) Workload {
+	w := make(Workload, k)
+	for i := 0; i < k; i++ {
+		src := graph.ProcessID(rng.Intn(g.N()))
+		dst := graph.ProcessID(rng.Intn(g.N()))
+		for dst == src {
+			dst = graph.ProcessID(rng.Intn(g.N()))
+		}
+		w[i] = Send{Src: src, Dest: dst, Payload: payload("rnd", src, dst, i)}
+	}
+	return w
+}
+
+// Permutation sends one message along a random permutation π with no fixed
+// point (every processor sends to π(p) ≠ p) — the classic permutation
+// traffic of interconnection-network evaluations.
+func Permutation(g *graph.Graph, rng *rand.Rand) Workload {
+	n := g.N()
+	perm := rng.Perm(n)
+	// Remove fixed points by rotating them into a cycle.
+	for i := 0; i < n; i++ {
+		if perm[i] == i {
+			j := (i + 1) % n
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+	}
+	w := make(Workload, 0, n)
+	for p := 0; p < n; p++ {
+		if perm[p] == p {
+			continue // n == 1 degenerate
+		}
+		w = append(w, Send{Src: graph.ProcessID(p), Dest: graph.ProcessID(perm[p]),
+			Payload: payload("perm", graph.ProcessID(p), graph.ProcessID(perm[p]), 0)})
+	}
+	return w
+}
+
+// HotSpot sends k messages from every processor to a single hot
+// destination plus k/2 background messages between random other pairs.
+func HotSpot(g *graph.Graph, hot graph.ProcessID, k int, rng *rand.Rand) Workload {
+	w := AllToOne(g, hot, k)
+	bg := RandomPairs(g, k/2*g.N(), rng)
+	for i := range bg {
+		bg[i].Payload = "bg" + bg[i].Payload
+	}
+	return append(w, bg...)
+}
+
+// Enqueuer is the higher-layer interface every forwarding state exposes.
+type Enqueuer interface {
+	Enqueue(payload string, dest graph.ProcessID)
+}
+
+// Injector drips a workload into a running engine: call Tick(engine)
+// between steps; sends whose AtStep has passed are enqueued at their
+// source. The adapt function maps a processor's engine state to its
+// higher-layer interface (e.g. the FW field of core.Node).
+type Injector struct {
+	w      Workload
+	adapt  func(sm.State) Enqueuer
+	cursor int
+}
+
+// NewInjector builds an injector over a workload (sorted by AtStep).
+func NewInjector(w Workload, adapt func(sm.State) Enqueuer) *Injector {
+	ws := append(Workload(nil), w...)
+	ws.sort()
+	return &Injector{w: ws, adapt: adapt}
+}
+
+// Tick enqueues every due send. Returns how many sends were injected.
+func (in *Injector) Tick(e *sm.Engine) int {
+	n := 0
+	for in.cursor < len(in.w) && in.w[in.cursor].AtStep <= e.Steps() {
+		s := in.w[in.cursor]
+		in.adapt(e.StateOf(s.Src)).Enqueue(s.Payload, s.Dest)
+		in.cursor++
+		n++
+	}
+	return n
+}
+
+// SkipWait injects the next pending send immediately, regardless of its
+// AtStep. Scenario runners call it when the system has gone quiescent
+// before the send's scheduled step: the engine's clock only advances on
+// steps, so idle time is skipped. It returns false if nothing remained.
+func (in *Injector) SkipWait(e *sm.Engine) bool {
+	if in.cursor >= len(in.w) {
+		return false
+	}
+	s := in.w[in.cursor]
+	in.adapt(e.StateOf(s.Src)).Enqueue(s.Payload, s.Dest)
+	in.cursor++
+	return true
+}
+
+// Done reports whether every send has been injected.
+func (in *Injector) Done() bool { return in.cursor >= len(in.w) }
+
+// Remaining returns how many sends are still to inject.
+func (in *Injector) Remaining() int { return len(in.w) - in.cursor }

@@ -1,0 +1,86 @@
+package ssmfp
+
+import (
+	"time"
+
+	"ssmfp/internal/msgpass"
+)
+
+// LiveNetwork runs the protocol in the message-passing model: one
+// goroutine per processor, Go channels as asynchronous links, distance-
+// vector routing gossip, and an offer/accept/cancel handshake realizing
+// the hop transfer with exactly-once semantics — the engineering answer to
+// the paper's closing open problem. Links may drop frames; retransmission
+// recovers them.
+type LiveNetwork struct {
+	nw *msgpass.Network
+}
+
+// LiveOptions tunes a LiveNetwork.
+type LiveOptions struct {
+	// Seed drives loss and corruption randomness.
+	Seed int64
+	// LossRate drops each frame with this probability (0..1).
+	LossRate float64
+	// DupRate delivers each frame twice with this probability (0..1).
+	DupRate float64
+	// CorruptStart randomizes the initial routing state and plants garbage
+	// messages in buffers.
+	CorruptStart bool
+	// Tick is the gossip/retransmission period (default 200µs).
+	Tick time.Duration
+}
+
+// NewLiveNetwork builds and starts a message-passing deployment on t.
+// Call Close when done.
+func NewLiveNetwork(t *Topology, opts LiveOptions) *LiveNetwork {
+	nw := msgpass.New(t, msgpass.Options{
+		Seed:        opts.Seed,
+		LossRate:    opts.LossRate,
+		DupRate:     opts.DupRate,
+		CorruptInit: opts.CorruptStart,
+		Tick:        opts.Tick,
+	})
+	nw.Start()
+	return &LiveNetwork{nw: nw}
+}
+
+// Send injects a message and returns a tracking ID.
+func (l *LiveNetwork) Send(src, dst ProcessID, payload string) uint64 {
+	return l.nw.Send(src, payload, dst)
+}
+
+// WaitDelivered blocks until at least k messages (valid or not) have been
+// delivered, or the timeout elapses.
+func (l *LiveNetwork) WaitDelivered(k int, timeout time.Duration) bool {
+	return l.nw.WaitDelivered(k, timeout)
+}
+
+// Deliveries returns a snapshot of deliveries so far.
+func (l *LiveNetwork) Deliveries() []Delivery {
+	var out []Delivery
+	for _, d := range l.nw.Deliveries() {
+		out = append(out, Delivery{
+			Payload: d.Msg.Payload, From: d.Msg.Src, To: d.At, Valid: d.Msg.Valid,
+		})
+	}
+	return out
+}
+
+// DeliveredExactlyOnce reports whether every UID in ids was delivered
+// exactly once so far.
+func (l *LiveNetwork) DeliveredExactlyOnce(ids ...uint64) bool {
+	counts := make(map[uint64]int)
+	for _, d := range l.nw.Deliveries() {
+		counts[d.Msg.UID]++
+	}
+	for _, id := range ids {
+		if counts[id] != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Close stops every processor goroutine and waits for them.
+func (l *LiveNetwork) Close() { l.nw.Stop() }

@@ -1,0 +1,52 @@
+package ssmfp
+
+import (
+	"math/rand"
+
+	"ssmfp/internal/graph"
+)
+
+// Topology is an immutable connected network of processors 0..n-1.
+type Topology = graph.Graph
+
+// ProcessID identifies a processor (dense integers 0..n-1).
+type ProcessID = graph.ProcessID
+
+// Line returns the path topology 0-1-...-(n-1).
+func Line(n int) *Topology { return graph.Line(n) }
+
+// Ring returns the cycle topology on n ≥ 3 processors.
+func Ring(n int) *Topology { return graph.Ring(n) }
+
+// Star returns the star topology with center 0 and n-1 leaves.
+func Star(n int) *Topology { return graph.Star(n) }
+
+// Complete returns the fully connected topology K_n.
+func Complete(n int) *Topology { return graph.Complete(n) }
+
+// BinaryTree returns the complete binary tree on n processors (heap order).
+func BinaryTree(n int) *Topology { return graph.BinaryTree(n) }
+
+// Grid returns the rows×cols 2-D mesh.
+func Grid(rows, cols int) *Topology { return graph.Grid(rows, cols) }
+
+// Torus returns the rows×cols 2-D torus (both dimensions ≥ 3).
+func Torus(rows, cols int) *Topology { return graph.Torus(rows, cols) }
+
+// Hypercube returns the dim-dimensional hypercube on 2^dim processors.
+func Hypercube(dim int) *Topology { return graph.Hypercube(dim) }
+
+// Random returns a random connected topology with n processors and about m
+// edges, deterministic for a seed.
+func Random(n, m int, seed int64) *Topology {
+	return graph.RandomConnected(n, m, rand.New(rand.NewSource(seed)))
+}
+
+// Custom builds a topology from an explicit edge list.
+func Custom(n int, edges [][2]int) *Topology {
+	g := graph.New(n)
+	for _, e := range edges {
+		g.AddEdge(graph.ProcessID(e[0]), graph.ProcessID(e[1]))
+	}
+	return g.Freeze()
+}

@@ -16,7 +16,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/msgpass/ .
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -260,3 +260,26 @@ func BenchmarkExhaustiveModelCheck(b *testing.B) {
 	}
 	b.ReportMetric(states, "states-explored")
 }
+
+// BenchmarkEnginePerfSweep runs the naive-vs-incremental enabled-set
+// sweep (E-EP), checking the acceptance bar (identical executions, ≥3×
+// fewer guard evaluations per step on the 20×20 grid) and reporting the
+// observed 20×20 ratio.
+func BenchmarkEnginePerfSweep(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		r := sim.ExperimentEnginePerf(int64(i) + 42)
+		if !r.AllMatch {
+			b.Fatal("incremental and naive executions diverged")
+		}
+		for _, row := range r.Rows {
+			if row.Topology == "grid 20x20" {
+				if row.Ratio < 3 {
+					b.Fatalf("20x20 guard-eval ratio %.2f < 3x", row.Ratio)
+				}
+				ratio = row.Ratio
+			}
+		}
+	}
+	b.ReportMetric(ratio, "guard-eval-ratio-20x20")
+}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	ssmfp-bench [-seed N] [-experiment all|f1|f2|f3|f4|p4|p5|p6|p7|x1..x6]
+//	ssmfp-bench [-seed N] [-paranoid] [-experiment all|f1|f2|f3|f4|p4|p5|p6|p7|x1..x6|ra|mc|ep]
 package main
 
 import (
@@ -19,8 +19,14 @@ import (
 
 func main() {
 	seed := flag.Int64("seed", 2009, "random seed for all experiments")
-	which := flag.String("experiment", "all", "experiment to run (all, f1, f2, f3, f4, p4, p5, p6, p7, x1, x2, x3, x4, x5, x6, ra, mc)")
+	which := flag.String("experiment", "all", "experiment to run (all, f1, f2, f3, f4, p4, p5, p6, p7, x1, x2, x3, x4, x5, x6, ra, mc, ep)")
+	paranoid := flag.Bool("paranoid", false, "run every engine with the incremental self-check enabled (naive rescan cross-checks each step)")
 	flag.Parse()
+	if *paranoid {
+		// The engines are constructed deep inside the experiments; the env
+		// var is how the default self-check mode reaches all of them.
+		os.Setenv("SSMFP_PARANOID", "1")
+	}
 
 	failed := false
 	run := func(id string, fn func() (fmt.Stringer, bool)) {
@@ -112,6 +118,16 @@ func main() {
 	run("mc", func() (fmt.Stringer, bool) {
 		r := sim.ExperimentMC()
 		return r.Table, r.AllOK
+	})
+	run("ep", func() (fmt.Stringer, bool) {
+		r := sim.ExperimentEnginePerf(*seed)
+		ok := r.AllMatch
+		for _, row := range r.Rows {
+			if row.Topology == "grid 20x20" && row.Ratio < 3 {
+				ok = false
+			}
+		}
+		return r.Table, ok
 	})
 
 	if failed {

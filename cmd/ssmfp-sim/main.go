@@ -7,7 +7,7 @@
 //	ssmfp-sim [-topology line|ring|star|grid|torus|hypercube|complete|tree|random]
 //	          [-n 8] [-daemon synchronous|central-random|central-round-robin|distributed|weakly-fair-lifo]
 //	          [-corrupt] [-messages 10] [-pattern random|all-to-one|one-to-all|all-to-all|permutation]
-//	          [-workload-file trace.txt] [-seed 1] [-max-steps 10000000] [-v]
+//	          [-workload-file trace.txt] [-seed 1] [-max-steps 10000000] [-paranoid] [-v]
 package main
 
 import (
@@ -36,7 +36,13 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	maxSteps := flag.Int("max-steps", 10_000_000, "step cap")
 	verbose := flag.Bool("v", false, "print per-rule move counts")
+	paranoid := flag.Bool("paranoid", false, "cross-check the incremental enabled set against a naive rescan every step")
 	flag.Parse()
+	if *paranoid {
+		// The engine is constructed inside sim.Run; the env var is how the
+		// default self-check mode reaches it.
+		os.Setenv("SSMFP_PARANOID", "1")
+	}
 
 	g, err := buildTopology(*topology, *n)
 	if err != nil {

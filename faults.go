@@ -26,7 +26,7 @@ func (n *Network) InjectFaults(seed int64, count int) (compromised int) {
 func (n *Network) Pending() int {
 	total := 0
 	for p := 0; p < n.g.N(); p++ {
-		total += len(n.engine.StateOf(ProcessID(p)).(*core.Node).FW.Pending)
+		total += len(n.engine.PeekStateOf(ProcessID(p)).(*core.Node).FW.Pending)
 	}
 	return total
 }

@@ -99,6 +99,7 @@ func (r Result) String() string {
 // node is one explored state.
 type node struct {
 	cfg       []sm.State
+	enabled   []sm.Choice // enabled choices of cfg, maintained incrementally
 	generated map[uint64]int
 	delivered map[uint64]int
 	succs     []int32
@@ -165,7 +166,13 @@ func Explore(g *graph.Graph, program sm.Program, initial []sm.State, opts Option
 		return id, true
 	}
 
-	root := &node{cfg: initial, generated: map[uint64]int{}, delivered: map[uint64]int{}, parent: -1}
+	root := &node{
+		cfg:       initial,
+		enabled:   sm.EnabledOf(g, rules, initial),
+		generated: map[uint64]int{},
+		delivered: map[uint64]int{},
+		parent:    -1,
+	}
 	rootID, _ := intern(root)
 	queue := []int32{rootID}
 
@@ -200,7 +207,11 @@ func Explore(g *graph.Graph, program sm.Program, initial []sm.State, opts Option
 		queue = queue[1:]
 		n := nodes[id]
 
-		enabled := sm.EnabledOf(g, rules, n.cfg)
+		// The enabled set was maintained incrementally when the node was
+		// reached: only the closed neighborhoods of the processors that
+		// fired on the incoming edge were re-evaluated (sm.EnabledDelta),
+		// the same shared machinery the engine's incremental mode uses.
+		enabled := n.enabled
 		if len(enabled) == 0 {
 			n.terminal = true
 			res.Terminals++
@@ -219,9 +230,11 @@ func Explore(g *graph.Graph, program sm.Program, initial []sm.State, opts Option
 				viaParts = append(viaParts, fmt.Sprintf("p%d:%s", sel.Process, rules[sel.Rule].Name))
 			}
 			succ.via = strings.Join(viaParts, "+")
+			executed := make([]graph.ProcessID, 0, len(sels))
 			for _, sel := range sels {
 				newState, events := sm.ApplySelection(g, rules, n.cfg, sel, 0)
 				succCfg[sel.Process] = newState
+				executed = append(executed, sel.Process)
 				for _, ev := range events {
 					if opts.GeneratedUID != nil {
 						if uid, ok := opts.GeneratedUID(ev); ok {
@@ -237,6 +250,7 @@ func Explore(g *graph.Graph, program sm.Program, initial []sm.State, opts Option
 					}
 				}
 			}
+			succ.enabled = sm.EnabledDelta(g, rules, succCfg, n.enabled, executed)
 			sid, fresh := intern(succ)
 			n.succs = append(n.succs, sid)
 			nodes[sid].preds = append(nodes[sid].preds, id)

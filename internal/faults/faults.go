@@ -98,6 +98,10 @@ func (in *Injector) Strike(e *sm.Engine, count int) []uint64 {
 	for i := 0; i < count; i++ {
 		p := graph.ProcessID(in.rng.Intn(in.g.N()))
 		node := e.StateOf(p).(*core.Node)
+		// The in-place corruption below invalidates the engine's round
+		// bookkeeping (the pending set describes a configuration that no
+		// longer exists) on top of the cache dirtying StateOf already did.
+		e.Invalidate(p)
 		d := in.rng.Intn(in.g.N())
 		ds := &node.FW.Dests[d]
 		buf := &ds.BufR
@@ -178,7 +182,7 @@ func InFlightValid(e *sm.Engine, g *graph.Graph) []uint64 {
 	var out []uint64
 	seen := make(map[uint64]bool)
 	for p := 0; p < g.N(); p++ {
-		fw := e.StateOf(graph.ProcessID(p)).(*core.Node).FW
+		fw := e.PeekStateOf(graph.ProcessID(p)).(*core.Node).FW
 		for _, ds := range fw.Dests {
 			for _, m := range []*core.Message{ds.BufR, ds.BufE} {
 				if m != nil && m.Valid && !seen[m.UID] {

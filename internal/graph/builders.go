@@ -114,9 +114,12 @@ func Hypercube(dim int) *Graph {
 	return g.Freeze()
 }
 
-// RandomTree returns a uniformly random labeled tree on n nodes built from a
-// random Prüfer-like attachment: node i (i >= 1) attaches to a uniform
-// earlier node. Deterministic for a given rng state.
+// RandomTree returns a random recursive tree (uniform attachment) on n
+// nodes: node i (i >= 1) attaches to a uniformly chosen earlier node. Note
+// this is NOT uniform over all n^(n-2) labeled trees — uniform attachment
+// biases toward low-depth, high-degree early nodes (e.g. paths are
+// underrepresented relative to a Prüfer-sequence construction).
+// Deterministic for a given rng state.
 func RandomTree(n int, rng *rand.Rand) *Graph {
 	g := New(n)
 	for i := 1; i < n; i++ {

@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ssmfp/internal/core"
+	"ssmfp/internal/graph"
+	"ssmfp/internal/metrics"
+	sm "ssmfp/internal/statemodel"
+	"ssmfp/internal/workload"
+)
+
+// --- E-EP: incremental enabled-set engine vs naive rescan --------------
+
+// EPRow is one sweep point of experiment E-EP.
+type EPRow struct {
+	Topology        string
+	N               int
+	Steps           int
+	NaivePerStep    float64 // guard evaluations per step, full rescan
+	IncPerStep      float64 // guard evaluations per step, incremental
+	Ratio           float64 // naive / incremental
+	ProcsSkippedPct float64 // share of processor evaluations the cache avoided
+	Match           bool    // both modes produced identical executions
+}
+
+// EPResult compares the incremental enabled-set engine against the naive
+// full rescan on the composed SSMFP+routing program. The two modes must
+// produce bit-identical executions (same steps, same per-rule move
+// counts); the payoff column is guard evaluations per step, which for the
+// naive scan is Θ(n · rules) and for the incremental engine is
+// proportional to the executed processors' neighborhoods.
+type EPResult struct {
+	Rows     []EPRow
+	AllMatch bool
+	Table    *metrics.Table
+}
+
+// epRun drives one engine over the scenario and reports its stats plus an
+// execution fingerprint (per-rule move counts) for the determinism check.
+// Self-check is off in both modes so the guard-evaluation counts are the
+// modes' real costs, not the harness's.
+func epRun(g *graph.Graph, seed int64, steps int, incremental bool) (sm.Stats, int, map[string]int) {
+	cfg := core.CleanConfig(g)
+	e := sm.NewEngine(g, core.FullProgram(g), NewDaemon(CentralRandom, seed, g.N()), cfg,
+		sm.WithIncremental(incremental), sm.WithSelfCheck(false))
+	rng := rand.New(rand.NewSource(seed))
+	in := workload.NewInjector(workload.RandomPairs(g, g.N(), rng),
+		func(st sm.State) workload.Enqueuer { return st.(*core.Node).FW })
+	in.Tick(e)
+	ran, _ := e.Run(steps, nil)
+	return e.Stats(), ran, e.MoveCounts()
+}
+
+func sameMoves(a, b map[string]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// ExperimentEnginePerf sweeps grids and random connected graphs at
+// n ∈ {25, 100, 400} under a central random daemon with a random-pairs
+// workload. Step caps shrink with n to keep the naive baseline affordable
+// (it costs Θ(n² · n) guard evaluations overall: n processors × ~6n+1
+// rules each, every step).
+func ExperimentEnginePerf(seed int64) EPResult {
+	res := EPResult{AllMatch: true}
+	t := metrics.NewTable("E-EP: guard evaluations per step — naive rescan vs incremental enabled set",
+		"topology", "n", "steps", "naive evals/step", "incremental evals/step", "ratio", "procs skipped", "identical run")
+	type tc struct {
+		name  string
+		g     *graph.Graph
+		steps int
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cases := []tc{
+		{"grid 5x5", graph.Grid(5, 5), 200},
+		{"grid 10x10", graph.Grid(10, 10), 80},
+		{"grid 20x20", graph.Grid(20, 20), 24},
+		{"random n=25 m=50", graph.RandomConnected(25, 50, rng), 200},
+		{"random n=100 m=200", graph.RandomConnected(100, 200, rng), 80},
+		{"random n=400 m=800", graph.RandomConnected(400, 800, rng), 24},
+	}
+	for i, c := range cases {
+		runSeed := seed + int64(i)
+		nStats, nSteps, nMoves := epRun(c.g, runSeed, c.steps, false)
+		iStats, iSteps, iMoves := epRun(c.g, runSeed, c.steps, true)
+		match := nSteps == iSteps && sameMoves(nMoves, iMoves)
+		if !match {
+			res.AllMatch = false
+		}
+		steps := iSteps
+		if steps == 0 {
+			steps = 1
+		}
+		evaluated := iStats.ProcsEvaluated + iStats.ProcsSkipped
+		skippedPct := 0.0
+		if evaluated > 0 {
+			skippedPct = 100 * float64(iStats.ProcsSkipped) / float64(evaluated)
+		}
+		row := EPRow{
+			Topology:        c.name,
+			N:               c.g.N(),
+			Steps:           iSteps,
+			NaivePerStep:    float64(nStats.GuardEvals) / float64(steps),
+			IncPerStep:      float64(iStats.GuardEvals) / float64(steps),
+			ProcsSkippedPct: skippedPct,
+			Match:           match,
+		}
+		if row.IncPerStep > 0 {
+			row.Ratio = row.NaivePerStep / row.IncPerStep
+		}
+		res.Rows = append(res.Rows, row)
+		t.AddRow(row.Topology, row.N, row.Steps,
+			fmt.Sprintf("%.0f", row.NaivePerStep),
+			fmt.Sprintf("%.0f", row.IncPerStep),
+			fmt.Sprintf("%.1fx", row.Ratio),
+			fmt.Sprintf("%.1f%%", row.ProcsSkippedPct),
+			row.Match)
+	}
+	res.Table = t
+	return res
+}

@@ -128,7 +128,7 @@ func ExperimentF4(seed int64) F4Result {
 	snapshot := func() []sm.State {
 		out := make([]sm.State, g.N())
 		for p := 0; p < g.N(); p++ {
-			out[p] = e.StateOf(graph.ProcessID(p))
+			out[p] = e.PeekStateOf(graph.ProcessID(p))
 		}
 		return out
 	}

@@ -106,7 +106,7 @@ func ExperimentF3() F3Result {
 	tr.Attach(e)
 	rec := trace.NewRecorder(e, trace.NewRenderer(g, Figure3Names), b, 0)
 
-	engNode := func(p graph.ProcessID) *core.Node { return e.StateOf(p).(*core.Node) }
+	engNode := func(p graph.ProcessID) *core.Node { return e.PeekStateOf(p).(*core.Node) }
 	for i := range script {
 		if !e.Step() {
 			fail("execution became terminal at script step %d", i+1)
@@ -174,7 +174,7 @@ func ExperimentF3() F3Result {
 func snapshotStates(e *sm.Engine, g *graph.Graph) []sm.State {
 	out := make([]sm.State, g.N())
 	for p := 0; p < g.N(); p++ {
-		out[p] = e.StateOf(graph.ProcessID(p))
+		out[p] = e.PeekStateOf(graph.ProcessID(p))
 	}
 	return out
 }

@@ -59,3 +59,34 @@ func BenchmarkEnabledComputation(b *testing.B) {
 		}
 	}
 }
+
+// benchEngineMode measures steps/sec of the composed system with the
+// enabled-set strategy pinned, isolating the incremental engine's payoff.
+func benchEngineMode(b *testing.B, g *graph.Graph, incremental bool) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := core.CleanConfig(g)
+		e := sm.NewEngine(g, core.FullProgram(g), NewDaemon(CentralRandom, int64(i), g.N()), cfg,
+			sm.WithIncremental(incremental), sm.WithSelfCheck(false))
+		in := workload.NewInjector(workload.SinglePair(0, graph.ProcessID(g.N()-1), 2),
+			func(st sm.State) workload.Enqueuer { return st.(*core.Node).FW })
+		in.Tick(e)
+		e.Run(50, nil)
+	}
+}
+
+func BenchmarkEngineGrid10x10Naive(b *testing.B) {
+	benchEngineMode(b, graph.Grid(10, 10), false)
+}
+
+func BenchmarkEngineGrid10x10Incremental(b *testing.B) {
+	benchEngineMode(b, graph.Grid(10, 10), true)
+}
+
+func BenchmarkEngineGrid20x20Naive(b *testing.B) {
+	benchEngineMode(b, graph.Grid(20, 20), false)
+}
+
+func BenchmarkEngineGrid20x20Incremental(b *testing.B) {
+	benchEngineMode(b, graph.Grid(20, 20), true)
+}

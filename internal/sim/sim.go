@@ -180,7 +180,7 @@ func Run(s Scenario) Result {
 		}
 		cfg := make([]sm.State, g.N())
 		for p := 0; p < g.N(); p++ {
-			cfg[p] = e.StateOf(graph.ProcessID(p))
+			cfg[p] = e.PeekStateOf(graph.ProcessID(p))
 		}
 		for _, m := range s.Monitors {
 			if err := m.Check(g, cfg); err != nil {
@@ -247,7 +247,7 @@ func Run(s Scenario) Result {
 // routingCorrect probes whether every routing table is canonical.
 func routingCorrect(g *graph.Graph, e *sm.Engine) bool {
 	for p := 0; p < g.N(); p++ {
-		if !routing.Correct(g, graph.ProcessID(p), e.StateOf(graph.ProcessID(p)).(*core.Node).RT) {
+		if !routing.Correct(g, graph.ProcessID(p), e.PeekStateOf(graph.ProcessID(p)).(*core.Node).RT) {
 			return false
 		}
 	}

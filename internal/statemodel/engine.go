@@ -2,14 +2,45 @@ package statemodel
 
 import (
 	"fmt"
+	"os"
 	"sort"
+	"strings"
+	"testing"
 
 	"ssmfp/internal/graph"
 )
 
+// Stats counts the enabled-set work an engine has performed. GuardEvals is
+// the headline number: the naive engine pays N·R guard invocations per
+// step, the incremental engine only re-evaluates the closed neighborhoods
+// of the processors that executed or were mutated. Self-check sweeps are
+// excluded from every counter so checked and unchecked runs report the
+// same work.
+type Stats struct {
+	Steps      int   // engine steps executed
+	FullScans  int   // complete enabled-set rebuilds (all N processors)
+	Flushes    int   // incremental cache flushes (dirty neighborhoods only)
+	GuardEvals int64 // guard invocations, full scans and flushes combined
+
+	ProcsEvaluated int64 // processors whose choice was (re-)computed
+	ProcsSkipped   int64 // processors served from the cache during flushes
+	DirtyMarks     int64 // cumulative dirty-set sizes at flush time
+
+	SelfChecks int // naive recomputations performed by the self-check mode
+}
+
 // Engine executes a Program on a Graph under a Daemon, starting from an
 // arbitrary initial configuration (the essence of stabilization: the
 // initial states are inputs, not something the engine sanitizes).
+//
+// By default the engine maintains the enabled-Choice set incrementally:
+// after a step only the closed neighborhoods of the processors that
+// executed (or whose state was replaced or handed out for mutation) are
+// re-evaluated, since a guard at p reads only N[p] — the locality that
+// View.Read enforces on protocol code. WithIncremental(false) restores
+// the naive full scan per step; WithSelfCheck(true) — the default under
+// `go test` and when SSMFP_PARANOID is set — recomputes the enabled set
+// naively every step and panics with a minimal diff on any divergence.
 type Engine struct {
 	g       *graph.Graph
 	program Program
@@ -26,14 +57,39 @@ type Engine struct {
 	// current round that have neither executed nor been neutralized yet.
 	roundPending map[graph.ProcessID]bool
 	roundOpen    bool
+	lastEnabled  []Choice
+	inStep       bool // Rounds() settles lazily only between steps
 
-	// scratch reused across steps
-	lastEnabled []Choice
+	// incremental enabled-set cache
+	incremental  bool
+	selfCheck    bool
+	enabledValid bool
+	enabledList  []Choice // memoized enabled set; valid iff enabledValid
+	dirty        []bool
+	dirtyList    []graph.ProcessID
+	stats        Stats
+}
+
+// EngineOption configures an Engine at construction time.
+type EngineOption func(*Engine)
+
+// WithIncremental toggles the incremental enabled-set cache (default on;
+// the environment variable SSMFP_INCREMENTAL=0 flips the default off).
+func WithIncremental(on bool) EngineOption {
+	return func(e *Engine) { e.incremental = on }
+}
+
+// WithSelfCheck toggles the differential self-check: every Step recomputes
+// the enabled set with the naive full scan and panics with a minimal diff
+// if the incremental cache diverged. The default is on under `go test`
+// (testing.Testing()) and when SSMFP_PARANOID is set, off otherwise.
+func WithSelfCheck(on bool) EngineOption {
+	return func(e *Engine) { e.selfCheck = on }
 }
 
 // NewEngine builds an engine over g running program under daemon, with the
 // given initial configuration (one State per processor, indexed by ID).
-func NewEngine(g *graph.Graph, program Program, daemon Daemon, initial []State) *Engine {
+func NewEngine(g *graph.Graph, program Program, daemon Daemon, initial []State, opts ...EngineOption) *Engine {
 	if !g.Frozen() {
 		panic("statemodel: NewEngine requires a frozen graph")
 	}
@@ -49,7 +105,7 @@ func NewEngine(g *graph.Graph, program Program, daemon Daemon, initial []State) 
 	if len(rules) == 0 {
 		panic("statemodel: program has no rules")
 	}
-	return &Engine{
+	e := &Engine{
 		g:            g,
 		program:      program,
 		rules:        rules,
@@ -57,25 +113,95 @@ func NewEngine(g *graph.Graph, program Program, daemon Daemon, initial []State) 
 		states:       append([]State(nil), initial...),
 		moves:        make(map[string]int),
 		roundPending: make(map[graph.ProcessID]bool),
+		incremental:  os.Getenv("SSMFP_INCREMENTAL") != "0",
+		selfCheck:    testing.Testing() || os.Getenv("SSMFP_PARANOID") != "",
+		dirty:        make([]bool, g.N()),
 	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
 }
 
 // Graph returns the topology the engine runs on.
 func (e *Engine) Graph() *graph.Graph { return e.g }
 
-// StateOf returns the current state of processor p. Callers must treat it
-// as read-only.
-func (e *Engine) StateOf(p graph.ProcessID) State { return e.states[p] }
+// StateOf returns the current state of processor p. Because many callers
+// (workload injection, fault injection, tests) mutate the returned state
+// in place, the engine conservatively marks p dirty so the incremental
+// cache re-evaluates N[p] at the next flush. Use PeekStateOf on hot
+// read-only paths.
+func (e *Engine) StateOf(p graph.ProcessID) State {
+	e.markDirty(p)
+	return e.states[p]
+}
+
+// PeekStateOf returns the current state of processor p without
+// invalidating the incremental cache. The caller must not mutate it.
+func (e *Engine) PeekStateOf(p graph.ProcessID) State { return e.states[p] }
 
 // SetStateOf replaces the state of processor p. Intended for scenario
 // setup (fault injection between runs); not for use by protocol code.
-func (e *Engine) SetStateOf(p graph.ProcessID, s State) { e.states[p] = s }
+// Besides invalidating the incremental cache it resets the round
+// bookkeeping: the pending set and neutralization baseline describe a
+// configuration that no longer exists, so the current partial round is
+// abandoned (a round already complete under the old configuration is
+// still counted first).
+func (e *Engine) SetStateOf(p graph.ProcessID, s State) {
+	e.settleRounds()
+	e.states[p] = s
+	e.Invalidate(p)
+}
+
+// Invalidate tells the engine that the states of the given processors were
+// (or may have been) mutated behind its back: their closed neighborhoods
+// are re-evaluated at the next flush and the round bookkeeping is reset,
+// exactly as for SetStateOf. With no arguments the whole enabled-set cache
+// is dropped.
+func (e *Engine) Invalidate(ps ...graph.ProcessID) {
+	if len(ps) == 0 {
+		e.enabledValid = false
+		e.clearDirty()
+	} else {
+		for _, p := range ps {
+			e.markDirty(p)
+		}
+	}
+	e.resetRoundBookkeeping()
+}
+
+func (e *Engine) resetRoundBookkeeping() {
+	for p := range e.roundPending {
+		delete(e.roundPending, p)
+	}
+	e.roundOpen = false
+	e.lastEnabled = nil
+}
 
 // Steps returns the number of executed steps.
 func (e *Engine) Steps() int { return e.step }
 
 // Rounds returns the number of completed rounds (see package comment).
-func (e *Engine) Rounds() int { return e.rounds }
+// Between steps the count is settled first: a round whose pending
+// processors have all executed or been neutralized is closed immediately
+// rather than at the start of the next step, so the count is exact even at
+// a terminal configuration that no further Step call will visit. During a
+// step (i.e. inside event listeners) the raw count is returned.
+func (e *Engine) Rounds() int {
+	if !e.inStep {
+		e.settleRounds()
+	}
+	return e.rounds
+}
+
+// settleRounds closes the current round if it is already complete under
+// the current configuration.
+func (e *Engine) settleRounds() {
+	if !e.roundOpen {
+		return
+	}
+	e.closeRoundBookkeeping(e.enabledCurrent())
+}
 
 // Moves returns how many times the named rule has executed.
 func (e *Engine) Moves(rule string) int { return e.moves[rule] }
@@ -98,6 +224,9 @@ func (e *Engine) MoveCounts() map[string]int {
 	return out
 }
 
+// Stats returns a copy of the instrumentation counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
 // Subscribe registers a listener invoked for every event emitted by actions
 // (in emission order) and for every rule execution (kind "fire").
 func (e *Engine) Subscribe(fn func(Event)) { e.listeners = append(e.listeners, fn) }
@@ -108,35 +237,138 @@ func (e *Engine) publish(ev Event) {
 	}
 }
 
+// --- incremental enabled-set cache ------------------------------------
+
+func (e *Engine) markDirty(p graph.ProcessID) {
+	if !e.incremental || !e.enabledValid || e.dirty[p] {
+		return
+	}
+	e.dirty[p] = true
+	e.dirtyList = append(e.dirtyList, p)
+}
+
+func (e *Engine) clearDirty() {
+	for _, p := range e.dirtyList {
+		e.dirty[p] = false
+	}
+	e.dirtyList = e.dirtyList[:0]
+}
+
+// enabledCurrent returns the enabled choices of the current configuration.
+// In incremental mode the memoized list is returned, flushing any dirty
+// closed neighborhoods first; callers inside the engine must not mutate
+// it. Every rebuild allocates a fresh slice, so a list handed out before a
+// flush (e.g. the pre-step set a Step holds) stays intact.
+func (e *Engine) enabledCurrent() []Choice {
+	if !e.incremental {
+		e.stats.FullScans++
+		e.stats.ProcsEvaluated += int64(e.g.N())
+		return scanEnabled(e.g, e.rules, e.states, e.step, &e.stats.GuardEvals)
+	}
+	if !e.enabledValid {
+		e.stats.FullScans++
+		e.stats.ProcsEvaluated += int64(e.g.N())
+		e.enabledList = scanEnabled(e.g, e.rules, e.states, e.step, &e.stats.GuardEvals)
+		e.enabledValid = true
+		e.clearDirty()
+		return e.enabledList
+	}
+	if len(e.dirtyList) > 0 {
+		e.stats.Flushes++
+		e.stats.DirtyMarks += int64(len(e.dirtyList))
+		out, evaluated := enabledDelta(e.g, e.rules, e.states, e.enabledList, e.dirtyList, e.step, &e.stats.GuardEvals)
+		e.stats.ProcsEvaluated += int64(evaluated)
+		e.stats.ProcsSkipped += int64(e.g.N() - evaluated)
+		e.enabledList = out
+		e.clearDirty()
+	}
+	return e.enabledList
+}
+
+// selfCheckEnabled recomputes the enabled set with the naive full scan and
+// panics with a minimal diff if the incremental cache diverged. The sweep
+// bypasses the instrumentation counters.
+func (e *Engine) selfCheckEnabled(got []Choice) {
+	e.stats.SelfChecks++
+	want := scanEnabled(e.g, e.rules, e.states, e.step, nil)
+	if diff := diffEnabled(e.rules, want, got); diff != "" {
+		panic(fmt.Sprintf("statemodel: incremental enabled-set divergence at step %d (self-check):\n%s", e.step, diff))
+	}
+}
+
+// diffEnabled renders the per-processor differences between two enabled
+// sets (both sorted by processor ID); empty means identical.
+func diffEnabled(rules []Rule, want, got []Choice) string {
+	names := func(c Choice) string {
+		parts := make([]string, len(c.Rules))
+		for i, r := range c.Rules {
+			parts[i] = rules[r].Name
+		}
+		return "[" + strings.Join(parts, " ") + "]"
+	}
+	var sb strings.Builder
+	wi, gi := 0, 0
+	for wi < len(want) || gi < len(got) {
+		switch {
+		case gi >= len(got) || (wi < len(want) && want[wi].Process < got[gi].Process):
+			fmt.Fprintf(&sb, "  p%d: naive=%s incremental=[]\n", want[wi].Process, names(want[wi]))
+			wi++
+		case wi >= len(want) || got[gi].Process < want[wi].Process:
+			fmt.Fprintf(&sb, "  p%d: naive=[] incremental=%s\n", got[gi].Process, names(got[gi]))
+			gi++
+		default:
+			if !equalInts(want[wi].Rules, got[gi].Rules) {
+				fmt.Fprintf(&sb, "  p%d: naive=%s incremental=%s\n", want[wi].Process, names(want[wi]), names(got[gi]))
+			}
+			wi++
+			gi++
+		}
+	}
+	return sb.String()
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Enabled computes the Choice list of the current configuration: every
 // processor with at least one enabled rule, offering only its minimal
 // enabled priority class. Processors appear in ascending ID order and rule
-// indices in program order, so the result is deterministic.
+// indices in program order, so the result is deterministic. The returned
+// slice is the caller's to keep.
 func (e *Engine) Enabled() []Choice {
-	var enabled []Choice
-	for p := 0; p < e.g.N(); p++ {
-		c := e.enabledAt(graph.ProcessID(p))
-		if len(c.Rules) > 0 {
-			enabled = append(enabled, c)
-		}
+	cur := e.enabledCurrent()
+	out := make([]Choice, len(cur))
+	for i, c := range cur {
+		out[i] = Choice{Process: c.Process, Rules: append([]int(nil), c.Rules...)}
 	}
-	return enabled
-}
-
-func (e *Engine) enabledAt(p graph.ProcessID) Choice {
-	return enabledAtConfig(e.g, e.rules, e.states, p, e.step)
+	return out
 }
 
 // Terminal reports whether no action is enabled in the current
 // configuration.
-func (e *Engine) Terminal() bool { return len(e.Enabled()) == 0 }
+func (e *Engine) Terminal() bool { return len(e.enabledCurrent()) == 0 }
 
 // Step executes one atomic step: compute the enabled set, let the daemon
 // select, execute the selected actions against the pre-step snapshot, and
 // commit. It returns false (and does nothing) if the configuration is
 // terminal.
 func (e *Engine) Step() bool {
-	enabled := e.Enabled()
+	e.inStep = true
+	defer func() { e.inStep = false }()
+
+	enabled := e.enabledCurrent()
+	if e.incremental && e.selfCheck {
+		e.selfCheckEnabled(enabled)
+	}
 	e.closeRoundBookkeeping(enabled)
 	if len(enabled) == 0 {
 		return false
@@ -171,6 +403,7 @@ func (e *Engine) Step() bool {
 	}
 	for p, s := range newStates {
 		e.states[p] = s
+		e.markDirty(p)
 	}
 	for _, sel := range sels {
 		delete(e.roundPending, sel.Process)
@@ -185,6 +418,7 @@ func (e *Engine) Step() bool {
 		e.publish(events[i])
 	}
 	e.step++
+	e.stats.Steps++
 	return true
 }
 
@@ -236,11 +470,10 @@ func (e *Engine) rememberEnabled(enabled []Choice) {
 	e.lastEnabled = enabled
 }
 
-// closeRoundBookkeeping runs at the start of a step, when the new enabled
-// set is known: any processor still pending in the current round that was
-// enabled at the previous step and is no longer enabled now was neutralized
-// and leaves the round. If the round's pending set empties, the round
-// completes.
+// closeRoundBookkeeping runs when a fresh enabled set is known: any
+// processor still pending in the current round that was enabled at the
+// previous step and is no longer enabled now was neutralized and leaves
+// the round. If the round's pending set empties, the round completes.
 func (e *Engine) closeRoundBookkeeping(enabledNow []Choice) {
 	if !e.roundOpen {
 		return
@@ -293,7 +526,7 @@ func (e *Engine) Run(maxSteps int, stop func(*Engine) bool) (steps int, terminal
 // EnabledRuleNames returns the names of the rules currently enabled at p,
 // sorted; a debugging and test helper.
 func (e *Engine) EnabledRuleNames(p graph.ProcessID) []string {
-	c := e.enabledAt(p)
+	c := enabledAtConfig(e.g, e.rules, e.states, p, e.step, nil)
 	names := make([]string, 0, len(c.Rules))
 	for _, i := range c.Rules {
 		names = append(names, e.rules[i].Name)

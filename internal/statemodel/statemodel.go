@@ -16,6 +16,7 @@ package statemodel
 
 import (
 	"fmt"
+	"sort"
 
 	"ssmfp/internal/graph"
 )
@@ -164,9 +165,16 @@ type Daemon interface {
 // configurations that are not installed in any engine. Priority filtering
 // is applied exactly as in the engine.
 func EnabledOf(g *graph.Graph, rules []Rule, cfg []State) []Choice {
+	return scanEnabled(g, rules, cfg, 0, nil)
+}
+
+// scanEnabled is the naive full sweep: every guard of every processor is
+// evaluated on cfg. guardEvals, when non-nil, accumulates the number of
+// guard invocations.
+func scanEnabled(g *graph.Graph, rules []Rule, cfg []State, step int, guardEvals *int64) []Choice {
 	var enabled []Choice
 	for p := 0; p < g.N(); p++ {
-		c := enabledAtConfig(g, rules, cfg, graph.ProcessID(p), 0)
+		c := enabledAtConfig(g, rules, cfg, graph.ProcessID(p), step, guardEvals)
 		if len(c.Rules) > 0 {
 			enabled = append(enabled, c)
 		}
@@ -174,16 +182,72 @@ func EnabledOf(g *graph.Graph, rules []Rule, cfg []State) []Choice {
 	return enabled
 }
 
+// EnabledDelta incrementally updates an enabled set after a localized
+// configuration change: prev must be the enabled choices of the
+// configuration cfg was derived from, and changed the processors whose
+// state differs. Because a guard at p reads only the closed neighborhood
+// N[p] (enforced by View.Read), enabledness can have changed only inside
+// N[changed]; exactly those processors are re-evaluated and everything
+// else is carried over from prev. The result is freshly allocated and
+// sorted by processor ID, identical to EnabledOf(g, rules, cfg).
+func EnabledDelta(g *graph.Graph, rules []Rule, cfg []State, prev []Choice, changed []graph.ProcessID) []Choice {
+	out, _ := enabledDelta(g, rules, cfg, prev, changed, 0, nil)
+	return out
+}
+
+// enabledDelta is EnabledDelta with instrumentation: it additionally
+// reports how many processors were re-evaluated (|N[changed]|) and, when
+// guardEvals is non-nil, accumulates guard invocations.
+func enabledDelta(g *graph.Graph, rules []Rule, cfg []State, prev []Choice, changed []graph.ProcessID, step int, guardEvals *int64) (out []Choice, evaluated int) {
+	dirty := make([]bool, g.N())
+	reeval := make([]graph.ProcessID, 0, 4*len(changed))
+	mark := func(p graph.ProcessID) {
+		if !dirty[p] {
+			dirty[p] = true
+			reeval = append(reeval, p)
+		}
+	}
+	for _, p := range changed {
+		mark(p)
+		for _, q := range g.Neighbors(p) {
+			mark(q)
+		}
+	}
+	sort.Slice(reeval, func(i, j int) bool { return reeval[i] < reeval[j] })
+
+	// Merge the untouched entries of prev with the re-evaluated closed
+	// neighborhood, keeping ascending processor order.
+	out = make([]Choice, 0, len(prev)+len(reeval))
+	pi := 0
+	for _, p := range reeval {
+		for pi < len(prev) && prev[pi].Process < p {
+			out = append(out, prev[pi])
+			pi++
+		}
+		if pi < len(prev) && prev[pi].Process == p {
+			pi++
+		}
+		if c := enabledAtConfig(g, rules, cfg, p, step, guardEvals); len(c.Rules) > 0 {
+			out = append(out, c)
+		}
+	}
+	out = append(out, prev[pi:]...)
+	return out, len(reeval)
+}
+
 // enabledAtConfig evaluates the guards of p on cfg, offering only the
-// minimal enabled priority class.
-func enabledAtConfig(g *graph.Graph, rules []Rule, cfg []State, p graph.ProcessID, step int) Choice {
+// minimal enabled priority class. guardEvals, when non-nil, accumulates
+// the number of guard invocations.
+func enabledAtConfig(g *graph.Graph, rules []Rule, cfg []State, p graph.ProcessID, step int, guardEvals *int64) Choice {
 	v := &View{id: p, g: g, snapshot: cfg, step: step}
 	best := int(^uint(0) >> 1)
 	var idxs []int
+	evals := int64(0)
 	for i, r := range rules {
 		if r.Priority > best {
 			continue
 		}
+		evals++
 		if r.Guard(v) {
 			if r.Priority < best {
 				best = r.Priority
@@ -191,6 +255,9 @@ func enabledAtConfig(g *graph.Graph, rules []Rule, cfg []State, p graph.ProcessI
 			}
 			idxs = append(idxs, i)
 		}
+	}
+	if guardEvals != nil {
+		*guardEvals += evals
 	}
 	return Choice{Process: p, Rules: idxs}
 }

@@ -1,0 +1,119 @@
+package statemodel
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"ssmfp/internal/graph"
+)
+
+// TestViewReadLocality pins View.Read's locality contract in both
+// directions: reads of the closed neighborhood succeed, any other read
+// panics with a message naming both processors. The incremental engine
+// relies on exactly this contract (a guard at p depends only on N[p]), so
+// the panic is load-bearing, not cosmetic.
+func TestViewReadLocality(t *testing.T) {
+	g := graph.Line(4) // 0-1-2-3
+	cfg := intConfig(10, 11, 12, 13)
+	cases := []struct {
+		name      string
+		reader    graph.ProcessID
+		target    graph.ProcessID
+		wantPanic bool
+	}{
+		{"self", 1, 1, false},
+		{"left neighbor", 1, 0, false},
+		{"right neighbor", 1, 2, false},
+		{"distance two", 0, 2, true},
+		{"distance three", 0, 3, true},
+		{"reverse non-neighbor", 3, 1, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			v := &View{id: c.reader, g: g, snapshot: cfg}
+			defer func() {
+				r := recover()
+				if c.wantPanic {
+					if r == nil {
+						t.Fatalf("Read(%d) from %d: expected locality panic", c.target, c.reader)
+					}
+					msg := fmt.Sprint(r)
+					if !strings.Contains(msg, "locality violation") ||
+						!strings.Contains(msg, fmt.Sprint(c.reader)) ||
+						!strings.Contains(msg, fmt.Sprint(c.target)) {
+						t.Fatalf("panic message should name the violation and both processors, got: %s", msg)
+					}
+					return
+				}
+				if r != nil {
+					t.Fatalf("Read(%d) from %d: unexpected panic %v", c.target, c.reader, r)
+				}
+			}()
+			if got := v.Read(c.target).(*intState).v; got != 10+int(c.target) {
+				t.Fatalf("Read(%d) = %d, want %d", c.target, got, 10+int(c.target))
+			}
+		})
+	}
+}
+
+// TestRuleOfBackfill pins the emit-backfill behavior: an event emitted via
+// View.Emit carries no rule name and the engine fills it from the next
+// "fire" marker of the same processor. When the ordering is unexpected —
+// no later fire marker for that processor — the rule stays empty rather
+// than borrowing another processor's rule. These are the current
+// semantics; checkers treat an empty Rule as "unknown origin".
+func TestRuleOfBackfill(t *testing.T) {
+	fire := func(p graph.ProcessID, rule string) Event {
+		return Event{Process: p, Rule: rule, Kind: "fire"}
+	}
+	emit := func(p graph.ProcessID) Event {
+		return Event{Process: p, Kind: "deliver"}
+	}
+	cases := []struct {
+		name   string
+		events []Event
+		idx    int
+		want   string
+	}{
+		{"emit then own fire", []Event{emit(1), fire(1, "R6@1")}, 0, "R6@1"},
+		{"interleaved processors", []Event{emit(1), fire(2, "R1@2"), fire(1, "R6@1")}, 0, "R6@1"},
+		{"two emits same step", []Event{emit(1), emit(2), fire(1, "R6@1"), fire(2, "R4@2")}, 1, "R4@2"},
+		{"first of two fires wins", []Event{emit(1), fire(1, "R1@1"), fire(1, "R2@1")}, 0, "R1@1"},
+		{"no fire at all", []Event{emit(1)}, 0, ""},
+		{"only other processor fires", []Event{emit(1), fire(2, "R1@2")}, 0, ""},
+		{"fire before emit (unexpected order)", []Event{fire(1, "R6@1"), emit(1)}, 1, ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := ruleOf(c.events, c.idx); got != c.want {
+				t.Fatalf("ruleOf(%v, %d) = %q, want %q", c.events, c.idx, got, c.want)
+			}
+		})
+	}
+}
+
+// TestEngineBackfillsEmitRule drives the backfill end to end: events
+// published by the engine carry the emitting rule's name.
+func TestEngineBackfillsEmitRule(t *testing.T) {
+	prog := NewProgram(Rule{
+		Name:  "announce",
+		Guard: func(v *View) bool { return v.Self().(*intState).v == 0 },
+		Action: func(v *View) {
+			v.Emit("hello", nil)
+			v.Self().(*intState).v = 1
+		},
+	})
+	g := graph.Line(2)
+	e := NewEngine(g, prog, allDaemon{}, intConfig(0, 0))
+	var rules []string
+	e.Subscribe(func(ev Event) {
+		if ev.Kind == "hello" {
+			rules = append(rules, ev.Rule)
+		}
+	})
+	e.Run(10, nil)
+	if len(rules) != 2 || rules[0] != "announce" || rules[1] != "announce" {
+		t.Fatalf("backfilled rules = %v, want [announce announce]", rules)
+	}
+}

@@ -135,7 +135,7 @@ func (rec *Recorder) render() string {
 func (rec *Recorder) config() []sm.State {
 	cfg := make([]sm.State, rec.e.Graph().N())
 	for p := 0; p < rec.e.Graph().N(); p++ {
-		cfg[p] = rec.e.StateOf(graph.ProcessID(p))
+		cfg[p] = rec.e.PeekStateOf(graph.ProcessID(p))
 	}
 	return cfg
 }

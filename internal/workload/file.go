@@ -19,9 +19,15 @@ import (
 // against g. This is the trace-driven input of cmd/ssmfp-sim
 // (-workload-file): recorded or hand-written traffic can be replayed
 // against any protocol configuration.
+// maxLineBytes bounds a single workload line. bufio.Scanner's default cap
+// is 64KB, which real payloads can exceed; lines past this bound are a
+// hard error that names the offending line.
+const maxLineBytes = 16 << 20
+
 func Parse(r io.Reader, g *graph.Graph) (Workload, error) {
 	var w Workload
 	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
 	lineNo := 0
 	for scanner.Scan() {
 		lineNo++
@@ -55,7 +61,9 @@ func Parse(r io.Reader, g *graph.Graph) (Workload, error) {
 		w = append(w, s)
 	}
 	if err := scanner.Err(); err != nil {
-		return nil, fmt.Errorf("workload: %v", err)
+		// The scanner stops before delivering the failing line, so the
+		// error sits on the line after the last one handed to us.
+		return nil, fmt.Errorf("workload: line %d: %v", lineNo+1, err)
 	}
 	w.sort()
 	return w, nil

@@ -1,0 +1,64 @@
+package workload_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"ssmfp/internal/graph"
+	"ssmfp/internal/workload"
+)
+
+func TestParseLongPayloadLine(t *testing.T) {
+	// A ~100KB payload exceeds bufio.Scanner's 64KB default buffer; Parse
+	// must grow its buffer rather than fail with a bare "token too long".
+	g := graph.Line(3)
+	payload := strings.Repeat("x", 100*1024)
+	input := "# comment\n0 2 " + payload + " 5\n1 0 short\n"
+	w, err := workload.Parse(strings.NewReader(input), g)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(w) != 2 {
+		t.Fatalf("parsed %d sends, want 2", len(w))
+	}
+	if w[1].Payload != payload || w[1].AtStep != 5 {
+		t.Fatalf("long send mangled: len(payload)=%d atStep=%d", len(w[1].Payload), w[1].AtStep)
+	}
+}
+
+func TestParseOverlongLineReportsLineNumber(t *testing.T) {
+	g := graph.Line(3)
+	payload := strings.Repeat("x", 17<<20) // past the 16MB line cap
+	input := "0 1 ok\n1 2 fine\n0 2 " + payload + "\n"
+	_, err := workload.Parse(strings.NewReader(input), g)
+	if err == nil {
+		t.Fatal("expected error for over-long line")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error should name line 3, got: %v", err)
+	}
+	if !strings.Contains(err.Error(), "token too long") {
+		t.Fatalf("error should carry the scanner cause, got: %v", err)
+	}
+}
+
+func TestParseRoundTripWithLongPayload(t *testing.T) {
+	g := graph.Ring(4)
+	// Already in AtStep order so the Parse-side sort is the identity.
+	orig := workload.Workload{
+		{Src: 3, Dest: 1, Payload: "tiny", AtStep: 0},
+		{Src: 0, Dest: 2, Payload: strings.Repeat("y", 200*1024), AtStep: 1},
+	}
+	var buf strings.Builder
+	if err := workload.Format(orig, &buf); err != nil {
+		t.Fatalf("Format: %v", err)
+	}
+	got, err := workload.Parse(strings.NewReader(buf.String()), g)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(orig) {
+		t.Fatalf("round trip mismatch:\n got %.80v\nwant %.80v", got, orig)
+	}
+}

@@ -6,6 +6,10 @@
 // Usage:
 //
 //	ssmfp-bench [-seed N] [-paranoid] [-experiment all|f1|f2|f3|f4|p4|p5|p6|p7|x1..x6|ra|mc|ep]
+//	            [-trace-out f3.jsonl]
+//
+// -trace-out records the Figure 3 replay (experiment f3) as a JSONL event
+// trace; render it with ssmfp-trace -replay.
 package main
 
 import (
@@ -14,6 +18,7 @@ import (
 	"os"
 	"strings"
 
+	"ssmfp/internal/obs"
 	"ssmfp/internal/sim"
 )
 
@@ -21,6 +26,7 @@ func main() {
 	seed := flag.Int64("seed", 2009, "random seed for all experiments")
 	which := flag.String("experiment", "all", "experiment to run (all, f1, f2, f3, f4, p4, p5, p6, p7, x1, x2, x3, x4, x5, x6, ra, mc, ep)")
 	paranoid := flag.Bool("paranoid", false, "run every engine with the incremental self-check enabled (naive rescan cross-checks each step)")
+	traceOut := flag.String("trace-out", "", "write the f3 replay as a JSONL event trace to this file")
 	flag.Parse()
 	if *paranoid {
 		// The engines are constructed deep inside the experiments; the env
@@ -50,7 +56,21 @@ func main() {
 		return r.Table, r.CleanAcyclic && r.CycleLen > 0
 	})
 	run("f3", func() (fmt.Stringer, bool) {
-		r := sim.ExperimentF3()
+		r, hdr, events := sim.ExperimentF3Recorded()
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err == nil {
+				err = obs.WriteJSONL(f, hdr, events)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ssmfp-bench: trace:", err)
+				os.Exit(2)
+			}
+			fmt.Printf("f3 trace: %d events -> %s\n", len(events), *traceOut)
+		}
 		fmt.Println("== E-F3: Figure 3 execution replay ==")
 		fmt.Println(r.Trace)
 		if !r.OK {

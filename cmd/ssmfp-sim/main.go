@@ -8,18 +8,27 @@
 //	          [-n 8] [-daemon synchronous|central-random|central-round-robin|distributed|weakly-fair-lifo]
 //	          [-corrupt] [-messages 10] [-pattern random|all-to-one|one-to-all|all-to-all|permutation]
 //	          [-workload-file trace.txt] [-seed 1] [-max-steps 10000000] [-paranoid] [-v]
+//	          [-trace-out run.jsonl] [-trace-dest 0] [-metrics-out lifecycle.json] [-http 127.0.0.1:0]
+//
+// -trace-out streams the run as a JSONL event trace (replayable with
+// ssmfp-trace -replay when no faults are injected); -metrics-out writes the
+// per-message lifecycle report as JSON; -http serves expvar, pprof and a
+// JSON status snapshot under /debug while the run executes.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"sort"
+	"sync/atomic"
 
 	"ssmfp/internal/core"
 	"ssmfp/internal/graph"
 	"ssmfp/internal/metrics"
+	"ssmfp/internal/obs"
 	"ssmfp/internal/sim"
 	"ssmfp/internal/workload"
 )
@@ -35,8 +44,12 @@ func main() {
 	workloadFile := flag.String("workload-file", "", "replay sends from a file ('src dest payload [atStep]' per line; overrides -pattern)")
 	seed := flag.Int64("seed", 1, "random seed")
 	maxSteps := flag.Int("max-steps", 10_000_000, "step cap")
-	verbose := flag.Bool("v", false, "print per-rule move counts")
+	verbose := flag.Bool("v", false, "print per-rule move counts and engine stats")
 	paranoid := flag.Bool("paranoid", false, "cross-check the incremental enabled set against a naive rescan every step")
+	traceOut := flag.String("trace-out", "", "write the run as a JSONL event trace to this file")
+	traceDest := flag.Int("trace-dest", 0, "focus destination recorded in the trace header")
+	metricsOut := flag.String("metrics-out", "", "write the per-message lifecycle report (JSON) to this file")
+	httpAddr := flag.String("http", "", "serve /debug/vars, /debug/pprof and /debug/ssmfp on this address during the run")
 	flag.Parse()
 	if *paranoid {
 		// The engine is constructed inside sim.Run; the env var is how the
@@ -95,7 +108,63 @@ func main() {
 		c := core.DefaultCorrupt
 		sc.Corrupt = &c
 	}
+
+	var traceFile *os.File
+	if *traceOut != "" {
+		if *traceDest < 0 || *traceDest >= g.N() {
+			fmt.Fprintf(os.Stderr, "ssmfp-sim: -trace-dest %d out of range [0,%d)\n", *traceDest, g.N())
+			os.Exit(2)
+		}
+		var err error
+		traceFile, err = os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ssmfp-sim:", err)
+			os.Exit(2)
+		}
+		sc.TraceOut = traceFile
+		sc.TraceDest = graph.ProcessID(*traceDest)
+	}
+	if *metricsOut != "" {
+		sc.Lifecycle = true
+	}
+	var lastStatus atomic.Pointer[sim.Status]
+	if *httpAddr != "" {
+		sc.OnStatus = func(st sim.Status) { lastStatus.Store(&st) }
+		srv, err := obs.Serve(*httpAddr, func() any { return lastStatus.Load() })
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ssmfp-sim:", err)
+			os.Exit(2)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "ssmfp-sim: debug endpoints on http://%s/debug/\n", srv.Addr())
+	}
+
 	r := sim.Run(sc)
+
+	if traceFile != nil {
+		if r.TraceErr != nil {
+			fmt.Fprintln(os.Stderr, "ssmfp-sim: trace:", r.TraceErr)
+			os.Exit(2)
+		}
+		if err := traceFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "ssmfp-sim: trace:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("trace     : %d events -> %s\n", r.TraceEvents, *traceOut)
+	}
+	if *metricsOut != "" {
+		data, err := json.MarshalIndent(r.Lifecycle, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*metricsOut, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ssmfp-sim: metrics:", err)
+			os.Exit(2)
+		}
+		rep := r.Lifecycle
+		fmt.Printf("lifecycle : %d messages, %d delivered; delivery mean %.1f / delay mean %.1f / waiting mean %.1f rounds -> %s\n",
+			rep.Messages, rep.Delivered, rep.DeliveryRounds.Mean, rep.DelayRounds.Mean, rep.WaitingRounds.Mean, *metricsOut)
+	}
 
 	fmt.Printf("network   : %v\n", g)
 	fmt.Printf("daemon    : %s\n", *daemonKind)
@@ -122,6 +191,9 @@ func main() {
 			t.AddRow(rule, r.MovesByRule[rule])
 		}
 		fmt.Print(t)
+		st := r.Stats
+		fmt.Printf("engine    : %d guard evals in %d full scans + %d flushes (procs: %d evaluated, %d cached; %d dirty marks, %d self-checks)\n",
+			st.GuardEvals, st.FullScans, st.Flushes, st.ProcsEvaluated, st.ProcsSkipped, st.DirtyMarks, st.SelfChecks)
 	}
 	if r.OK() {
 		fmt.Println("verdict   : SP satisfied — every generated message delivered exactly once")

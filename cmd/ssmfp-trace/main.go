@@ -1,11 +1,16 @@
 // Command ssmfp-trace renders executions of SSMFP frame by frame in the
 // style of the paper's Figure 3. By default it replays the reconstructed
 // Figure 3 scenario; with -scenario=corrupt it records a random corrupted
-// run for one destination.
+// run for one destination; with -replay it re-renders a JSONL event trace
+// captured earlier (ssmfp-sim -trace-out, ssmfp-bench -trace-out) by
+// folding the value-carrying events over the recorded initial
+// configuration — the result is byte-identical to what a live recorder
+// would have printed.
 //
 // Usage:
 //
 //	ssmfp-trace [-scenario figure3|corrupt] [-seed 1] [-frames 40]
+//	ssmfp-trace -replay run.jsonl [-dest d] [-frames 40] [-validate]
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"ssmfp/internal/core"
 	"ssmfp/internal/daemon"
 	"ssmfp/internal/graph"
+	"ssmfp/internal/obs"
 	"ssmfp/internal/sim"
 	sm "ssmfp/internal/statemodel"
 	"ssmfp/internal/trace"
@@ -25,8 +31,19 @@ import (
 func main() {
 	scenario := flag.String("scenario", "figure3", "what to trace (figure3 or corrupt)")
 	seed := flag.Int64("seed", 1, "seed for the corrupt scenario")
-	frames := flag.Int("frames", 40, "frame limit for the corrupt scenario")
+	frames := flag.Int("frames", 40, "frame limit for the corrupt scenario and -replay (0 = all)")
+	replay := flag.String("replay", "", "re-render a recorded JSONL trace instead of running a scenario")
+	dest := flag.Int("dest", -1, "destination to replay (-replay only; default: the trace header's focus destination)")
+	validate := flag.Bool("validate", false, "with -replay: only load and validate the trace, print a summary, render nothing")
 	flag.Parse()
+
+	if *replay != "" {
+		if err := runReplay(*replay, *dest, *frames, *validate); err != nil {
+			fmt.Fprintln(os.Stderr, "ssmfp-trace:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	switch *scenario {
 	case "figure3":
@@ -58,4 +75,47 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ssmfp-trace: unknown scenario %q\n", *scenario)
 		os.Exit(2)
 	}
+}
+
+// runReplay loads a JSONL trace, optionally validates only, and re-renders
+// the frames of one destination.
+func runReplay(path string, dest, frameLimit int, validateOnly bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h, events, err := obs.Load(f)
+	if err != nil {
+		return err
+	}
+	if validateOnly {
+		fmt.Printf("%s: valid schema-%d trace: scenario %q, n=%d, m=%d, dest=%d, %d events\n",
+			path, h.Schema, h.Scenario, h.N, len(h.Edges), h.Dest, len(events))
+		return nil
+	}
+	d := graph.ProcessID(h.Dest)
+	if dest >= 0 {
+		d = graph.ProcessID(dest)
+	}
+	g, err := trace.GraphFromHeader(h)
+	if err != nil {
+		return err
+	}
+	r := trace.NewRenderer(g, trace.NamesFromHeader(h))
+	fs, err := trace.ReplayFrames(r, h, events, d)
+	if err != nil {
+		return err
+	}
+	total := len(fs)
+	if frameLimit > 0 && len(fs) > frameLimit {
+		fs = fs[:frameLimit]
+	}
+	fmt.Printf("replay of %s: scenario %q, destination %s, %d frames", path, h.Scenario, r.Name(d), total)
+	if len(fs) < total {
+		fmt.Printf(" (showing %d)", len(fs))
+	}
+	fmt.Print("\n\n")
+	fmt.Print(trace.RenderFrames(fs))
+	return nil
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"ssmfp/internal/graph"
+	"ssmfp/internal/obs"
 )
 
 // Message is the protocol's message triple (m, q, c): Payload is the useful
@@ -74,6 +75,15 @@ func (m *Message) WithHopColor(q graph.ProcessID, color int) *Message {
 	c.LastHop = q
 	c.Color = color
 	return &c
+}
+
+// Record converts the message into its observability image: the value an
+// obs.Event carries. A nil message records as nil (an empty buffer).
+func (m *Message) Record() *obs.MsgRecord {
+	if m == nil {
+		return nil
+	}
+	return &obs.MsgRecord{Payload: m.Payload, LastHop: m.LastHop, Color: m.Color, UID: m.UID, Valid: m.Valid}
 }
 
 // String renders the protocol-visible triple plus validity, e.g.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ssmfp/internal/graph"
+	"ssmfp/internal/obs"
 	sm "ssmfp/internal/statemodel"
 )
 
@@ -87,6 +88,9 @@ func destRules(d graph.ProcessID, policy ChoicePolicy) []sm.Rule {
 				// layer that immediately re-requests while messages wait.
 				self.Request = len(self.Pending) > 0
 				v.Emit(KindGenerate, GenerateEvent{Msg: msg})
+				if v.Observing() {
+					v.Observe(obs.Event{Kind: obs.KindGenerate, Dest: d, Msg: msg.Record()})
+				}
 			},
 		},
 		// (R2) Internal forwarding: bufE_p(d) = ∅ ∧ bufR_p(d) = (m,q,c) ∧
@@ -110,6 +114,9 @@ func destRules(d graph.ProcessID, policy ChoicePolicy) []sm.Rule {
 				s := ds(v)
 				s.BufE = s.BufR.WithHopColor(v.ID(), freshColor(v, d))
 				s.BufR = nil
+				if v.Observing() {
+					v.Observe(obs.Event{Kind: obs.KindInternal, Dest: d, Msg: s.BufE.Record()})
+				}
 			},
 		},
 		// (R3) Forwarding: bufR_p(d) = ∅ ∧ choice_p(d) = s ∧ s ≠ p ∧
@@ -134,6 +141,9 @@ func destRules(d graph.ProcessID, policy ChoicePolicy) []sm.Rule {
 				s.BufR = v.Read(src).(*Node).FW.Dests[d].BufE.WithHop(src)
 				s.Queue = rest // src has been served
 				v.Emit(KindServe, ServeEvent{Dest: d, Served: src})
+				if v.Observing() {
+					v.Observe(obs.Event{Kind: obs.KindForward, Dest: d, From: src, Msg: s.BufR.Record()})
+				}
 			},
 		},
 		// (R4) Erasing after forwarding: bufE_p(d) = (m,q,c) ∧ p ≠ d ∧
@@ -164,7 +174,13 @@ func destRules(d graph.ProcessID, policy ChoicePolicy) []sm.Rule {
 				}
 				return true
 			},
-			Action: func(v *sm.View) { ds(v).BufE = nil },
+			Action: func(v *sm.View) {
+				s := ds(v)
+				if v.Observing() {
+					v.Observe(obs.Event{Kind: obs.KindErase, Dest: d, Buf: obs.BufEmission, Msg: s.BufE.Record()})
+				}
+				s.BufE = nil
+			},
 		},
 		// (R5) Erasing after duplication: bufR_p(d) = (m,q,c) ∧ q ≠ p ∧
 		// bufE_q(d) = (m,q',c) ∧ nextHop_q(d) ≠ p  →  bufR_p(d) := ∅.
@@ -193,7 +209,13 @@ func destRules(d graph.ProcessID, policy ChoicePolicy) []sm.Rule {
 				origin := peer(v, q)
 				return origin.FW.Dests[d].BufE.SameMC(s.BufR) && origin.RT.NextHop(d) != v.ID()
 			},
-			Action: func(v *sm.View) { ds(v).BufR = nil },
+			Action: func(v *sm.View) {
+				s := ds(v)
+				if v.Observing() {
+					v.Observe(obs.Event{Kind: obs.KindErase, Dest: d, Buf: obs.BufReception, Msg: s.BufR.Record()})
+				}
+				s.BufR = nil
+			},
 		},
 		// (R6) Consumption: bufE_p(p) = (m,q,c)  →
 		// deliver_p(m); bufE_p(p) := ∅.
@@ -206,6 +228,9 @@ func destRules(d graph.ProcessID, policy ChoicePolicy) []sm.Rule {
 			Action: func(v *sm.View) {
 				s := ds(v)
 				v.Emit(KindDeliver, DeliverEvent{Msg: s.BufE})
+				if v.Observing() {
+					v.Observe(obs.Event{Kind: obs.KindDeliver, Dest: d, Msg: s.BufE.Record()})
+				}
 				s.BufE = nil
 			},
 		},

@@ -16,6 +16,7 @@ import (
 
 	"ssmfp/internal/core"
 	"ssmfp/internal/graph"
+	"ssmfp/internal/obs"
 	"ssmfp/internal/routing"
 	sm "ssmfp/internal/statemodel"
 )
@@ -108,7 +109,14 @@ func (in *Injector) Strike(e *sm.Engine, count int) []uint64 {
 		if in.rng.Intn(2) == 0 {
 			buf = &ds.BufE
 		}
-		switch in.kinds[in.rng.Intn(len(in.kinds))] {
+		kind := in.kinds[in.rng.Intn(len(in.kinds))]
+		if bus := e.Obs(); bus.Active() {
+			bus.Publish(obs.Event{
+				Kind: obs.KindFault, Step: e.Steps(), Round: e.Rounds(),
+				Proc: p, Dest: graph.ProcessID(d), Detail: kind.String(),
+			})
+		}
+		switch kind {
 		case TableScramble:
 			*node.RT = *routing.RandomState(in.g, p, in.rng)
 		case BufferDrop:

@@ -55,8 +55,9 @@ func Summarize(xs []float64) Summary {
 }
 
 // Percentile returns the p-th percentile (nearest-rank) of a sorted
-// sample. It panics if the sample is unsorted in debug-obvious cases only
-// (it trusts the caller) and returns 0 on an empty sample.
+// sample. It trusts the caller: the input is never verified and an
+// unsorted sample silently yields the wrong order statistic, not a panic.
+// An empty sample returns 0.
 func Percentile(sorted []float64, p float64) float64 {
 	if len(sorted) == 0 {
 		return 0

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"ssmfp/internal/graph"
+	"ssmfp/internal/obs"
 )
 
 // Message is the unit the port forwards. UID/Valid mirror the simulator's
@@ -105,6 +106,13 @@ type Options struct {
 	// CorruptInit randomizes initial routing state and plants invalid
 	// messages in buffers when true.
 	CorruptInit bool
+	// Bus, when non-nil, receives typed lifecycle events from the nodes
+	// (generate, internal move, hop transfer, erase, deliver). The port
+	// runs on wall-clock time, not engine steps, so events carry Step and
+	// Round -1; they are meant for live monitoring, not frame replay. With
+	// no bus (or no subscriber) the nodes pay one atomic load per event
+	// site.
+	Bus *obs.Bus
 }
 
 func (o Options) withDefaults() Options {
@@ -231,6 +239,57 @@ func (nw *Network) Stats() Stats {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
 	return nw.stats
+}
+
+// QueueDepth is a point-in-time occupancy snapshot of one node: frames
+// fanned in but not yet handled, higher-layer sends not yet accepted by
+// R1, and occupied buffers. Inbox and Pending are exact; the buffer gauges
+// are refreshed by the node on every tick, so they lag by at most one tick
+// period.
+type QueueDepth struct {
+	Proc    graph.ProcessID `json:"proc"`
+	Inbox   int             `json:"inbox"`
+	Pending int             `json:"pending"`
+	BufR    int             `json:"bufR"`
+	BufE    int             `json:"bufE"`
+}
+
+// QueueDepths snapshots every node's queue occupancy. Safe to call from
+// any goroutine while the network runs.
+func (nw *Network) QueueDepths() []QueueDepth {
+	out := make([]QueueDepth, len(nw.nodes))
+	for i, n := range nw.nodes {
+		n.mu.Lock()
+		pending := len(n.pending)
+		n.mu.Unlock()
+		out[i] = QueueDepth{
+			Proc:    n.id,
+			Inbox:   len(n.inbox),
+			Pending: pending,
+			BufR:    int(n.gaugeBufR.Load()),
+			BufE:    int(n.gaugeBufE.Load()),
+		}
+	}
+	return out
+}
+
+// observe publishes a wall-clock-domain event when a bus with subscribers
+// is attached; Step and Round are forced to -1 (there is no engine clock
+// in this model).
+func (nw *Network) observe(ev obs.Event) {
+	if b := nw.opts.Bus; b.Active() {
+		ev.Step, ev.Round = -1, -1
+		b.Publish(ev)
+	}
+}
+
+// record converts a port message into its observability image; lastHop is
+// the hop identity the state model would have stored alongside it.
+func record(m *Message, lastHop graph.ProcessID) *obs.MsgRecord {
+	if m == nil {
+		return nil
+	}
+	return &obs.MsgRecord{Payload: m.Payload, LastHop: lastHop, Color: m.Color, UID: m.UID, Valid: m.Valid}
 }
 
 // send pushes a frame onto the directed link, dropping it when the link is

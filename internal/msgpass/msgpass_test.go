@@ -2,11 +2,13 @@ package msgpass_test
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
 	"ssmfp/internal/graph"
 	"ssmfp/internal/msgpass"
+	"ssmfp/internal/obs"
 )
 
 // checkExactlyOnce fails the test if any UID in want is missing or any
@@ -244,4 +246,79 @@ func TestDuplicatingLinksStillExactlyOnce(t *testing.T) {
 		t.Fatalf("only %d/%d delivered under dup+loss", len(nw.Deliveries()), len(want))
 	}
 	checkExactlyOnce(t, nw, want)
+}
+
+func TestBusObservesMessageLifecycle(t *testing.T) {
+	g := graph.Line(4)
+	bus := obs.NewBus()
+	var mu sync.Mutex
+	kinds := make(map[obs.Kind]int)
+	var uid2kinds []obs.Kind
+	bus.Subscribe(func(ev obs.Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		kinds[ev.Kind]++
+		if ev.Step != -1 || ev.Round != -1 {
+			t.Errorf("wall-clock event carries engine time: %+v", ev)
+		}
+		if ev.Msg != nil && ev.Msg.UID == 1 {
+			uid2kinds = append(uid2kinds, ev.Kind)
+		}
+	})
+	nw := msgpass.New(g, msgpass.Options{Seed: 5, Bus: bus})
+	nw.Start()
+	defer nw.Stop()
+	uid := nw.Send(0, "watched", 3)
+	if uid != 1 {
+		t.Fatalf("uid = %d, want 1", uid)
+	}
+	if !nw.WaitDelivered(1, 10*time.Second) {
+		t.Fatal("message not delivered in time")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, k := range []obs.Kind{obs.KindGenerate, obs.KindInternal, obs.KindForward, obs.KindDeliver, obs.KindErase} {
+		if kinds[k] == 0 {
+			t.Errorf("no %s event observed; kinds = %v", k, kinds)
+		}
+	}
+	// The watched message's own stream starts with its generation and ends
+	// with its delivery.
+	if len(uid2kinds) == 0 || uid2kinds[0] != obs.KindGenerate || uid2kinds[len(uid2kinds)-1] != obs.KindDeliver {
+		t.Fatalf("uid 1 lifecycle = %v", uid2kinds)
+	}
+}
+
+func TestQueueDepthsSnapshot(t *testing.T) {
+	g := graph.Line(3)
+	nw := msgpass.New(g, msgpass.Options{Seed: 6})
+	// Before Start the pending queue is visible immediately.
+	nw.Send(0, "queued", 2)
+	qd := nw.QueueDepths()
+	if len(qd) != 3 {
+		t.Fatalf("depths for %d nodes, want 3", len(qd))
+	}
+	if qd[0].Proc != 0 || qd[0].Pending != 1 {
+		t.Fatalf("node 0 depth = %+v, want pending 1", qd[0])
+	}
+	nw.Start()
+	defer nw.Stop()
+	if !nw.WaitDelivered(1, 10*time.Second) {
+		t.Fatal("message not delivered in time")
+	}
+	// Drained: no pending sends remain anywhere.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		total := 0
+		for _, q := range nw.QueueDepths() {
+			total += q.Pending
+		}
+		if total == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pending queues never drained: %+v", nw.QueueDepths())
+		}
+		time.Sleep(time.Millisecond)
+	}
 }

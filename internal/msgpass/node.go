@@ -3,9 +3,11 @@ package msgpass
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ssmfp/internal/graph"
+	"ssmfp/internal/obs"
 )
 
 // destState is the per-destination forwarding state of a node: the bufR /
@@ -47,6 +49,15 @@ type node struct {
 	dests   []destState
 	nextSeq uint64
 
+	// inbox fans in frames from every incoming link; created up front so
+	// Network.QueueDepths can read its occupancy (len on a channel is safe
+	// concurrently).
+	inbox chan frame
+
+	// buffer-occupancy gauges, refreshed once per tick for QueueDepths.
+	gaugeBufR atomic.Int32
+	gaugeBufE atomic.Int32
+
 	// higher layer; written by Network.Send concurrently.
 	mu      sync.Mutex
 	pending []Message
@@ -63,6 +74,7 @@ func newNode(nw *Network, id graph.ProcessID, rng *rand.Rand) *node {
 		nbrDV:   make(map[graph.ProcessID][]int),
 		dests:   make([]destState, g.N()),
 		nextSeq: 1,
+		inbox:   make(chan frame, nw.opts.ChannelDepth*len(g.Neighbors(id))),
 	}
 	nbrs := g.Neighbors(id)
 	for d := 0; d < g.N(); d++ {
@@ -91,7 +103,23 @@ func newNode(nw *Network, id graph.ProcessID, rng *rand.Rand) *node {
 			n.dests[d].bufE = inv
 		}
 	}
+	n.updateGauges()
 	return n
+}
+
+// updateGauges refreshes the buffer-occupancy gauges QueueDepths reads.
+func (n *node) updateGauges() {
+	var r, e int32
+	for i := range n.dests {
+		if n.dests[i].bufR != nil {
+			r++
+		}
+		if n.dests[i].bufE != nil {
+			e++
+		}
+	}
+	n.gaugeBufR.Store(r)
+	n.gaugeBufE.Store(e)
 }
 
 // run is the node main loop: one goroutine per incoming link fans frames
@@ -102,7 +130,6 @@ func (n *node) run() {
 	ticker := time.NewTicker(n.nw.opts.Tick)
 	defer ticker.Stop()
 
-	inbox := make(chan frame, n.nw.opts.ChannelDepth*len(g.Neighbors(n.id)))
 	for _, q := range g.Neighbors(n.id) {
 		ch := n.nw.links[[2]graph.ProcessID{q, n.id}]
 		n.nw.wg.Add(1)
@@ -112,7 +139,7 @@ func (n *node) run() {
 				select {
 				case f := <-ch:
 					select {
-					case inbox <- f:
+					case n.inbox <- f:
 					case <-n.nw.stop:
 						return
 					}
@@ -127,7 +154,7 @@ func (n *node) run() {
 		select {
 		case <-n.nw.stop:
 			return
-		case f := <-inbox:
+		case f := <-n.inbox:
 			n.handle(f)
 		case <-ticker.C:
 			n.tick()
@@ -194,6 +221,7 @@ func (n *node) handleOffer(from graph.ProcessID, o offer) {
 		m := o.msg
 		ds.bufR = &m
 		ds.accepted[from] = o.seq
+		n.nw.observe(obs.Event{Kind: obs.KindForward, Proc: n.id, Dest: o.dest, From: from, Msg: record(&m, from)})
 		n.ack(from, o.dest, o.seq)
 	}
 }
@@ -209,6 +237,7 @@ func (n *node) ack(to graph.ProcessID, dest graph.ProcessID, seq uint64) {
 func (n *node) handleAccept(from graph.ProcessID, a accept) {
 	ds := &n.dests[a.dest]
 	if ds.bufE != nil && ds.offerSeq == a.seq {
+		n.nw.observe(obs.Event{Kind: obs.KindErase, Proc: n.id, Dest: a.dest, Buf: obs.BufEmission, Msg: record(ds.bufE, n.id)})
 		ds.bufE = nil
 		ds.offerSeq = 0
 	}
@@ -242,6 +271,7 @@ func (n *node) handleCancelAck(from graph.ProcessID, c cancel) {
 
 // tick gossips the distance vector and drives outstanding transfers.
 func (n *node) tick() {
+	n.updateGauges()
 	dv := append([]int(nil), n.dist...)
 	for _, q := range n.nw.g.Neighbors(n.id) {
 		n.nw.send(n.id, q, frame{from: n.id, dv: dv}, n.rng)
@@ -280,6 +310,7 @@ func (n *node) localMoves() {
 	// R6: consume at the destination.
 	self := &n.dests[n.id]
 	if self.bufE != nil {
+		n.nw.observe(obs.Event{Kind: obs.KindDeliver, Proc: n.id, Dest: n.id, Msg: record(self.bufE, n.id)})
 		n.nw.deliver(Delivery{Msg: self.bufE, At: n.id})
 		self.bufE = nil
 	}
@@ -294,12 +325,14 @@ func (n *node) localMoves() {
 			ds.bufE = &m
 			ds.bufR = nil
 			ds.offerSeq = 0 // fresh occupancy, fresh handshake
+			n.nw.observe(obs.Event{Kind: obs.KindInternal, Proc: n.id, Dest: graph.ProcessID(d), Msg: record(&m, n.id)})
 			if graph.ProcessID(d) != n.id {
 				n.driveTransfer(graph.ProcessID(d))
 			}
 		}
 	}
 	// R1: accept one pending higher-layer message if its bufR is free.
+	var generated *Message
 	n.mu.Lock()
 	if len(n.pending) > 0 {
 		m := n.pending[0]
@@ -307,7 +340,11 @@ func (n *node) localMoves() {
 			n.pending = n.pending[1:]
 			mm := m
 			ds.bufR = &mm
+			generated = &mm
 		}
 	}
 	n.mu.Unlock()
+	if generated != nil {
+		n.nw.observe(obs.Event{Kind: obs.KindGenerate, Proc: n.id, Dest: generated.Dest, Msg: record(generated, n.id)})
+	}
 }

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns the introspection mux: expvar under /debug/vars, the
+// pprof suite under /debug/pprof/, and a JSON snapshot of whatever
+// snapshot() returns under /debug/ssmfp (engine Stats, per-rule move
+// counts, msgpass queue depths — whatever the host wires in). snapshot may
+// return nil, rendering as JSON null; it is called per request and must be
+// safe for concurrent use.
+func Handler(snapshot func() any) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/ssmfp", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		var v any
+		if snapshot != nil {
+			v = snapshot()
+		}
+		if err := enc.Encode(v); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "ssmfp introspection\n\n/debug/ssmfp\n/debug/vars\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// Server is a running introspection endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the introspection endpoint on addr (e.g. ":8080" or
+// "127.0.0.1:0") and returns immediately; Close shuts it down.
+func Serve(addr string, snapshot func() any) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: Handler(snapshot), ReadHeaderTimeout: 5 * time.Second}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting connections and closes the listener.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestHandlerSnapshot(t *testing.T) {
+	type snap struct {
+		Steps int            `json:"steps"`
+		Moves map[string]int `json:"moves"`
+	}
+	h := Handler(func() any { return snap{Steps: 7, Moves: map[string]int{"R1": 3}} })
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/ssmfp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var got snap
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Steps != 7 || got.Moves["R1"] != 3 {
+		t.Fatalf("snapshot = %+v", got)
+	}
+
+	for _, path := range []string{"/debug/vars", "/", "/debug/pprof/"} {
+		r, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, r.StatusCode)
+		}
+	}
+}
+
+func TestServeAndClose(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + s.Addr() + "/debug/ssmfp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

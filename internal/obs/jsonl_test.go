@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ssmfp/internal/graph"
+)
+
+func sampleHeader() Header {
+	return Header{
+		Scenario: "test",
+		N:        3,
+		Edges:    [][2]graph.ProcessID{{0, 1}, {1, 2}},
+		Names:    []string{"a", "b", "c"},
+		Dest:     1,
+		Init: &InitConfig{Procs: []InitProc{
+			{NextHop: []graph.ProcessID{0, 1, 1}, BufR: make([]*MsgRecord, 3), BufE: make([]*MsgRecord, 3)},
+			{NextHop: []graph.ProcessID{0, 1, 2}, BufR: make([]*MsgRecord, 3), BufE: make([]*MsgRecord, 3)},
+			{NextHop: []graph.ProcessID{1, 1, 2}, BufR: []*MsgRecord{nil, {Payload: "x", LastHop: 2, Color: 0, UID: 7}, nil}, BufE: make([]*MsgRecord, 3)},
+		}},
+	}
+}
+
+func sampleEvents() []Event {
+	return []Event{
+		{Seq: 1, Kind: KindGenerate, Step: 0, Round: 0, Proc: 2, Dest: 1, Rule: "R1@1",
+			Msg: &MsgRecord{Payload: "hello", LastHop: 2, Color: 0, UID: 42, Valid: true}},
+		{Seq: 2, Kind: KindFire, Step: 0, Proc: 2, Rule: "R1@1"},
+		{Seq: 3, Kind: KindStep, Step: 0, Count: 1},
+		{Seq: 4, Kind: KindRound, Step: 1, Round: 1},
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, sampleHeader(), sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	h, evs, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleHeader()
+	want.Schema = SchemaVersion
+	if !reflect.DeepEqual(h, want) {
+		t.Fatalf("header round-trip mismatch:\n got %+v\nwant %+v", h, want)
+	}
+	if !reflect.DeepEqual(evs, sampleEvents()) {
+		t.Fatalf("events round-trip mismatch:\n got %+v\nwant %+v", evs, sampleEvents())
+	}
+}
+
+func TestSinkStampsSchemaAndCounts(t *testing.T) {
+	var buf bytes.Buffer
+	s, err := NewSink(&buf, Header{N: 2, Dest: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Observe(Event{Seq: 1, Kind: KindStep})
+	s.Observe(Event{Seq: 2, Kind: KindStep, Step: 1})
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Events() != 2 {
+		t.Fatalf("Events() = %d, want 2", s.Events())
+	}
+	h, evs, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Schema != SchemaVersion {
+		t.Fatalf("schema = %d, want %d", h.Schema, SchemaVersion)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("loaded %d events, want 2", len(evs))
+	}
+}
+
+func TestLoadRejectsBadTraces(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"wrong schema":   `{"schema":99,"n":2,"dest":-1}`,
+		"zero n":         `{"schema":1,"n":0,"dest":-1}`,
+		"edge range":     `{"schema":1,"n":2,"edges":[[0,5]],"dest":-1}`,
+		"unknown kind":   `{"schema":1,"n":2,"dest":-1}` + "\n" + `{"seq":1,"kind":"warp","step":0,"round":0,"proc":0,"dest":0,"from":0,"to":0}`,
+		"seq regression": `{"schema":1,"n":2,"dest":-1}` + "\n" + `{"seq":2,"kind":"step","step":0,"round":0,"proc":0,"dest":0,"from":0,"to":0}` + "\n" + `{"seq":2,"kind":"step","step":1,"round":0,"proc":0,"dest":0,"from":0,"to":0}`,
+		"proc range":     `{"schema":1,"n":2,"dest":-1}` + "\n" + `{"seq":1,"kind":"fire","step":0,"round":0,"proc":9,"dest":0,"from":0,"to":0}`,
+	}
+	for name, in := range cases {
+		if _, _, err := Load(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: Load accepted an invalid trace", name)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+
+	"ssmfp/internal/graph"
+	"ssmfp/internal/metrics"
+)
+
+// Hop is one buffer-to-buffer advance of a message: a KindForward event
+// copied it from From's emission buffer into To's reception buffer.
+type Hop struct {
+	From  graph.ProcessID `json:"from"`
+	To    graph.ProcessID `json:"to"`
+	Step  int             `json:"step"`
+	Round int             `json:"round"`
+}
+
+// Timeline is the reconstructed lifecycle of one message, keyed by the
+// checker UID: where and when it was generated, every hop it took, and
+// when it was delivered.
+type Timeline struct {
+	UID          uint64          `json:"uid"`
+	Src          graph.ProcessID `json:"src"`
+	Dest         graph.ProcessID `json:"dest"`
+	Payload      string          `json:"payload"`
+	GenStep      int             `json:"genStep"`
+	GenRound     int             `json:"genRound"`
+	Hops         []Hop           `json:"hops,omitempty"`
+	Delivered    bool            `json:"delivered"`
+	DeliverStep  int             `json:"deliverStep,omitempty"`
+	DeliverRound int             `json:"deliverRound,omitempty"`
+	Deliveries   int             `json:"deliveries"`
+}
+
+// Report aggregates the timelines into the per-message quantities the
+// paper's Propositions 5-7 bound, all in rounds:
+//
+//   - delivery time (Prop. 5): generation round → delivery round, per
+//     delivered message;
+//   - delay (Prop. 6): rounds until a source's first R1 execution;
+//   - waiting time (Prop. 6): rounds between a source's consecutive R1
+//     executions;
+//   - amortized rounds per delivery (Prop. 7): rounds elapsed at the last
+//     delivery divided by the number of deliveries;
+//   - hop transit: rounds a message spends per forwarding hop.
+type Report struct {
+	Messages  int `json:"messages"`
+	Delivered int `json:"delivered"`
+
+	DeliveryRounds metrics.Summary `json:"deliveryRounds"`
+	DelayRounds    metrics.Summary `json:"delayRounds"`
+	WaitingRounds  metrics.Summary `json:"waitingRounds"`
+	HopRounds      metrics.Summary `json:"hopRounds"`
+
+	AmortizedRoundsPerDelivery float64 `json:"amortizedRoundsPerDelivery"`
+
+	Timelines []*Timeline `json:"timelines,omitempty"`
+}
+
+// Tracker folds UID-keyed bus events into per-message Timelines. It only
+// tracks messages it saw generated (initial garbage and fault-injected
+// messages have no lifecycle start, so no timeline). Observe is safe for
+// concurrent use; pass it to Bus.Subscribe.
+type Tracker struct {
+	mu        sync.Mutex
+	timelines map[uint64]*Timeline
+	order     []uint64
+	genRounds map[graph.ProcessID][]int // per source, rounds of its R1 executions in order
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{
+		timelines: make(map[uint64]*Timeline),
+		genRounds: make(map[graph.ProcessID][]int),
+	}
+}
+
+// Observe consumes one bus event.
+func (t *Tracker) Observe(ev Event) {
+	switch ev.Kind {
+	case KindGenerate, KindForward, KindDeliver:
+	default:
+		return
+	}
+	if ev.Msg == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tl := t.timelines[ev.Msg.UID]
+	switch ev.Kind {
+	case KindGenerate:
+		if tl != nil {
+			return // UID reuse would be a checker bug; keep the first
+		}
+		tl = &Timeline{
+			UID: ev.Msg.UID, Src: ev.Proc, Dest: ev.Dest, Payload: ev.Msg.Payload,
+			GenStep: ev.Step, GenRound: ev.Round,
+		}
+		t.timelines[ev.Msg.UID] = tl
+		t.order = append(t.order, ev.Msg.UID)
+		t.genRounds[ev.Proc] = append(t.genRounds[ev.Proc], ev.Round)
+	case KindForward:
+		if tl == nil {
+			return
+		}
+		tl.Hops = append(tl.Hops, Hop{From: ev.From, To: ev.Proc, Step: ev.Step, Round: ev.Round})
+	case KindDeliver:
+		if tl == nil {
+			return
+		}
+		tl.Deliveries++
+		if !tl.Delivered {
+			tl.Delivered = true
+			tl.DeliverStep = ev.Step
+			tl.DeliverRound = ev.Round
+		}
+	}
+}
+
+// Generated returns how many message generations were observed.
+func (t *Tracker) Generated() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.order)
+}
+
+// Delivered returns how many tracked messages were delivered at least once.
+func (t *Tracker) Delivered() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, tl := range t.timelines {
+		if tl.Delivered {
+			n++
+		}
+	}
+	return n
+}
+
+// Timelines returns the tracked timelines in generation order. The
+// returned pointers share the tracker's state; call after the run.
+func (t *Tracker) Timelines() []*Timeline {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Timeline, len(t.order))
+	for i, uid := range t.order {
+		out[i] = t.timelines[uid]
+	}
+	return out
+}
+
+// Report aggregates the current timelines.
+func (t *Tracker) Report() Report {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r := Report{Messages: len(t.order)}
+	var delivery, hops []float64
+	lastDeliveryRound := 0
+	for _, uid := range t.order {
+		tl := t.timelines[uid]
+		r.Timelines = append(r.Timelines, tl)
+		prev := tl.GenRound
+		for _, h := range tl.Hops {
+			hops = append(hops, float64(h.Round-prev))
+			prev = h.Round
+		}
+		if tl.Delivered {
+			r.Delivered++
+			delivery = append(delivery, float64(tl.DeliverRound-tl.GenRound))
+			if tl.DeliverRound > lastDeliveryRound {
+				lastDeliveryRound = tl.DeliverRound
+			}
+		}
+	}
+	var delays, waits []float64
+	srcs := make([]graph.ProcessID, 0, len(t.genRounds))
+	for src := range t.genRounds {
+		srcs = append(srcs, src)
+	}
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
+	for _, src := range srcs {
+		rounds := t.genRounds[src]
+		delays = append(delays, float64(rounds[0]))
+		for i := 1; i < len(rounds); i++ {
+			waits = append(waits, float64(rounds[i]-rounds[i-1]))
+		}
+	}
+	r.DeliveryRounds = metrics.Summarize(delivery)
+	r.DelayRounds = metrics.Summarize(delays)
+	r.WaitingRounds = metrics.Summarize(waits)
+	r.HopRounds = metrics.Summarize(hops)
+	if r.Delivered > 0 {
+		r.AmortizedRoundsPerDelivery = float64(lastDeliveryRound) / float64(r.Delivered)
+	}
+	return r
+}

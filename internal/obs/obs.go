@@ -1,0 +1,171 @@
+// Package obs is the structured observability layer of the reproduction:
+// a typed event bus that the engine, the protocol rules, the fault
+// injector, and the message-passing port publish to, plus the consumers
+// that turn the stream into artifacts — a versioned JSONL sink/loader
+// (jsonl.go), a per-message lifecycle tracker feeding metrics summaries
+// (lifecycle.go), and an opt-in HTTP introspection endpoint (http.go).
+//
+// The bus is zero-cost when unsubscribed: publishers guard event
+// construction behind Bus.Active (a single atomic pointer load), so a run
+// with no sink attached pays no allocations and no formatting. This is the
+// contract every consumer relies on and every perf experiment (E-EP) is
+// measured under.
+//
+// The package sits below the protocol layers: it may import only
+// internal/graph and internal/metrics, so that statemodel, core, routing,
+// faults, trace, sim and msgpass can all publish to it without import
+// cycles.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"ssmfp/internal/graph"
+)
+
+// Kind identifies a typed event class. The set is closed and versioned
+// with the JSONL schema: loaders reject kinds they do not know.
+type Kind string
+
+// The event kinds of schema version 1.
+const (
+	// KindStep marks the completion of one engine step; Count carries the
+	// number of activations the daemon selected.
+	KindStep Kind = "step"
+	// KindFire marks one rule activation (Rule is the instance name, e.g.
+	// "R3@1"); emitted once per selection, after the action's own events.
+	KindFire Kind = "fire"
+	// KindGenerate marks R1 accepting a message from the higher layer into
+	// bufR_p(d); Msg carries the new reception-buffer value.
+	KindGenerate Kind = "generate"
+	// KindInternal marks R2's internal move bufR→bufE; Msg carries the new
+	// emission-buffer value (fresh hop and color), bufR empties.
+	KindInternal Kind = "internal"
+	// KindForward marks R3 copying bufE_s(d) into bufR_p(d); From is the
+	// served neighbor s, Msg the copied value.
+	KindForward Kind = "forward"
+	// KindErase marks R4/R5 emptying a buffer; Buf selects which one and
+	// Msg records the erased value.
+	KindErase Kind = "erase"
+	// KindDeliver marks R6 handing bufE_d(d) to the higher layer.
+	KindDeliver Kind = "deliver"
+	// KindRound marks the completion of a round (BDPV accounting); Round
+	// is the new completed-round count.
+	KindRound Kind = "round"
+	// KindFault marks a transient fault injected at Proc; Detail names the
+	// fault class.
+	KindFault Kind = "fault"
+	// KindRoute marks the routing algorithm re-pointing nextHop_p(d); To
+	// is the new parent.
+	KindRoute Kind = "route"
+	// KindStabilized marks the first observation that every routing table
+	// is canonical (the R_A instant of Propositions 5-7).
+	KindStabilized Kind = "stabilized"
+)
+
+// Valid reports whether k is a kind of the current schema.
+func (k Kind) Valid() bool {
+	switch k {
+	case KindStep, KindFire, KindGenerate, KindInternal, KindForward,
+		KindErase, KindDeliver, KindRound, KindFault, KindRoute, KindStabilized:
+		return true
+	}
+	return false
+}
+
+// Buffer selectors for KindErase events.
+const (
+	BufReception = "R"
+	BufEmission  = "E"
+)
+
+// MsgRecord is the observability image of a protocol message: the triple
+// (payload, last hop, color) the rules compare, plus the simulation-side
+// UID and validity bit the lifecycle tracker keys on. Records are values —
+// an event carries the buffer's content at emission time, never a live
+// pointer into protocol state.
+type MsgRecord struct {
+	Payload string          `json:"payload"`
+	LastHop graph.ProcessID `json:"lasthop"`
+	Color   int             `json:"color"`
+	UID     uint64          `json:"uid"`
+	Valid   bool            `json:"valid"`
+}
+
+// Event is one typed observation. Which fields are meaningful depends on
+// Kind (see the kind constants); Seq is stamped by the bus and totally
+// orders the stream, Step/Round locate the event in the execution (Step is
+// -1 for wall-clock domains such as the message-passing port, where steps
+// do not exist).
+type Event struct {
+	Seq    uint64          `json:"seq"`
+	Kind   Kind            `json:"kind"`
+	Step   int             `json:"step"`
+	Round  int             `json:"round"`
+	Proc   graph.ProcessID `json:"proc"`
+	Dest   graph.ProcessID `json:"dest"`
+	From   graph.ProcessID `json:"from"`
+	To     graph.ProcessID `json:"to"`
+	Rule   string          `json:"rule,omitempty"`
+	Buf    string          `json:"buf,omitempty"`
+	Msg    *MsgRecord      `json:"msg,omitempty"`
+	Count  int             `json:"count,omitempty"`
+	Detail string          `json:"detail,omitempty"`
+}
+
+// Bus fans typed events out to its subscribers. Publish assigns each event
+// a monotone sequence number and invokes every subscriber synchronously,
+// in subscription order. Active is a single atomic load, making the
+// no-subscriber case free; Subscribe is copy-on-write, so publishing is
+// safe from concurrent goroutines (the message-passing port) as long as
+// each subscriber tolerates concurrent calls itself. A nil *Bus is a valid
+// inactive bus: Active reports false and Publish is a no-op.
+type Bus struct {
+	seq  atomic.Uint64
+	mu   sync.Mutex
+	subs atomic.Pointer[[]func(Event)]
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus { return &Bus{} }
+
+// Active reports whether any subscriber is attached. Publishers use it to
+// skip event construction entirely on the zero-subscriber fast path.
+func (b *Bus) Active() bool {
+	if b == nil {
+		return false
+	}
+	return b.subs.Load() != nil
+}
+
+// Subscribe attaches fn; it will be called for every subsequent Publish.
+func (b *Bus) Subscribe(fn func(Event)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var cur []func(Event)
+	if p := b.subs.Load(); p != nil {
+		cur = *p
+	}
+	next := make([]func(Event), len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = fn
+	b.subs.Store(&next)
+}
+
+// Publish stamps ev with the next sequence number and delivers it to every
+// subscriber. With no subscribers it is a no-op (and does not consume a
+// sequence number, so recorded streams are gapless).
+func (b *Bus) Publish(ev Event) {
+	if b == nil {
+		return
+	}
+	p := b.subs.Load()
+	if p == nil {
+		return
+	}
+	ev.Seq = b.seq.Add(1)
+	for _, fn := range *p {
+		fn(ev)
+	}
+}

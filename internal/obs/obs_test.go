@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNilBusIsInactive(t *testing.T) {
+	var b *Bus
+	if b.Active() {
+		t.Fatal("nil bus reports active")
+	}
+	b.Publish(Event{Kind: KindStep}) // must not panic
+}
+
+func TestBusInactiveUntilSubscribed(t *testing.T) {
+	b := NewBus()
+	if b.Active() {
+		t.Fatal("fresh bus reports active")
+	}
+	b.Publish(Event{Kind: KindStep}) // dropped, no seq consumed
+	var got []Event
+	b.Subscribe(func(ev Event) { got = append(got, ev) })
+	if !b.Active() {
+		t.Fatal("subscribed bus reports inactive")
+	}
+	b.Publish(Event{Kind: KindFire, Rule: "R1@0"})
+	b.Publish(Event{Kind: KindStep, Count: 1})
+	if len(got) != 2 {
+		t.Fatalf("got %d events, want 2", len(got))
+	}
+	if got[0].Seq != 1 || got[1].Seq != 2 {
+		t.Fatalf("sequence numbers = %d, %d; want 1, 2 (pre-subscription publishes must not consume numbers)",
+			got[0].Seq, got[1].Seq)
+	}
+}
+
+func TestBusFanOutOrder(t *testing.T) {
+	b := NewBus()
+	var a, c []uint64
+	b.Subscribe(func(ev Event) { a = append(a, ev.Seq) })
+	b.Subscribe(func(ev Event) { c = append(c, ev.Seq) })
+	for i := 0; i < 5; i++ {
+		b.Publish(Event{Kind: KindRound})
+	}
+	if len(a) != 5 || len(c) != 5 {
+		t.Fatalf("fan-out lost events: %d, %d", len(a), len(c))
+	}
+	for i := range a {
+		if a[i] != uint64(i+1) || c[i] != uint64(i+1) {
+			t.Fatalf("subscriber saw out-of-order seq at %d: %d / %d", i, a[i], c[i])
+		}
+	}
+}
+
+// TestBusConcurrentPublish exercises the copy-on-write subscriber list and
+// the atomic sequence counter under -race: many goroutines publish while a
+// mutex-guarded subscriber collects.
+func TestBusConcurrentPublish(t *testing.T) {
+	b := NewBus()
+	var mu sync.Mutex
+	seen := make(map[uint64]bool)
+	b.Subscribe(func(ev Event) {
+		mu.Lock()
+		if seen[ev.Seq] {
+			mu.Unlock()
+			t.Errorf("duplicate seq %d", ev.Seq)
+			return
+		}
+		seen[ev.Seq] = true
+		mu.Unlock()
+	})
+	const workers, per = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				b.Publish(Event{Kind: KindDeliver, Msg: &MsgRecord{UID: 1}})
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != workers*per {
+		t.Fatalf("saw %d events, want %d", len(seen), workers*per)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"math/rand"
 
 	"ssmfp/internal/graph"
+	"ssmfp/internal/obs"
 	sm "ssmfp/internal/statemodel"
 )
 
@@ -73,6 +74,9 @@ func NewProgram(g *graph.Graph, acc Accessor) sm.Program {
 			Action: func(v *sm.View) {
 				wantDist, wantParent := target(g, v, acc, d)
 				s := acc(v.Self())
+				if v.Observing() && s.Parent[d] != wantParent {
+					v.Observe(obs.Event{Kind: obs.KindRoute, Dest: d, To: wantParent})
+				}
 				s.Dist[d] = wantDist
 				s.Parent[d] = wantParent
 			},
@@ -223,6 +227,9 @@ func NewSlowProgram(g *graph.Graph, acc Accessor) sm.Program {
 				case s.Dist[d] > wantDist:
 					s.Dist[d]--
 				default:
+					if v.Observing() && s.Parent[d] != wantParent {
+						v.Observe(obs.Event{Kind: obs.KindRoute, Dest: d, To: wantParent})
+					}
 					s.Parent[d] = wantParent
 				}
 			},

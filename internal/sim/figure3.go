@@ -9,6 +9,7 @@ import (
 	"ssmfp/internal/core"
 	"ssmfp/internal/daemon"
 	"ssmfp/internal/graph"
+	"ssmfp/internal/obs"
 	"ssmfp/internal/routing"
 	sm "ssmfp/internal/statemodel"
 	"ssmfp/internal/trace"
@@ -47,6 +48,20 @@ type F3Result struct {
 // avoidance, no merge of equal payloads, repair mid-flight, exactly-once —
 // are all asserted.
 func ExperimentF3() F3Result {
+	r, _, _ := experimentF3(false)
+	return r
+}
+
+// ExperimentF3Recorded runs the Figure 3 replay while recording its typed
+// event stream and JSONL trace header. The returned header and events are
+// exactly what Scenario.TraceOut would have streamed: feeding them through
+// obs.WriteJSONL → obs.Load → trace.ReplayFrames reproduces the rendered
+// trace in F3Result.Trace byte for byte (the golden round-trip).
+func ExperimentF3Recorded() (F3Result, obs.Header, []obs.Event) {
+	return experimentF3(true)
+}
+
+func experimentF3(record bool) (F3Result, obs.Header, []obs.Event) {
 	g := graph.Figure3Network()
 	const a, b, c = 0, 1, 2
 	res := F3Result{}
@@ -105,6 +120,12 @@ func ExperimentF3() F3Result {
 	tr.RecordInitial(cfg)
 	tr.Attach(e)
 	rec := trace.NewRecorder(e, trace.NewRenderer(g, Figure3Names), b, 0)
+	var hdr obs.Header
+	var events []obs.Event
+	if record {
+		hdr = trace.HeaderFor(g, Figure3Names, cfg, "figure3", b)
+		e.Obs().Subscribe(func(ev obs.Event) { events = append(events, ev) })
+	}
 
 	engNode := func(p graph.ProcessID) *core.Node { return e.PeekStateOf(p).(*core.Node) }
 	for i := range script {
@@ -168,7 +189,7 @@ func ExperimentF3() F3Result {
 	}
 	res.Trace = rec.String()
 	res.OK = len(res.Failures) == 0
-	return res
+	return res, hdr, events
 }
 
 func snapshotStates(e *sm.Engine, g *graph.Graph) []sm.State {

@@ -9,6 +9,7 @@ package sim
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"strings"
 
@@ -17,8 +18,10 @@ import (
 	"ssmfp/internal/daemon"
 	"ssmfp/internal/graph"
 	"ssmfp/internal/metrics"
+	"ssmfp/internal/obs"
 	"ssmfp/internal/routing"
 	sm "ssmfp/internal/statemodel"
+	"ssmfp/internal/trace"
 	"ssmfp/internal/workload"
 )
 
@@ -71,6 +74,35 @@ type Scenario struct {
 	// every k-th step (0 or 1 = every step) for expensive monitors.
 	Monitors     []Monitor
 	MonitorEvery int
+
+	// TraceOut, when non-nil, streams the run as a schema-versioned JSONL
+	// trace: one header line (topology, initial configuration, TraceDest as
+	// the focus destination) followed by every typed obs event. The stream
+	// is replayable with trace.ReplayFrames / ssmfp-trace -replay as long
+	// as the run injects no faults.
+	TraceOut  io.Writer
+	TraceDest graph.ProcessID
+
+	// Lifecycle attaches a per-message lifecycle tracker; the run's
+	// timelines and Props. 5–7 summaries land in Result.Lifecycle.
+	Lifecycle bool
+
+	// OnStatus, when non-nil, receives a progress snapshot every
+	// StatusEvery steps (default 1000) and once at the end — the hook the
+	// CLIs' -http endpoint polls for live introspection.
+	OnStatus    func(Status)
+	StatusEvery int
+}
+
+// Status is a point-in-time snapshot of a running scenario.
+type Status struct {
+	Name      string         `json:"name"`
+	Steps     int            `json:"steps"`
+	Rounds    int            `json:"rounds"`
+	Generated int            `json:"generated"`
+	Delivered int            `json:"delivered"`
+	Moves     map[string]int `json:"moves"`
+	Stats     sm.Stats       `json:"stats"`
 }
 
 // Monitor is a named per-step invariant: it receives the engine's current
@@ -121,6 +153,17 @@ type Result struct {
 	// MonitorErr is the first invariant violation a Monitor reported, if
 	// any (it also aborts the run).
 	MonitorErr error
+
+	// Stats holds the engine's enabled-set instrumentation counters.
+	Stats sm.Stats
+
+	// Lifecycle is the per-message lifecycle report (Scenario.Lifecycle).
+	Lifecycle *obs.Report
+
+	// TraceEvents and TraceErr report on the JSONL sink
+	// (Scenario.TraceOut): events written and the sink's sticky error.
+	TraceEvents int
+	TraceErr    error
 }
 
 // OK reports whether the run satisfied Specification SP: terminated, no
@@ -170,6 +213,40 @@ func Run(s Scenario) Result {
 		maxSteps = 10_000_000
 	}
 	res := Result{Name: s.Name, RoutingRounds: -1}
+
+	// Observability consumers. Both subscribe to the typed bus before the
+	// first step so the stream covers the whole run; with neither requested
+	// the bus stays subscriber-free and the engine keeps its zero-cost path.
+	var sink *obs.Sink
+	if s.TraceOut != nil {
+		var err error
+		sink, err = obs.NewSink(s.TraceOut, trace.HeaderFor(g, nil, cfg, s.Name, s.TraceDest))
+		if err != nil {
+			res.TraceErr = err
+		} else {
+			e.Obs().Subscribe(sink.Observe)
+		}
+	}
+	var life *obs.Tracker
+	if s.Lifecycle {
+		life = obs.NewTracker()
+		e.Obs().Subscribe(life.Observe)
+	}
+	statusEvery := s.StatusEvery
+	if statusEvery < 1 {
+		statusEvery = 1000
+	}
+	status := func() {
+		if s.OnStatus == nil {
+			return
+		}
+		st := Status{
+			Name: s.Name, Steps: e.Steps(), Rounds: e.Rounds(),
+			Generated: tr.GeneratedCount(), Delivered: tr.DeliveredValid(),
+			Moves: e.MoveCounts(), Stats: e.Stats(),
+		}
+		s.OnStatus(st)
+	}
 	every := s.MonitorEvery
 	if every < 1 {
 		every = 1
@@ -194,6 +271,12 @@ func Run(s Scenario) Result {
 		in.Tick(e)
 		if res.RoutingRounds < 0 && !s.NoRA && routingCorrect(g, e) {
 			res.RoutingRounds = e.Rounds()
+			if e.Obs().Active() {
+				e.Obs().Publish(obs.Event{Kind: obs.KindStabilized, Step: e.Steps(), Round: e.Rounds()})
+			}
+		}
+		if s.OnStatus != nil && e.Steps()%statusEvery == 0 {
+			status()
 		}
 		if e.Steps()%every == 0 && !probe() {
 			break
@@ -241,6 +324,16 @@ func Run(s Scenario) Result {
 		res.DeliveryRounds = append(res.DeliveryRounds, d.Round)
 	}
 	res.GenRoundsBySource = tr.GenerationRoundsBySource()
+	res.Stats = e.Stats()
+	if life != nil {
+		rep := life.Report()
+		res.Lifecycle = &rep
+	}
+	if sink != nil {
+		res.TraceEvents = sink.Events()
+		res.TraceErr = sink.Flush()
+	}
+	status()
 	return res
 }
 

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"ssmfp/internal/graph"
+	"ssmfp/internal/obs"
 )
 
 // Stats counts the enabled-set work an engine has performed. GuardEvals is
@@ -52,6 +53,7 @@ type Engine struct {
 	rounds    int
 	moves     map[string]int // rule name -> executions
 	listeners []func(Event)
+	bus       *obs.Bus
 
 	// round accounting: the set of processors enabled at the start of the
 	// current round that have neither executed nor been neutralized yet.
@@ -116,6 +118,7 @@ func NewEngine(g *graph.Graph, program Program, daemon Daemon, initial []State, 
 		incremental:  os.Getenv("SSMFP_INCREMENTAL") != "0",
 		selfCheck:    testing.Testing() || os.Getenv("SSMFP_PARANOID") != "",
 		dirty:        make([]bool, g.N()),
+		bus:          obs.NewBus(),
 	}
 	for _, opt := range opts {
 		opt(e)
@@ -228,8 +231,18 @@ func (e *Engine) MoveCounts() map[string]int {
 func (e *Engine) Stats() Stats { return e.stats }
 
 // Subscribe registers a listener invoked for every event emitted by actions
-// (in emission order) and for every rule execution (kind "fire").
+// (in emission order) and for every rule execution (kind "fire"). This is
+// the legacy stringly-typed channel, kept as a compatibility shim; new
+// consumers should subscribe to the typed bus via Obs.
 func (e *Engine) Subscribe(fn func(Event)) { e.listeners = append(e.listeners, fn) }
+
+// Obs returns the engine's typed event bus. With no subscribers the bus
+// costs one atomic load per step (the zero-subscriber fast path); with
+// subscribers the engine publishes, in commit order: the actions' own
+// typed events (stamped with step, round, processor and rule), one
+// obs.KindFire per selection, one obs.KindStep per step, and one
+// obs.KindRound at every round boundary.
+func (e *Engine) Obs() *obs.Bus { return e.bus }
 
 func (e *Engine) publish(ev Event) {
 	for _, fn := range e.listeners {
@@ -384,6 +397,8 @@ func (e *Engine) Step() bool {
 	snapshot := e.states
 	newStates := make(map[graph.ProcessID]State, len(sels))
 	var events []Event
+	observing := e.bus.Active()
+	var typed []obs.Event
 	for _, sel := range sels {
 		r := e.rules[sel.Rule]
 		v := &View{
@@ -394,12 +409,28 @@ func (e *Engine) Step() bool {
 			step:     e.step,
 			events:   &events,
 		}
+		typedStart := 0
+		if observing {
+			typedStart = len(typed)
+			v.obsBuf = &typed
+		}
 		// Guards were evaluated on this same snapshot when computing the
 		// enabled set, so the action's precondition still holds.
 		r.Action(v)
 		newStates[sel.Process] = v.self
 		events = append(events, Event{Step: e.step, Process: sel.Process, Rule: r.Name, Kind: "fire"})
 		e.moves[r.Name]++
+		if observing {
+			for i := typedStart; i < len(typed); i++ {
+				typed[i].Step = e.step
+				typed[i].Round = e.rounds
+				typed[i].Proc = sel.Process
+				typed[i].Rule = r.Name
+			}
+			typed = append(typed, obs.Event{
+				Kind: obs.KindFire, Step: e.step, Round: e.rounds, Proc: sel.Process, Rule: r.Name,
+			})
+		}
 	}
 	for p, s := range newStates {
 		e.states[p] = s
@@ -416,6 +447,12 @@ func (e *Engine) Step() bool {
 			events[i].Rule = ruleOf(events, i)
 		}
 		e.publish(events[i])
+	}
+	if observing {
+		for _, ev := range typed {
+			e.bus.Publish(ev)
+		}
+		e.bus.Publish(obs.Event{Kind: obs.KindStep, Step: e.step, Round: e.rounds, Count: len(sels)})
 	}
 	e.step++
 	e.stats.Steps++
@@ -496,6 +533,9 @@ func (e *Engine) closeRoundBookkeeping(enabledNow []Choice) {
 	if len(e.roundPending) == 0 {
 		e.rounds++
 		e.roundOpen = false
+		if e.bus.Active() {
+			e.bus.Publish(obs.Event{Kind: obs.KindRound, Step: e.step, Round: e.rounds})
+		}
 	}
 }
 

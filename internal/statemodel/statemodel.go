@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"ssmfp/internal/graph"
+	"ssmfp/internal/obs"
 )
 
 // State is the local state of one processor: the values of its shared
@@ -32,6 +33,12 @@ type State interface {
 // Event is an observable side effect emitted by an action, e.g. the
 // delivery of a message to the higher layer. Events are how specification
 // checkers observe an execution without peeking into protocol internals.
+//
+// This stringly-typed event is the engine's original observation channel
+// and lives on as a compatibility shim: the checker, the trace recorder
+// and the fairness oracles consume it via Engine.Subscribe. New consumers
+// should use the typed bus instead (Engine.Obs, package obs), which adds
+// step/round markers, message values, and a machine-readable JSONL form.
 type Event struct {
 	Step    int             // step index at which the action executed
 	Process graph.ProcessID // processor whose action emitted the event
@@ -52,6 +59,7 @@ type View struct {
 	self     State // nil during guard evaluation (fall back to snapshot)
 	step     int
 	events   *[]Event
+	obsBuf   *[]obs.Event // typed-event buffer; nil when no bus subscriber is attached
 }
 
 // ID returns the processor evaluating or executing the rule.
@@ -94,6 +102,21 @@ func (v *View) Emit(kind string, payload any) {
 		panic("statemodel: Emit outside action execution")
 	}
 	*v.events = append(*v.events, Event{Step: v.step, Process: v.id, Kind: kind, Payload: payload})
+}
+
+// Observing reports whether a typed-event consumer is attached to the
+// executing engine. Actions use it to skip observability work — including
+// the construction of obs.Event values — on the zero-subscriber fast
+// path. Always false during guard evaluation.
+func (v *View) Observing() bool { return v.obsBuf != nil }
+
+// Observe records a typed observability event; a no-op when no consumer
+// is attached. The engine stamps Step, Round, Proc and Rule after the
+// action returns, so actions only fill the kind-specific fields.
+func (v *View) Observe(ev obs.Event) {
+	if v.obsBuf != nil {
+		*v.obsBuf = append(*v.obsBuf, ev)
+	}
 }
 
 // Rule is one guarded action < label > :: < guard > → < statement >.

@@ -11,6 +11,7 @@ import (
 
 	"ssmfp/internal/core"
 	"ssmfp/internal/graph"
+	"ssmfp/internal/obs"
 	sm "ssmfp/internal/statemodel"
 )
 
@@ -36,8 +37,17 @@ func NewRenderer(g *graph.Graph, displayNames map[graph.ProcessID]string) *Rende
 	return &Renderer{g: g, names: displayNames}
 }
 
-// msg renders a message triple compactly, e.g. "m'(q=a,c=2)".
-func (r *Renderer) msg(m *core.Message) string {
+// Name returns the display name of a processor (numeric fallback).
+func (r *Renderer) Name(p graph.ProcessID) string { return r.names.of(p) }
+
+// msg renders a message triple compactly, e.g. "m'(q=a,c=2)". It delegates
+// to the obs.MsgRecord rendering so live configurations and JSONL replays
+// share the exact same bytes.
+func (r *Renderer) msg(m *core.Message) string { return r.msgRec(m.Record()) }
+
+// msgRec renders the observability image of a message; nil is an empty
+// buffer.
+func (r *Renderer) msgRec(m *obs.MsgRecord) string {
 	if m == nil {
 		return "·"
 	}
@@ -46,22 +56,21 @@ func (r *Renderer) msg(m *core.Message) string {
 
 // Destination renders destination d's buffer component of the
 // configuration: one line per processor with reception buffer, emission
-// buffer, and next hop.
+// buffer, and next hop. It converts the configuration to its observability
+// image and delegates to DestinationRecords, the rendering JSONL replays
+// use too.
 func (r *Renderer) Destination(cfg []sm.State, d graph.ProcessID) string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "destination %s:\n", r.names.of(d))
-	for pp := 0; pp < r.g.N(); pp++ {
-		p := graph.ProcessID(pp)
-		node := cfg[p].(*core.Node)
+	n := r.g.N()
+	bufR := make([]*obs.MsgRecord, n)
+	bufE := make([]*obs.MsgRecord, n)
+	hop := make([]graph.ProcessID, n)
+	for pp := 0; pp < n; pp++ {
+		node := cfg[pp].(*core.Node)
 		ds := node.FW.Dests[d]
-		hop := "—"
-		if p != d {
-			hop = r.names.of(node.RT.NextHop(d))
-		}
-		fmt.Fprintf(&sb, "  %s: R[%-14s] E[%-14s] nextHop=%s\n",
-			r.names.of(p), r.msg(ds.BufR), r.msg(ds.BufE), hop)
+		bufR[pp], bufE[pp] = ds.BufR.Record(), ds.BufE.Record()
+		hop[pp] = node.RT.NextHop(d)
 	}
-	return sb.String()
+	return r.DestinationRecords(bufR, bufE, hop, d)
 }
 
 // HigherLayer renders the request bits and pending queues.
@@ -146,14 +155,21 @@ func (rec *Recorder) Frames() []Frame { return rec.frames }
 
 // String renders the whole recording, Figure-3 style: "(k) fired: ..."
 // headers followed by the buffer table.
-func (rec *Recorder) String() string {
+func (rec *Recorder) String() string { return RenderFrames(rec.frames) }
+
+// RenderFrames renders a frame sequence in the Figure-3 style shared by
+// live recordings and JSONL replays. Frame numbers come from the frames'
+// Step fields (step s prints as "(s+1)", the initial configuration as
+// "(0)"), not from slice positions — a recorder attached mid-run or
+// truncated by a frame limit keeps the engine's numbering.
+func RenderFrames(frames []Frame) string {
 	var sb strings.Builder
-	for i, f := range rec.frames {
-		if i == 0 {
+	for _, f := range frames {
+		if f.Step < 0 {
 			fmt.Fprintf(&sb, "(0) initial configuration\n%s\n", f.Rendered)
 			continue
 		}
-		fmt.Fprintf(&sb, "(%d) fired: %s\n%s\n", i, strings.Join(f.Fired, ", "), f.Rendered)
+		fmt.Fprintf(&sb, "(%d) fired: %s\n%s\n", f.Step+1, strings.Join(f.Fired, ", "), f.Rendered)
 	}
 	return sb.String()
 }

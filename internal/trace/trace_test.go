@@ -7,6 +7,7 @@ import (
 	"ssmfp/internal/core"
 	"ssmfp/internal/daemon"
 	"ssmfp/internal/graph"
+	"ssmfp/internal/obs"
 	sm "ssmfp/internal/statemodel"
 	"ssmfp/internal/trace"
 )
@@ -89,6 +90,94 @@ func TestRecorderLimit(t *testing.T) {
 	e.Run(100, nil)
 	if len(rec.Frames()) != 3 {
 		t.Fatalf("frames = %d, want limit 3", len(rec.Frames()))
+	}
+}
+
+func TestRecorderMidRunAttachKeepsEngineNumbering(t *testing.T) {
+	// A recorder attached after some steps must number frames by the
+	// engine's step counter, not by its own slice indices.
+	g := graph.Line(3)
+	cfg := core.CleanConfig(g)
+	cfg[0].(*core.Node).FW.Enqueue("hello", 2)
+	e := sm.NewEngine(g, core.FullProgram(g), daemon.NewSynchronous(1), cfg)
+	e.Step()
+	e.Step()
+	rec := trace.NewRecorder(e, trace.NewRenderer(g, nil), 2, 0)
+	if !e.Step() {
+		t.Fatal("engine terminal too early")
+	}
+	frames := rec.Frames()
+	if len(frames) != 2 {
+		t.Fatalf("frames = %d, want initial + one step", len(frames))
+	}
+	if frames[1].Step != 2 {
+		t.Fatalf("frame 1 step = %d, want 2", frames[1].Step)
+	}
+	out := rec.String()
+	if !strings.Contains(out, "(3) fired:") {
+		t.Fatalf("mid-run frame must print the engine step number (3), got:\n%s", out)
+	}
+	if strings.Contains(out, "(1) fired:") {
+		t.Fatalf("mid-run frame numbered by slice index:\n%s", out)
+	}
+}
+
+func TestReplayMatchesLiveRecordingByteForByte(t *testing.T) {
+	g := graph.Line(3)
+	cfg := core.CleanConfig(g)
+	cfg[0].(*core.Node).FW.Enqueue("hello", 2)
+	cfg[2].(*core.Node).FW.Enqueue("back", 0)
+	e := sm.NewEngine(g, core.FullProgram(g), daemon.NewSynchronous(1), cfg)
+	h := trace.HeaderFor(g, abNames, cfg, "test", 2)
+	var events []obs.Event
+	e.Obs().Subscribe(func(ev obs.Event) { events = append(events, ev) })
+	r := trace.NewRenderer(g, abNames)
+	rec := trace.NewRecorder(e, r, 2, 0)
+	e.Run(100, nil)
+
+	frames, err := trace.ReplayFrames(r, h, events, 2)
+	if err != nil {
+		t.Fatalf("ReplayFrames: %v", err)
+	}
+	live, replayed := rec.String(), trace.RenderFrames(frames)
+	if live != replayed {
+		t.Fatalf("replay diverged from live recording:\n--- live ---\n%s\n--- replay ---\n%s", live, replayed)
+	}
+	// The other destination replays from the same stream too.
+	rec0frames, err := trace.ReplayFrames(r, h, events, 0)
+	if err != nil {
+		t.Fatalf("ReplayFrames(dest 0): %v", err)
+	}
+	if got := trace.RenderFrames(rec0frames); !strings.Contains(got, "back(") {
+		t.Fatalf("destination-0 replay never shows the second message:\n%s", got)
+	}
+}
+
+func TestReplayRejectsFaultEvents(t *testing.T) {
+	g := graph.Line(3)
+	cfg := core.CleanConfig(g)
+	h := trace.HeaderFor(g, nil, cfg, "test", 1)
+	r := trace.NewRenderer(g, nil)
+	_, err := trace.ReplayFrames(r, h, []obs.Event{{Seq: 1, Kind: obs.KindFault, Proc: 1}}, 1)
+	if err == nil || !strings.Contains(err.Error(), "fault") {
+		t.Fatalf("fault-bearing stream must be rejected, got err = %v", err)
+	}
+}
+
+func TestGraphFromHeaderRejectsBadTopology(t *testing.T) {
+	for _, h := range []obs.Header{
+		{N: 0},
+		{N: 3, Edges: [][2]graph.ProcessID{{0, 0}}},
+		{N: 3, Edges: [][2]graph.ProcessID{{0, 1}, {0, 1}}},
+		{N: 3, Edges: [][2]graph.ProcessID{{0, 1}}}, // disconnected
+	} {
+		if _, err := trace.GraphFromHeader(h); err == nil {
+			t.Errorf("header %+v accepted", h)
+		}
+	}
+	g, err := trace.GraphFromHeader(obs.Header{N: 3, Edges: [][2]graph.ProcessID{{0, 1}, {1, 2}}})
+	if err != nil || g.N() != 3 {
+		t.Fatalf("valid header rejected: %v", err)
 	}
 }
 

@@ -82,5 +82,51 @@ func (l *LiveNetwork) DeliveredExactlyOnce(ids ...uint64) bool {
 	return true
 }
 
+// LiveStatus is a point-in-time introspection snapshot of a running
+// LiveNetwork: delivery progress, wire-level frame counters, and per-node
+// queue occupancy.
+type LiveStatus struct {
+	Deliveries     int         `json:"deliveries"`
+	DVSent         int         `json:"dvSent"`
+	OffersSent     int         `json:"offersSent"`
+	AcceptsSent    int         `json:"acceptsSent"`
+	CancelsSent    int         `json:"cancelsSent"`
+	CancelAcksSent int         `json:"cancelAcksSent"`
+	FramesLost     int         `json:"framesLost"` // loss injector + congestion drops
+	Queues         []LiveQueue `json:"queues"`
+}
+
+// LiveQueue is one node's queue occupancy: unprocessed incoming frames,
+// higher-layer sends not yet accepted, and occupied buffers (the buffer
+// gauges lag by at most one tick).
+type LiveQueue struct {
+	Proc    ProcessID `json:"proc"`
+	Inbox   int       `json:"inbox"`
+	Pending int       `json:"pending"`
+	BufR    int       `json:"bufR"`
+	BufE    int       `json:"bufE"`
+}
+
+// Status snapshots the network's live counters; safe to call from any
+// goroutine while the network runs.
+func (l *LiveNetwork) Status() LiveStatus {
+	st := l.nw.Stats()
+	out := LiveStatus{
+		Deliveries:     len(l.nw.Deliveries()),
+		DVSent:         st.DVSent,
+		OffersSent:     st.OffersSent,
+		AcceptsSent:    st.AcceptsSent,
+		CancelsSent:    st.CancelsSent,
+		CancelAcksSent: st.CancelAcksSent,
+		FramesLost:     st.LostInjected + st.LostCongestion,
+	}
+	for _, q := range l.nw.QueueDepths() {
+		out.Queues = append(out.Queues, LiveQueue{
+			Proc: q.Proc, Inbox: q.Inbox, Pending: q.Pending, BufR: q.BufR, BufE: q.BufE,
+		})
+	}
+	return out
+}
+
 // Close stops every processor goroutine and waits for them.
 func (l *LiveNetwork) Close() { l.nw.Stop() }

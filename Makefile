@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench experiments check examples cover fmt vet
+.PHONY: all build test test-short race bench experiments check cluster examples cover fmt vet
 
 all: build vet test
 
@@ -31,11 +31,20 @@ check:
 	$(GO) run ./cmd/ssmfp-check -scenario figure3 -simultaneity 2
 	$(GO) run ./cmd/ssmfp-check -scenario r5-literal
 
+# 5 OS processes, one ring processor each, loopback TCP under chaos
+# (loss, duplication, jitter, a partition/heal cycle straddled by the
+# sends); exits nonzero on any lost, duplicated or misdelivered message.
+cluster:
+	$(GO) run ./cmd/ssmfp-node -spawn 5 -topology ring -messages 30 -seed 7 \
+		-loss 0.10 -dup 0.10 -latency 200us -jitter 1ms \
+		-partition 400ms:600ms:0-1 -send-spread 1500ms -timeout 60s > /dev/null
+
 examples:
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/figure3
 	$(GO) run ./examples/gridflood
 	$(GO) run ./examples/msgpass
+	$(GO) run ./examples/chaos
 	$(GO) run ./examples/rpc
 	$(GO) run ./examples/faultstorm
 

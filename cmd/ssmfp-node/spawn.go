@@ -1,0 +1,245 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"ssmfp/internal/graph"
+	"ssmfp/internal/transport"
+)
+
+// runSpawn forks -spawn single-node copies of this binary on loopback
+// TCP, waits for every node's JSON report, and judges exactly-once
+// delivery across the whole cluster. It is the multi-process analogue of
+// the in-process UID oracle the simulator tests use.
+func runSpawn(cfg config) error {
+	g, err := loadTopology(cfg)
+	if err != nil {
+		return err
+	}
+	if g.N() != cfg.spawn && cfg.n != 0 && cfg.topoFile == "" {
+		return fmt.Errorf("-spawn %d and -n %d disagree", cfg.spawn, cfg.n)
+	}
+	if _, _, err := chaosOpts(cfg); err != nil {
+		return err // reject bad -partition here, not in N children
+	}
+
+	// Reserve one loopback port per node by binding and closing; the
+	// window between close and the child's bind is small, and a stolen
+	// port fails the child's listen loudly rather than silently.
+	peers := make(map[graph.ProcessID]string, g.N())
+	for _, p := range g.Processors() {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		peers[p] = l.Addr().String()
+		l.Close()
+	}
+
+	dir, err := os.MkdirTemp("", "ssmfp-cluster-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	topoPath := filepath.Join(dir, "topology.txt")
+	if err := os.WriteFile(topoPath, []byte(graph.Format(g)), 0o644); err != nil {
+		return err
+	}
+	peersPath := filepath.Join(dir, "peers.txt")
+	if err := os.WriteFile(peersPath, []byte(transport.FormatPeers(peers)), 0o644); err != nil {
+		return err
+	}
+
+	self, err := os.Executable()
+	if err != nil {
+		return err
+	}
+
+	type child struct {
+		cmd   *exec.Cmd
+		stdin *os.File // closing it releases the node
+		rep   chan report
+		errc  chan error
+	}
+	children := make([]*child, 0, g.N())
+	defer func() {
+		for _, c := range children {
+			if c.stdin != nil {
+				c.stdin.Close()
+			}
+		}
+		for _, c := range children {
+			done := make(chan struct{})
+			go func(c *child) { c.cmd.Wait(); close(done) }(c)
+			select {
+			case <-done:
+			case <-time.After(5 * time.Second):
+				c.cmd.Process.Kill()
+				c.cmd.Wait()
+			}
+		}
+	}()
+
+	for _, p := range g.Processors() {
+		args := []string{
+			"-id", strconv.Itoa(int(p)),
+			"-topology-file", topoPath,
+			"-peers", peersPath,
+			"-messages", strconv.Itoa(cfg.messages),
+			"-send-spread", cfg.spread.String(),
+			"-seed", strconv.FormatInt(cfg.seed, 10),
+			"-tick", cfg.tick.String(),
+			"-timeout", cfg.timeout.String(),
+			"-loss", strconv.FormatFloat(cfg.loss, 'g', -1, 64),
+			"-dup", strconv.FormatFloat(cfg.dup, 'g', -1, 64),
+			"-latency", cfg.latency.String(),
+			"-jitter", cfg.jitter.String(),
+			"-partition", cfg.partitions,
+		}
+		cmd := exec.Command(self, args...)
+		cmd.Stderr = os.Stderr
+		stdinR, stdinW, err := os.Pipe()
+		if err != nil {
+			return err
+		}
+		cmd.Stdin = stdinR
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			stdinR.Close()
+			stdinW.Close()
+			return err
+		}
+		if err := cmd.Start(); err != nil {
+			stdinR.Close()
+			stdinW.Close()
+			return fmt.Errorf("node %d: %v", p, err)
+		}
+		stdinR.Close() // child holds its copy
+		c := &child{cmd: cmd, stdin: stdinW, rep: make(chan report, 1), errc: make(chan error, 1)}
+		go func(id graph.ProcessID) {
+			sc := bufio.NewScanner(stdout)
+			sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+			if !sc.Scan() {
+				c.errc <- fmt.Errorf("node %d: exited without a report (%v)", id, sc.Err())
+				return
+			}
+			var r report
+			if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+				c.errc <- fmt.Errorf("node %d: bad report: %v", id, err)
+				return
+			}
+			c.rep <- r
+		}(p)
+		children = append(children, c)
+	}
+
+	// Children stop waiting after cfg.timeout and report whatever they
+	// have; allow slack on top for process startup and JSON plumbing.
+	deadline := time.After(cfg.timeout + 15*time.Second)
+	reports := make([]report, 0, len(children))
+	for i, c := range children {
+		select {
+		case r := <-c.rep:
+			reports = append(reports, r)
+		case err := <-c.errc:
+			return err
+		case <-deadline:
+			return fmt.Errorf("node %d: no report before deadline", i)
+		}
+	}
+
+	violations := judge(g, reports, workload(g, cfg.seed, cfg.messages))
+	summary := struct {
+		Nodes      int      `json:"nodes"`
+		Messages   int      `json:"messages"`
+		Delivered  int      `json:"delivered"`
+		Violations []string `json:"violations"`
+		Reports    []report `json:"reports"`
+	}{Nodes: len(reports), Messages: cfg.messages, Violations: violations, Reports: reports}
+	for _, r := range reports {
+		summary.Delivered += len(r.Delivered)
+	}
+	enc, _ := json.MarshalIndent(summary, "", "  ")
+	fmt.Println(string(enc))
+	if len(violations) > 0 {
+		return fmt.Errorf("%d exactly-once violations", len(violations))
+	}
+	fmt.Fprintf(os.Stderr, "ssmfp-node: %d nodes, %d messages, exactly-once verified\n",
+		len(reports), cfg.messages)
+	return nil
+}
+
+// judge checks the cross-process exactly-once property: every UID a node
+// reports sent must appear exactly once, valid, in the report of the
+// destination it was addressed to — and nowhere else.
+func judge(g *graph.Graph, reports []report, plan []workloadEntry) []string {
+	var violations []string
+	badf := func(format string, a ...any) {
+		violations = append(violations, fmt.Sprintf(format, a...))
+	}
+
+	expectDst := make(map[uint64]int) // uid -> destination
+	for _, r := range reports {
+		if want := countFor(plan, graph.ProcessID(r.ID)); len(r.Sent) != want.sent {
+			badf("node %d sent %d messages, plan says %d", r.ID, len(r.Sent), want.sent)
+		}
+		for _, s := range r.Sent {
+			if _, dup := expectDst[s.UID]; dup {
+				badf("uid %d sent twice", s.UID)
+			}
+			expectDst[s.UID] = s.Dst
+		}
+	}
+	seen := make(map[uint64]int) // uid -> deliveries observed
+	for _, r := range reports {
+		for _, d := range r.Delivered {
+			if !d.Valid {
+				badf("node %d delivered invalid uid %d", r.ID, d.UID)
+				continue
+			}
+			dst, known := expectDst[d.UID]
+			if !known {
+				badf("node %d delivered unknown uid %d", r.ID, d.UID)
+				continue
+			}
+			if dst != r.ID {
+				badf("uid %d delivered at node %d, addressed to %d", d.UID, r.ID, dst)
+			}
+			seen[d.UID]++
+		}
+	}
+	for uid, n := range seen {
+		if n > 1 {
+			badf("uid %d delivered %d times", uid, n)
+		}
+	}
+	for uid, dst := range expectDst {
+		if seen[uid] == 0 {
+			badf("uid %d (for node %d) never delivered", uid, dst)
+		}
+	}
+	return violations
+}
+
+type planShare struct{ sent, recv int }
+
+func countFor(plan []workloadEntry, p graph.ProcessID) planShare {
+	var s planShare
+	for _, e := range plan {
+		if e.Src == p {
+			s.sent++
+		}
+		if e.Dst == p {
+			s.recv++
+		}
+	}
+	return s
+}

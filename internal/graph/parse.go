@@ -1,0 +1,97 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Topology files describe a network as text: a first directive line
+// "n <count>" followed by one undirected edge per line ("<u> <v>").
+// Blank lines and #-comments are ignored. The multi-process deployment
+// (cmd/ssmfp-node) ships one file to every node so all processes agree
+// on the graph.
+//
+//	# 4-node line
+//	n 4
+//	0 1
+//	1 2
+//	2 3
+
+// Parse reads a topology file and returns the frozen graph. Errors carry
+// line numbers; the connectivity requirement of Freeze applies (a
+// disconnected file is rejected with a clear error rather than a panic).
+func Parse(r io.Reader) (g *Graph, err error) {
+	sc := bufio.NewScanner(r)
+	lineno := 0
+	next := func() (string, bool) {
+		for sc.Scan() {
+			lineno++
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			return line, true
+		}
+		return "", false
+	}
+
+	head, ok := next()
+	if !ok {
+		return nil, fmt.Errorf("topology: empty file")
+	}
+	fields := strings.Fields(head)
+	if len(fields) != 2 || fields[0] != "n" {
+		return nil, fmt.Errorf("topology line %d: want \"n <count>\", got %q", lineno, head)
+	}
+	n, aerr := strconv.Atoi(fields[1])
+	if aerr != nil || n < 1 {
+		return nil, fmt.Errorf("topology line %d: bad processor count %q", lineno, fields[1])
+	}
+	g = New(n)
+
+	// AddEdge and Freeze report misuse by panicking (the in-code builders
+	// want that); a file parser must turn those into errors.
+	defer func() {
+		if p := recover(); p != nil {
+			if lineno > 0 {
+				g, err = nil, fmt.Errorf("topology line %d: %v", lineno, p)
+			} else {
+				g, err = nil, fmt.Errorf("topology: %v", p)
+			}
+		}
+	}()
+	for {
+		line, ok := next()
+		if !ok {
+			break
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("topology line %d: want \"<u> <v>\", got %q", lineno, line)
+		}
+		u, uerr := strconv.Atoi(fields[0])
+		v, verr := strconv.Atoi(fields[1])
+		if uerr != nil || verr != nil {
+			return nil, fmt.Errorf("topology line %d: bad edge %q", lineno, line)
+		}
+		g.AddEdge(ProcessID(u), ProcessID(v))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	lineno = 0 // Freeze panics (disconnection) are not about a line
+	return g.Freeze(), nil
+}
+
+// Format renders g in the topology file format Parse reads.
+func Format(g *Graph) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n %d\n", g.N())
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&b, "%d %d\n", e[0], e[1])
+	}
+	return b.String()
+}

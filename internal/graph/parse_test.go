@@ -1,0 +1,57 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, g := range []*Graph{Line(4), Ring(6), Grid(3, 3), Star(5)} {
+		got, err := Parse(strings.NewReader(Format(g)))
+		if err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+		if got.N() != g.N() || got.M() != g.M() {
+			t.Fatalf("round trip of %v gave %v", g, got)
+		}
+		for _, e := range g.Edges() {
+			if !got.HasEdge(e[0], e[1]) {
+				t.Fatalf("round trip of %v lost edge %v", g, e)
+			}
+		}
+		if !got.Frozen() {
+			t.Fatalf("Parse must return a frozen graph")
+		}
+	}
+}
+
+func TestParseCommentsAndBlanks(t *testing.T) {
+	src := "# a line\n\nn 3\n# edges\n0 1\n\n1 2\n"
+	g, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("got %v", g)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"no header":      "0 1\n",
+		"bad count":      "n zero\n",
+		"zero count":     "n 0\n",
+		"bad edge":       "n 2\n0 x\n",
+		"three fields":   "n 2\n0 1 2\n",
+		"out of range":   "n 2\n0 5\n",
+		"self loop":      "n 2\n1 1\n",
+		"duplicate edge": "n 3\n0 1\n0 1\n0 2\n1 2\n",
+		"disconnected":   "n 3\n0 1\n",
+	}
+	for name, src := range cases {
+		if g, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted as %v", name, g)
+		}
+	}
+}

@@ -2,8 +2,10 @@
 // problem the paper's conclusion poses ("it will be interesting to carry
 // our protocol in the message passing model ... in order to enable
 // snap-stabilizing message forwarding in a real network"). Every processor
-// is a goroutine, every link a pair of Go channels, and the shared-memory
-// reads of the state model become explicit frames:
+// is a goroutine, every link a transport.Link (in-process channels, real
+// TCP sockets, or a chaos-impaired wrapper of either — see
+// internal/transport), and the shared-memory reads of the state model
+// become explicit frames:
 //
 //   - routing: a self-stabilizing distance-vector — nodes gossip their
 //     per-destination distances on every tick and correct (dist, parent)
@@ -16,36 +18,40 @@
 //     "copy visible ⇒ erase" reasoning;
 //   - consumption stays local.
 //
-// Frames may be dropped (lossy links are injectable) and reordered across
-// destinations; the handshake keeps every hop exactly-once, so valid
-// messages are delivered once and only once while the distance vector
-// repairs arbitrary initial routing state — the behaviour experiment E-X3
-// measures. The port is an engineering demonstration, not a proof-carrying
-// artifact: the paper leaves the formal transformation open, and DESIGN.md
-// records the differences (timers and sequence numbers instead of colors
-// for hop-level identity; colors are still carried for observability).
+// The handshake assumes nothing about the wire beyond best effort: frames
+// may be dropped, duplicated, and — depending on the transport — arrive
+// out of order. One directed channel or TCP link is FIFO per se, so with
+// those backends out-of-order arrival happens only through retransmission
+// interleaving (a retransmitted offer overtaking the original's late
+// accept); the chaos transport's per-frame jitter is what introduces
+// genuine wire reordering. Under all of it the handshake keeps every hop
+// exactly-once, so valid messages are delivered once and only once while
+// the distance vector repairs arbitrary initial routing state — the
+// behaviour experiment E-X3 measures and the transport conformance suite
+// re-checks against every backend. The port is an engineering
+// demonstration, not a proof-carrying artifact: the paper leaves the
+// formal transformation open, and DESIGN.md records the differences
+// (timers and sequence numbers instead of colors for hop-level identity;
+// colors are still carried for observability).
 package msgpass
 
 import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ssmfp/internal/graph"
 	"ssmfp/internal/obs"
+	"ssmfp/internal/transport"
 )
 
 // Message is the unit the port forwards. UID/Valid mirror the simulator's
-// bookkeeping so the same exactly-once oracles apply.
-type Message struct {
-	Payload string
-	Color   int
-	UID     uint64
-	Src     graph.ProcessID
-	Dest    graph.ProcessID
-	Valid   bool
-}
+// bookkeeping so the same exactly-once oracles apply. It is the
+// transport's wire message type: what a node hands to a link is what the
+// peer decodes.
+type Message = transport.Message
 
 // Delivery records a consumption at a destination.
 type Delivery struct {
@@ -53,59 +59,45 @@ type Delivery struct {
 	At  graph.ProcessID
 }
 
-// frame is what travels on a link. Exactly one of the payload fields is
-// set per frame.
-type frame struct {
-	from      graph.ProcessID
-	dv        []int // distance vector (dist per destination)
-	offer     *offer
-	accept    *accept
-	cancel    *cancel
-	cancelAck *cancel
-}
-
-// offer proposes the transfer of the sender's bufE occupancy; seq
-// identifies the occupancy (monotone per sender) and is offered to exactly
-// one neighbor at a time — retargeting requires a cancel round trip.
-type offer struct {
-	dest graph.ProcessID
-	seq  uint64
-	msg  Message
-}
-
-// accept acknowledges that the receiver stored (or had stored) the offer.
-type accept struct {
-	dest graph.ProcessID
-	seq  uint64
-}
-
-// cancel withdraws an outstanding offer after a routing change; the
-// receiver either kills the sequence (cancelAck) or reports it already
-// accepted (accept), so every sequence resolves to exactly one owner.
-type cancel struct {
-	dest graph.ProcessID
-	seq  uint64
-}
-
 // Options tunes the port.
 type Options struct {
 	// Tick is the node timer period (distance-vector gossip and offer
 	// retransmission). Default 200µs.
 	Tick time.Duration
-	// ChannelDepth is the per-link buffer; overflowing frames are dropped
-	// (retransmission recovers them). Default 64.
+	// ChannelDepth sizes the per-link buffers of the default channel
+	// transport and each node's fan-in inbox; overflowing frames are
+	// dropped (retransmission recovers them). Default 64.
 	ChannelDepth int
-	// LossRate drops each frame with this probability (0..1).
+	// LossRate drops each frame with this probability (0..1). With no
+	// explicit Transport, a non-zero rate wraps the channel backend in a
+	// chaos transport carrying the loss.
 	LossRate float64
 	// DupRate delivers each frame twice with this probability (0..1) —
 	// real links also duplicate; the handshake's idempotent acknowledgement
 	// must absorb it.
 	DupRate float64
+	// Latency and Jitter delay frames (base + uniform extra) through the
+	// same implicit chaos wrapper. Zero means no delay injection.
+	Latency time.Duration
+	Jitter  time.Duration
 	// Seed drives loss and corruption randomness.
 	Seed int64
 	// CorruptInit randomizes initial routing state and plants invalid
 	// messages in buffers when true.
 	CorruptInit bool
+	// Transport supplies the wire. Nil selects the in-process channel
+	// backend (chaos-wrapped when LossRate/DupRate/Latency/Jitter ask for
+	// impairment), which Network.Stop then owns and closes. A non-nil
+	// transport is the caller's: it must cover every edge this Network's
+	// processors touch, and the caller closes it after Stop.
+	Transport transport.Transport
+	// Procs restricts which processors this Network instance runs (nil =
+	// all of them). With a node-scoped transport, every OS process runs
+	// its own subset — typically a single processor (cmd/ssmfp-node) —
+	// and the union of all processes forms the deployment. Send panics
+	// for sources outside the subset; Deliveries reports local
+	// consumptions only.
+	Procs []graph.ProcessID
 	// Bus, when non-nil, receives typed lifecycle events from the nodes
 	// (generate, internal move, hop transfer, erase, deliver). The port
 	// runs on wall-clock time, not engine steps, so events carry Step and
@@ -125,26 +117,43 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Network is a running message-passing deployment of the protocol.
+// Network is a running message-passing deployment of the protocol — or,
+// with Options.Procs set, one process's share of a deployment that spans
+// several OS processes over a node-scoped transport.
 type Network struct {
 	g    *graph.Graph
 	opts Options
 
-	nodes []*node
-	links map[[2]graph.ProcessID]chan frame
+	tr    transport.Transport
+	ownTr bool
+
+	nodes []*node // indexed by ProcessID; nil for non-local processors
+	local []graph.ProcessID
+
+	// Wire hot path counters. Every frame send touches exactly one of
+	// these; they are atomics so the hot path never takes a network-wide
+	// lock (see BenchmarkSendHotPathParallel).
+	dvSent         atomic.Int64
+	offersSent     atomic.Int64
+	acceptsSent    atomic.Int64
+	cancelsSent    atomic.Int64
+	cancelAcksSent atomic.Int64
+
+	nextUID atomic.Uint64
 
 	mu         sync.Mutex
 	deliveries []Delivery
-	nextUID    uint64
-	stats      Stats
+	delivered  chan struct{} // closed and replaced on every delivery
 
 	stop chan struct{}
 	wg   sync.WaitGroup
 }
 
 // Stats counts wire-level activity: how many frames of each kind were
-// sent and how many were lost (by the loss injector or by congestion).
-// Offers exceeding deliveries indicate retransmissions at work.
+// sent and how many were lost (by injected impairment or by congestion).
+// Offers exceeding deliveries indicate retransmissions at work. Wire
+// carries the transport's own counters (bytes and dials are non-zero
+// only on the TCP backend).
 type Stats struct {
 	DVSent         int
 	OffersSent     int
@@ -153,59 +162,92 @@ type Stats struct {
 	CancelAcksSent int
 	LostInjected   int
 	LostCongestion int
+	Wire           transport.Stats
 }
 
 // New builds (but does not start) a deployment on g.
 func New(g *graph.Graph, opts Options) *Network {
 	opts = opts.withDefaults()
 	nw := &Network{
-		g:     g,
-		opts:  opts,
-		links: make(map[[2]graph.ProcessID]chan frame),
-		stop:  make(chan struct{}),
+		g:         g,
+		opts:      opts,
+		tr:        opts.Transport,
+		nodes:     make([]*node, g.N()),
+		delivered: make(chan struct{}),
+		stop:      make(chan struct{}),
 	}
-	for _, e := range g.Edges() {
-		nw.links[[2]graph.ProcessID{e[0], e[1]}] = make(chan frame, opts.ChannelDepth)
-		nw.links[[2]graph.ProcessID{e[1], e[0]}] = make(chan frame, opts.ChannelDepth)
+	if nw.tr == nil {
+		nw.ownTr = true
+		var tr transport.Transport = transport.NewChan(g, opts.ChannelDepth)
+		if opts.LossRate > 0 || opts.DupRate > 0 || opts.Latency > 0 || opts.Jitter > 0 {
+			tr = transport.NewChaos(tr, transport.ChaosOptions{
+				Seed:     opts.Seed,
+				LossRate: opts.LossRate,
+				DupRate:  opts.DupRate,
+				Latency:  opts.Latency,
+				Jitter:   opts.Jitter,
+				Bus:      opts.Bus,
+			})
+		}
+		nw.tr = tr
+	}
+	nw.local = opts.Procs
+	if nw.local == nil {
+		nw.local = g.Processors()
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
-	nw.nodes = make([]*node, g.N())
-	for p := 0; p < g.N(); p++ {
-		nw.nodes[p] = newNode(nw, graph.ProcessID(p), rng)
+	seeds := make([]int64, g.N())
+	for p := range seeds {
+		// One draw per processor regardless of locality, so a node's
+		// private stream depends only on (Seed, id) — every process of a
+		// multi-process deployment derives the same per-node streams.
+		seeds[p] = rng.Int63()
+	}
+	for _, p := range nw.local {
+		nw.nodes[p] = newNode(nw, p, rand.New(rand.NewSource(seeds[p])))
 	}
 	return nw
 }
 
-// Start launches one goroutine per processor.
+// Start launches one goroutine per local processor.
 func (nw *Network) Start() {
-	for _, n := range nw.nodes {
+	for _, p := range nw.local {
 		nw.wg.Add(1)
-		go n.run()
+		go nw.nodes[p].run()
 	}
 }
 
-// Stop terminates all node goroutines and waits for them.
+// Stop terminates all node goroutines and waits for them; a transport the
+// Network built for itself is closed, a caller-supplied one is left open.
 func (nw *Network) Stop() {
 	close(nw.stop)
 	nw.wg.Wait()
+	if nw.ownTr {
+		nw.tr.Close()
+	}
 }
 
 // Send injects a higher-layer send request at src and returns the UID the
-// oracles can track.
+// oracles can track. src must be local to this Network instance.
 func (nw *Network) Send(src graph.ProcessID, payload string, dst graph.ProcessID) uint64 {
-	nw.mu.Lock()
-	nw.nextUID++
-	uid := nw.nextUID
-	nw.mu.Unlock()
-	m := Message{Payload: payload, UID: uid, Src: src, Dest: dst, Valid: true}
 	n := nw.nodes[src]
+	if n == nil {
+		panic(fmt.Sprintf("msgpass: Send at processor %d, which is not local to this deployment", src))
+	}
+	uid := nw.nextUID.Add(1)
+	if len(nw.local) != nw.g.N() {
+		// Partial deployment: namespace UIDs by source so the union of
+		// all processes' UIDs stays collision-free for the oracle.
+		uid |= (uint64(src) + 1) << 40
+	}
+	m := Message{Payload: payload, UID: uid, Src: src, Dest: dst, Valid: true}
 	n.mu.Lock()
 	n.pending = append(n.pending, m)
 	n.mu.Unlock()
 	return uid
 }
 
-// Deliveries returns a snapshot of all deliveries so far.
+// Deliveries returns a snapshot of all (local) deliveries so far.
 func (nw *Network) Deliveries() []Delivery {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
@@ -213,38 +255,58 @@ func (nw *Network) Deliveries() []Delivery {
 }
 
 // WaitDelivered blocks until at least k deliveries happened or the timeout
-// elapsed; it reports whether the threshold was reached.
+// elapsed; it reports whether the threshold was reached. It is signalled
+// by deliver, not polled.
 func (nw *Network) WaitDelivered(k int, timeout time.Duration) bool {
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	for {
 		nw.mu.Lock()
 		got := len(nw.deliveries)
+		sig := nw.delivered
 		nw.mu.Unlock()
 		if got >= k {
 			return true
 		}
-		time.Sleep(nw.opts.Tick)
+		select {
+		case <-sig:
+		case <-timer.C:
+			nw.mu.Lock()
+			got = len(nw.deliveries)
+			nw.mu.Unlock()
+			return got >= k
+		}
 	}
-	return false
 }
 
 func (nw *Network) deliver(d Delivery) {
 	nw.mu.Lock()
 	nw.deliveries = append(nw.deliveries, d)
+	close(nw.delivered) // wake every WaitDelivered
+	nw.delivered = make(chan struct{})
 	nw.mu.Unlock()
 }
 
 // Stats returns a snapshot of the wire-level counters.
 func (nw *Network) Stats() Stats {
-	nw.mu.Lock()
-	defer nw.mu.Unlock()
-	return nw.stats
+	wire := nw.tr.Stats()
+	return Stats{
+		DVSent:         int(nw.dvSent.Load()),
+		OffersSent:     int(nw.offersSent.Load()),
+		AcceptsSent:    int(nw.acceptsSent.Load()),
+		CancelsSent:    int(nw.cancelsSent.Load()),
+		CancelAcksSent: int(nw.cancelAcksSent.Load()),
+		LostInjected:   int(wire.DroppedImpair),
+		LostCongestion: int(wire.DroppedFull),
+		Wire:           wire,
+	}
 }
 
 // QueueDepth is a point-in-time occupancy snapshot of one node: frames
 // fanned in but not yet handled, higher-layer sends not yet accepted by
-// R1, and occupied buffers. Inbox and Pending are exact; the buffer gauges
-// are refreshed by the node on every tick, so they lag by at most one tick
+// R1, occupied buffers, and frames sitting in the node's outbound wire
+// queues. Inbox, Pending and WireOut are exact; the buffer gauges are
+// refreshed by the node on every tick, so they lag by at most one tick
 // period.
 type QueueDepth struct {
 	Proc    graph.ProcessID `json:"proc"`
@@ -252,23 +314,30 @@ type QueueDepth struct {
 	Pending int             `json:"pending"`
 	BufR    int             `json:"bufR"`
 	BufE    int             `json:"bufE"`
+	WireOut int             `json:"wireOut"`
 }
 
-// QueueDepths snapshots every node's queue occupancy. Safe to call from
-// any goroutine while the network runs.
+// QueueDepths snapshots every local node's queue occupancy. Safe to call
+// from any goroutine while the network runs.
 func (nw *Network) QueueDepths() []QueueDepth {
-	out := make([]QueueDepth, len(nw.nodes))
-	for i, n := range nw.nodes {
+	out := make([]QueueDepth, 0, len(nw.local))
+	for _, p := range nw.local {
+		n := nw.nodes[p]
 		n.mu.Lock()
 		pending := len(n.pending)
 		n.mu.Unlock()
-		out[i] = QueueDepth{
+		wireOut := 0
+		for _, l := range n.out {
+			wireOut += l.Stats().Queued
+		}
+		out = append(out, QueueDepth{
 			Proc:    n.id,
 			Inbox:   len(n.inbox),
 			Pending: pending,
 			BufR:    int(n.gaugeBufR.Load()),
 			BufE:    int(n.gaugeBufE.Load()),
-		}
+			WireOut: wireOut,
+		})
 	}
 	return out
 }
@@ -292,44 +361,21 @@ func record(m *Message, lastHop graph.ProcessID) *obs.MsgRecord {
 	return &obs.MsgRecord{Payload: m.Payload, LastHop: lastHop, Color: m.Color, UID: m.UID, Valid: m.Valid}
 }
 
-// send pushes a frame onto the directed link, dropping it when the link is
-// full or the loss injector fires — retransmission recovers both cases.
-func (nw *Network) send(from, to graph.ProcessID, f frame, rng *rand.Rand) {
-	nw.mu.Lock()
-	switch {
-	case f.dv != nil:
-		nw.stats.DVSent++
-	case f.offer != nil:
-		nw.stats.OffersSent++
-	case f.accept != nil:
-		nw.stats.AcceptsSent++
-	case f.cancel != nil:
-		nw.stats.CancelsSent++
-	case f.cancelAck != nil:
-		nw.stats.CancelAcksSent++
-	}
-	nw.mu.Unlock()
-	if nw.opts.LossRate > 0 && rng.Float64() < nw.opts.LossRate {
-		nw.mu.Lock()
-		nw.stats.LostInjected++
-		nw.mu.Unlock()
-		return
-	}
-	ch, ok := nw.links[[2]graph.ProcessID{from, to}]
-	if !ok {
-		panic(fmt.Sprintf("msgpass: no link %d→%d", from, to))
-	}
-	copies := 1
-	if nw.opts.DupRate > 0 && rng.Float64() < nw.opts.DupRate {
-		copies = 2
-	}
-	for i := 0; i < copies; i++ {
-		select {
-		case ch <- f:
-		default:
-			nw.mu.Lock()
-			nw.stats.LostCongestion++
-			nw.mu.Unlock()
-		}
+// countFrame attributes one sent frame to its kind counter. The counters
+// are atomics: this is the wire hot path, crossed once or twice per frame
+// by every node goroutine concurrently, and must not serialize on a
+// network-wide lock.
+func (nw *Network) countFrame(k transport.FrameKind) {
+	switch k {
+	case transport.KindDV:
+		nw.dvSent.Add(1)
+	case transport.KindOffer:
+		nw.offersSent.Add(1)
+	case transport.KindAccept:
+		nw.acceptsSent.Add(1)
+	case transport.KindCancel:
+		nw.cancelsSent.Add(1)
+	case transport.KindCancelAck:
+		nw.cancelAcksSent.Add(1)
 	}
 }

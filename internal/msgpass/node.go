@@ -8,6 +8,7 @@ import (
 
 	"ssmfp/internal/graph"
 	"ssmfp/internal/obs"
+	"ssmfp/internal/transport"
 )
 
 // destState is the per-destination forwarding state of a node: the bufR /
@@ -49,10 +50,14 @@ type node struct {
 	dests   []destState
 	nextSeq uint64
 
+	// out caches this node's outgoing wire links, one per neighbor; the
+	// send hot path is a map read plus the link's own handoff.
+	out map[graph.ProcessID]transport.Link
+
 	// inbox fans in frames from every incoming link; created up front so
 	// Network.QueueDepths can read its occupancy (len on a channel is safe
 	// concurrently).
-	inbox chan frame
+	inbox chan transport.Frame
 
 	// buffer-occupancy gauges, refreshed once per tick for QueueDepths.
 	gaugeBufR atomic.Int32
@@ -68,15 +73,19 @@ func newNode(nw *Network, id graph.ProcessID, rng *rand.Rand) *node {
 	n := &node{
 		nw:      nw,
 		id:      id,
-		rng:     rand.New(rand.NewSource(rng.Int63())),
+		rng:     rng,
 		dist:    make([]int, g.N()),
 		parent:  make([]graph.ProcessID, g.N()),
 		nbrDV:   make(map[graph.ProcessID][]int),
 		dests:   make([]destState, g.N()),
 		nextSeq: 1,
-		inbox:   make(chan frame, nw.opts.ChannelDepth*len(g.Neighbors(id))),
+		out:     make(map[graph.ProcessID]transport.Link),
+		inbox:   make(chan transport.Frame, nw.opts.ChannelDepth*len(g.Neighbors(id))),
 	}
 	nbrs := g.Neighbors(id)
+	for _, q := range nbrs {
+		n.out[q] = nw.tr.Link(id, q)
+	}
 	for d := 0; d < g.N(); d++ {
 		n.dests[d].accepted = make(map[graph.ProcessID]uint64)
 		n.dests[d].killed = make(map[graph.ProcessID]uint64)
@@ -107,6 +116,12 @@ func newNode(nw *Network, id graph.ProcessID, rng *rand.Rand) *node {
 	return n
 }
 
+// send counts and ships one frame on the cached link to q.
+func (n *node) send(q graph.ProcessID, f transport.Frame) {
+	n.nw.countFrame(f.Kind())
+	n.out[q].Send(f)
+}
+
 // updateGauges refreshes the buffer-occupancy gauges QueueDepths reads.
 func (n *node) updateGauges() {
 	var r, e int32
@@ -131,9 +146,9 @@ func (n *node) run() {
 	defer ticker.Stop()
 
 	for _, q := range g.Neighbors(n.id) {
-		ch := n.nw.links[[2]graph.ProcessID{q, n.id}]
+		ch := n.nw.tr.Link(q, n.id).Recv()
 		n.nw.wg.Add(1)
-		go func(ch chan frame) {
+		go func(ch <-chan transport.Frame) {
 			defer n.nw.wg.Done()
 			for {
 				select {
@@ -164,19 +179,19 @@ func (n *node) run() {
 }
 
 // handle processes one incoming frame.
-func (n *node) handle(f frame) {
+func (n *node) handle(f transport.Frame) {
 	switch {
-	case f.dv != nil:
-		n.nbrDV[f.from] = f.dv
+	case len(f.DV) > 0:
+		n.nbrDV[f.From] = f.DV
 		n.recomputeRoutes()
-	case f.offer != nil:
-		n.handleOffer(f.from, *f.offer)
-	case f.accept != nil:
-		n.handleAccept(f.from, *f.accept)
-	case f.cancel != nil:
-		n.handleCancel(f.from, *f.cancel)
-	case f.cancelAck != nil:
-		n.handleCancelAck(f.from, *f.cancelAck)
+	case f.Offer != nil:
+		n.handleOffer(f.From, *f.Offer)
+	case f.Accept != nil:
+		n.handleAccept(f.From, *f.Accept)
+	case f.Cancel != nil:
+		n.handleCancel(f.From, *f.Cancel)
+	case f.CancelAck != nil:
+		n.handleCancelAck(f.From, *f.CancelAck)
 	}
 }
 
@@ -194,7 +209,7 @@ func (n *node) recomputeRoutes() {
 		bestQ := g.Neighbors(n.id)[0]
 		for _, q := range g.Neighbors(n.id) {
 			dv, ok := n.nbrDV[q]
-			if !ok {
+			if !ok || len(dv) <= d {
 				continue
 			}
 			if cand := dv[d] + 1; cand < best {
@@ -210,34 +225,40 @@ func (n *node) recomputeRoutes() {
 // handleOffer is the receiver half of the hop transfer: store into an
 // empty bufR exactly once per sequence, acknowledge idempotently at or
 // below the watermark, stay silent while busy (the sender retransmits).
-func (n *node) handleOffer(from graph.ProcessID, o offer) {
-	ds := &n.dests[o.dest]
+func (n *node) handleOffer(from graph.ProcessID, o transport.Offer) {
+	if int(o.Dest) >= len(n.dests) {
+		return // corrupt frame from an untrusted wire
+	}
+	ds := &n.dests[o.Dest]
 	switch {
-	case o.seq <= ds.accepted[from]:
-		n.ack(from, o.dest, o.seq)
-	case o.seq <= ds.killed[from]:
-		n.nw.send(n.id, from, frame{from: n.id, cancelAck: &cancel{dest: o.dest, seq: o.seq}}, n.rng)
+	case o.Seq <= ds.accepted[from]:
+		n.ack(from, o.Dest, o.Seq)
+	case o.Seq <= ds.killed[from]:
+		n.send(from, transport.Frame{From: n.id, CancelAck: &transport.Ack{Dest: o.Dest, Seq: o.Seq}})
 	case ds.bufR == nil:
-		m := o.msg
+		m := o.Msg
 		ds.bufR = &m
-		ds.accepted[from] = o.seq
-		n.nw.observe(obs.Event{Kind: obs.KindForward, Proc: n.id, Dest: o.dest, From: from, Msg: record(&m, from)})
-		n.ack(from, o.dest, o.seq)
+		ds.accepted[from] = o.Seq
+		n.nw.observe(obs.Event{Kind: obs.KindForward, Proc: n.id, Dest: o.Dest, From: from, Msg: record(&m, from)})
+		n.ack(from, o.Dest, o.Seq)
 	}
 }
 
 func (n *node) ack(to graph.ProcessID, dest graph.ProcessID, seq uint64) {
-	n.nw.send(n.id, to, frame{from: n.id, accept: &accept{dest: dest, seq: seq}}, n.rng)
+	n.send(to, transport.Frame{From: n.id, Accept: &transport.Ack{Dest: dest, Seq: seq}})
 }
 
 // handleAccept is the sender half: the offered copy is stored at its
 // single target, so the emission buffer empties — the R4 erase. Sequence
 // matching makes stale accepts (from cancelled sequences or earlier
 // occupancies) harmless.
-func (n *node) handleAccept(from graph.ProcessID, a accept) {
-	ds := &n.dests[a.dest]
-	if ds.bufE != nil && ds.offerSeq == a.seq {
-		n.nw.observe(obs.Event{Kind: obs.KindErase, Proc: n.id, Dest: a.dest, Buf: obs.BufEmission, Msg: record(ds.bufE, n.id)})
+func (n *node) handleAccept(from graph.ProcessID, a transport.Ack) {
+	if int(a.Dest) >= len(n.dests) {
+		return
+	}
+	ds := &n.dests[a.Dest]
+	if ds.bufE != nil && ds.offerSeq == a.Seq {
+		n.nw.observe(obs.Event{Kind: obs.KindErase, Proc: n.id, Dest: a.Dest, Buf: obs.BufEmission, Msg: record(ds.bufE, n.id)})
 		ds.bufE = nil
 		ds.offerSeq = 0
 	}
@@ -246,25 +267,31 @@ func (n *node) handleAccept(from graph.ProcessID, a accept) {
 // handleCancel resolves a withdrawn offer at the receiver: if the sequence
 // was never accepted it is killed (watermark raised, cancelAck); if it was
 // already accepted the receiver owns the message and says so (accept).
-func (n *node) handleCancel(from graph.ProcessID, c cancel) {
-	ds := &n.dests[c.dest]
-	if c.seq <= ds.accepted[from] {
-		// Already stored here: the receiver owns the message; telling the
-		// sender lets it erase (the transfer completed after all).
-		n.ack(from, c.dest, c.seq)
+func (n *node) handleCancel(from graph.ProcessID, c transport.Ack) {
+	if int(c.Dest) >= len(n.dests) {
 		return
 	}
-	if c.seq > ds.killed[from] {
-		ds.killed[from] = c.seq
+	ds := &n.dests[c.Dest]
+	if c.Seq <= ds.accepted[from] {
+		// Already stored here: the receiver owns the message; telling the
+		// sender lets it erase (the transfer completed after all).
+		n.ack(from, c.Dest, c.Seq)
+		return
 	}
-	n.nw.send(n.id, from, frame{from: n.id, cancelAck: &cancel{dest: c.dest, seq: c.seq}}, n.rng)
+	if c.Seq > ds.killed[from] {
+		ds.killed[from] = c.Seq
+	}
+	n.send(from, transport.Frame{From: n.id, CancelAck: &transport.Ack{Dest: c.Dest, Seq: c.Seq}})
 }
 
 // handleCancelAck lets the sender retarget: the old sequence is dead at
 // the old target, so a fresh sequence may be offered to the current parent.
-func (n *node) handleCancelAck(from graph.ProcessID, c cancel) {
-	ds := &n.dests[c.dest]
-	if ds.bufE != nil && ds.offerSeq == c.seq && ds.offerTarget == from {
+func (n *node) handleCancelAck(from graph.ProcessID, c transport.Ack) {
+	if int(c.Dest) >= len(n.dests) {
+		return
+	}
+	ds := &n.dests[c.Dest]
+	if ds.bufE != nil && ds.offerSeq == c.Seq && ds.offerTarget == from {
 		ds.offerSeq = 0 // re-offered to the current parent on the next tick
 	}
 }
@@ -274,7 +301,7 @@ func (n *node) tick() {
 	n.updateGauges()
 	dv := append([]int(nil), n.dist...)
 	for _, q := range n.nw.g.Neighbors(n.id) {
-		n.nw.send(n.id, q, frame{from: n.id, dv: dv}, n.rng)
+		n.send(q, transport.Frame{From: n.id, DV: dv})
 	}
 	for d := range n.dests {
 		n.driveTransfer(graph.ProcessID(d))
@@ -294,14 +321,14 @@ func (n *node) driveTransfer(d graph.ProcessID) {
 		ds.offerTarget = n.parent[d]
 	}
 	if ds.offerTarget == n.parent[d] {
-		n.nw.send(n.id, ds.offerTarget,
-			frame{from: n.id, offer: &offer{dest: d, seq: ds.offerSeq, msg: *ds.bufE}}, n.rng)
+		n.send(ds.offerTarget,
+			transport.Frame{From: n.id, Offer: &transport.Offer{Dest: d, Seq: ds.offerSeq, Msg: *ds.bufE}})
 		return
 	}
 	// Routing changed under the outstanding offer: withdraw it before
 	// offering elsewhere, so the sequence has exactly one possible owner.
-	n.nw.send(n.id, ds.offerTarget,
-		frame{from: n.id, cancel: &cancel{dest: d, seq: ds.offerSeq}}, n.rng)
+	n.send(ds.offerTarget,
+		transport.Frame{From: n.id, Cancel: &transport.Ack{Dest: d, Seq: ds.offerSeq}})
 }
 
 // localMoves performs the purely local rules: generation (R1), the

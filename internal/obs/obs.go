@@ -62,13 +62,20 @@ const (
 	// KindStabilized marks the first observation that every routing table
 	// is canonical (the R_A instant of Propositions 5-7).
 	KindStabilized Kind = "stabilized"
+	// KindWire marks a transport-layer link event (dial, redial, accept,
+	// partition cut/heal); Detail names it. Wire events exist only in the
+	// wall-clock domain (Step and Round are -1): they come from the real
+	// transports under internal/transport, never from an engine run, so
+	// no replayable trace contains them.
+	KindWire Kind = "wire"
 )
 
 // Valid reports whether k is a kind of the current schema.
 func (k Kind) Valid() bool {
 	switch k {
 	case KindStep, KindFire, KindGenerate, KindInternal, KindForward,
-		KindErase, KindDeliver, KindRound, KindFault, KindRoute, KindStabilized:
+		KindErase, KindDeliver, KindRound, KindFault, KindRoute, KindStabilized,
+		KindWire:
 		return true
 	}
 	return false

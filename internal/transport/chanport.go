@@ -1,0 +1,105 @@
+package transport
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"ssmfp/internal/graph"
+)
+
+// Chan is the in-process backend: one buffered Go channel per directed
+// edge, the wiring msgpass originally built inside Network.send. It is
+// whole-graph scoped — both ends of every link live in this process —
+// and lossless except for congestion: a Send into a full channel drops
+// the frame (retransmission recovers it), exactly the original behavior.
+type Chan struct {
+	g      *graph.Graph
+	links  map[[2]graph.ProcessID]*chanLink // immutable after NewChan
+	closed atomic.Bool
+}
+
+// DefaultDepth is the per-link channel buffer when the caller passes a
+// non-positive depth.
+const DefaultDepth = 64
+
+// NewChan builds the channel transport for every directed edge of g with
+// the given per-link buffer depth (≤0 selects DefaultDepth).
+func NewChan(g *graph.Graph, depth int) *Chan {
+	if depth <= 0 {
+		depth = DefaultDepth
+	}
+	c := &Chan{g: g, links: make(map[[2]graph.ProcessID]*chanLink, 2*g.M())}
+	for _, e := range g.Edges() {
+		c.links[[2]graph.ProcessID{e[0], e[1]}] = &chanLink{tr: c, ch: make(chan Frame, depth)}
+		c.links[[2]graph.ProcessID{e[1], e[0]}] = &chanLink{tr: c, ch: make(chan Frame, depth)}
+	}
+	return c
+}
+
+// Link returns the directed link from→to; it panics on a non-edge, as
+// the original msgpass wiring did.
+func (c *Chan) Link(from, to graph.ProcessID) Link {
+	l, ok := c.links[[2]graph.ProcessID{from, to}]
+	if !ok {
+		panic(fmt.Sprintf("transport: no link %d→%d", from, to))
+	}
+	return l
+}
+
+// Stats sums the per-link counters.
+func (c *Chan) Stats() Stats {
+	var s Stats
+	for _, l := range c.links {
+		ls := l.Stats()
+		s.FramesSent += ls.Sent
+		s.FramesRecvd += ls.Recvd
+		s.DroppedFull += ls.DroppedFull
+	}
+	return s
+}
+
+// Close marks the transport closed; subsequent Sends drop. Channels are
+// left open so receivers can drain in-flight frames.
+func (c *Chan) Close() error {
+	c.closed.Store(true)
+	return nil
+}
+
+// chanLink is one directed edge of the Chan backend.
+type chanLink struct {
+	tr      *Chan
+	ch      chan Frame
+	sent    atomic.Uint64
+	dropped atomic.Uint64
+}
+
+func (l *chanLink) Send(f Frame) bool {
+	if l.tr.closed.Load() {
+		l.dropped.Add(1)
+		return false
+	}
+	select {
+	case l.ch <- f:
+		l.sent.Add(1)
+		return true
+	default:
+		l.dropped.Add(1)
+		return false
+	}
+}
+
+func (l *chanLink) Recv() <-chan Frame { return l.ch }
+
+func (l *chanLink) Stats() LinkStats {
+	sent := l.sent.Load()
+	return LinkStats{
+		// In-memory transfer is instantaneous: every frame that entered
+		// the channel has "arrived".
+		Sent:        sent,
+		Recvd:       sent,
+		DroppedFull: l.dropped.Load(),
+		Queued:      len(l.ch),
+	}
+}
+
+func (l *chanLink) Close() error { return nil }

@@ -1,0 +1,289 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"ssmfp/internal/graph"
+	"ssmfp/internal/obs"
+)
+
+// PartitionWindow schedules a network partition: for the half-open
+// interval [Start, Start+Duration) after the chaos transport is built,
+// every frame on the listed undirected edges is dropped in both
+// directions. Windows may overlap; an edge is cut while any window
+// covering it is active. Healing is implicit at the window's end.
+type PartitionWindow struct {
+	Start    time.Duration
+	Duration time.Duration
+	Edges    [][2]graph.ProcessID
+}
+
+// covers reports whether w cuts the directed edge from→to.
+func (w *PartitionWindow) covers(from, to graph.ProcessID) bool {
+	for _, e := range w.Edges {
+		if (e[0] == from && e[1] == to) || (e[0] == to && e[1] == from) {
+			return true
+		}
+	}
+	return false
+}
+
+// ChaosOptions tunes the impairment wrapper. All impairment decisions
+// (loss, duplication, jitter draws, reorder bursts) come from per-link
+// generators derived from Seed, so two runs with the same seed make the
+// same decisions in the same per-link order — deterministic under seed,
+// up to goroutine scheduling of the unimpaired parts.
+type ChaosOptions struct {
+	Seed int64
+	// Latency delays every frame by this base one-way time.
+	Latency time.Duration
+	// Jitter adds a uniform extra delay in [0, Jitter) per frame. Unequal
+	// delays on consecutive frames are what genuinely reorders a link.
+	Jitter time.Duration
+	// LossRate drops each frame with this probability (0..1).
+	LossRate float64
+	// DupRate injects a second copy of a frame with this probability.
+	DupRate float64
+	// ReorderRate holds a frame back an extra ReorderSpan with this
+	// probability, letting later frames overtake it even when Jitter is 0.
+	ReorderRate float64
+	// ReorderSpan is the extra holdback for reordered frames; defaults to
+	// 4×(Latency+Jitter), or 2ms when both are zero.
+	ReorderSpan time.Duration
+	// BandwidthBps caps each directed link at this many encoded frame
+	// bytes per second (0 = unlimited): frames queue behind each other's
+	// serialization time, like a real line rate.
+	BandwidthBps int
+	// Partitions schedules cut/heal windows.
+	Partitions []PartitionWindow
+	// Bus, when non-nil, receives KindWire events for partition cuts and
+	// heals (wall-clock domain, Step/Round −1).
+	Bus *obs.Bus
+}
+
+func (o ChaosOptions) withDefaults() ChaosOptions {
+	if o.ReorderSpan <= 0 {
+		o.ReorderSpan = 4 * (o.Latency + o.Jitter)
+		if o.ReorderSpan <= 0 {
+			o.ReorderSpan = 2 * time.Millisecond
+		}
+	}
+	return o
+}
+
+// Chaos composes impairment over any inner transport. All impairment is
+// applied on the send side of a link: a frame is dropped, duplicated,
+// and/or delayed before it reaches the inner backend, so Recv is the
+// inner channel untouched and the wrapper composes transparently over
+// both whole-graph (Chan) and node-scoped (TCP) backends.
+type Chaos struct {
+	inner Transport
+	opts  ChaosOptions
+	start time.Time
+
+	mu     sync.Mutex
+	links  map[[2]graph.ProcessID]*chaosLink
+	timers map[*time.Timer]struct{}
+	closed bool
+}
+
+// NewChaos wraps inner with impairment.
+func NewChaos(inner Transport, opts ChaosOptions) *Chaos {
+	c := &Chaos{
+		inner:  inner,
+		opts:   opts.withDefaults(),
+		start:  time.Now(),
+		links:  make(map[[2]graph.ProcessID]*chaosLink),
+		timers: make(map[*time.Timer]struct{}),
+	}
+	if c.opts.Bus != nil {
+		for _, w := range c.opts.Partitions {
+			c.announcePartition(w)
+		}
+	}
+	return c
+}
+
+// announcePartition schedules the cut and heal wire events for one window.
+func (c *Chaos) announcePartition(w PartitionWindow) {
+	publish := func(detail string) func() {
+		return func() {
+			for _, e := range w.Edges {
+				c.opts.Bus.Publish(obs.Event{
+					Kind: obs.KindWire, Step: -1, Round: -1,
+					From: e[0], To: e[1], Detail: detail,
+				})
+			}
+		}
+	}
+	c.after(w.Start, publish("chaos: partition cut"))
+	c.after(w.Start+w.Duration, publish("chaos: partition heal"))
+}
+
+// after schedules fn on the chaos clock; the timer is tracked so Close
+// can cancel it.
+func (c *Chaos) after(d time.Duration, fn func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	var t *time.Timer
+	t = time.AfterFunc(d, func() {
+		c.mu.Lock()
+		delete(c.timers, t)
+		dead := c.closed
+		c.mu.Unlock()
+		if !dead {
+			fn()
+		}
+	})
+	c.timers[t] = struct{}{}
+}
+
+// Link returns the impaired view of the inner directed link from→to.
+func (c *Chaos) Link(from, to graph.ProcessID) Link {
+	key := [2]graph.ProcessID{from, to}
+	c.mu.Lock()
+	if l, ok := c.links[key]; ok {
+		c.mu.Unlock()
+		return l
+	}
+	c.mu.Unlock()
+	// Resolve the inner link outside the lock: Link may panic on a
+	// non-edge, and inner implementations may take their own locks.
+	inner := c.inner.Link(from, to)
+	var windows []PartitionWindow
+	for _, w := range c.opts.Partitions {
+		if w.covers(from, to) {
+			windows = append(windows, w)
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if l, ok := c.links[key]; ok {
+		return l
+	}
+	l := &chaosLink{
+		tr:      c,
+		inner:   inner,
+		windows: windows,
+		rng:     rand.New(rand.NewSource(c.opts.Seed ^ (int64(from)*2654435761 + int64(to) + 1))),
+	}
+	c.links[key] = l
+	return l
+}
+
+// Stats merges the inner backend's counters with the impairment counters.
+func (c *Chaos) Stats() Stats {
+	s := c.inner.Stats()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, l := range c.links {
+		// The counters belong to the link's lock domain, not the
+		// transport's (Send holds only l.mu).
+		l.mu.Lock()
+		s.DroppedImpair += l.dropImpair
+		s.Duplicated += l.duplicated
+		l.mu.Unlock()
+	}
+	return s
+}
+
+// Close cancels pending delivery timers and closes the inner transport.
+func (c *Chaos) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	for t := range c.timers {
+		t.Stop()
+	}
+	c.timers = map[*time.Timer]struct{}{}
+	c.mu.Unlock()
+	return c.inner.Close()
+}
+
+// chaosLink impairs the send side of one directed link.
+type chaosLink struct {
+	tr      *Chaos
+	inner   Link
+	windows []PartitionWindow
+
+	mu         sync.Mutex
+	rng        *rand.Rand
+	nextFree   time.Duration // bandwidth cap: when the line is free again
+	dropImpair uint64
+	duplicated uint64
+}
+
+func (l *chaosLink) Recv() <-chan Frame { return l.inner.Recv() }
+
+func (l *chaosLink) Close() error { return l.inner.Close() }
+
+func (l *chaosLink) Stats() LinkStats {
+	s := l.inner.Stats()
+	l.mu.Lock()
+	s.DroppedImpair += l.dropImpair
+	s.Duplicated += l.duplicated
+	l.mu.Unlock()
+	return s
+}
+
+// Send applies partition, loss, duplication, latency/jitter/reorder and
+// the bandwidth cap, then forwards surviving (possibly delayed) copies to
+// the inner link.
+func (l *chaosLink) Send(f Frame) bool {
+	o := &l.tr.opts
+	elapsed := time.Since(l.tr.start)
+
+	l.mu.Lock()
+	for i := range l.windows {
+		w := &l.windows[i]
+		if elapsed >= w.Start && elapsed < w.Start+w.Duration {
+			l.dropImpair++
+			l.mu.Unlock()
+			return false
+		}
+	}
+	if o.LossRate > 0 && l.rng.Float64() < o.LossRate {
+		l.dropImpair++
+		l.mu.Unlock()
+		return false
+	}
+	copies := 1
+	if o.DupRate > 0 && l.rng.Float64() < o.DupRate {
+		copies = 2
+		l.duplicated++
+	}
+	delays := make([]time.Duration, copies)
+	for i := range delays {
+		d := o.Latency
+		if o.Jitter > 0 {
+			d += time.Duration(l.rng.Int63n(int64(o.Jitter)))
+		}
+		if o.ReorderRate > 0 && l.rng.Float64() < o.ReorderRate {
+			d += o.ReorderSpan
+		}
+		if o.BandwidthBps > 0 {
+			tx := time.Duration(int64(EncodedSize(&f)) * int64(time.Second) / int64(o.BandwidthBps))
+			if l.nextFree < elapsed {
+				l.nextFree = elapsed
+			}
+			l.nextFree += tx
+			d += l.nextFree - elapsed
+		}
+		delays[i] = d
+	}
+	l.mu.Unlock()
+
+	for _, d := range delays {
+		if d <= 0 {
+			l.inner.Send(f)
+			continue
+		}
+		frame := f
+		l.tr.after(d, func() { l.inner.Send(frame) })
+	}
+	return true
+}

@@ -1,0 +1,264 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"ssmfp/internal/graph"
+)
+
+// Wire format, version 1.
+//
+// A frame on a byte stream is a big-endian uint32 length prefix followed
+// by a body of exactly that many bytes:
+//
+//	frame   := u32be(len(body)) body
+//	body    := u8(version=1) u8(kind) uvarint(from) payload
+//	payload := dv | offer | ack            (selected by kind)
+//	dv      := uvarint(n) n × varint(dist)          (zigzag)
+//	offer   := uvarint(dest) uvarint(seq) msg
+//	ack     := uvarint(dest) uvarint(seq)           (accept/cancel/cancelAck)
+//	msg     := uvarint(len(payload)) payload-bytes varint(color)
+//	           uvarint(uid) uvarint(src) uvarint(dest) u8(valid)
+//
+// Varints are Go's encoding/binary varints; signed fields use zigzag.
+// The body length is capped at MaxFrameBytes; ReadFrame rejects longer
+// prefixes without allocating, so a corrupted or hostile peer cannot make
+// a node allocate unbounded memory. Decoding is total: any byte slice
+// either decodes to a well-formed Frame or returns an error — the fuzz
+// test FuzzFrameCodec holds the codec to that plus round-trip identity.
+
+// CodecVersion is the wire-format version this build writes and accepts.
+const CodecVersion = 1
+
+// MaxFrameBytes bounds one encoded frame body. The largest legitimate
+// frame is an offer whose message payload is application data; 1 MiB
+// leaves generous headroom while keeping the allocation bounded.
+const MaxFrameBytes = 1 << 20
+
+// AppendFrame appends f's encoded body (without the length prefix) to buf
+// and returns the extended slice.
+func AppendFrame(buf []byte, f *Frame) []byte {
+	buf = append(buf, CodecVersion, byte(f.Kind()))
+	buf = binary.AppendUvarint(buf, uint64(f.From))
+	switch k := f.Kind(); k {
+	case KindDV:
+		buf = binary.AppendUvarint(buf, uint64(len(f.DV)))
+		for _, d := range f.DV {
+			buf = binary.AppendVarint(buf, int64(d))
+		}
+	case KindOffer:
+		buf = binary.AppendUvarint(buf, uint64(f.Offer.Dest))
+		buf = binary.AppendUvarint(buf, f.Offer.Seq)
+		m := &f.Offer.Msg
+		buf = binary.AppendUvarint(buf, uint64(len(m.Payload)))
+		buf = append(buf, m.Payload...)
+		buf = binary.AppendVarint(buf, int64(m.Color))
+		buf = binary.AppendUvarint(buf, m.UID)
+		buf = binary.AppendUvarint(buf, uint64(m.Src))
+		buf = binary.AppendUvarint(buf, uint64(m.Dest))
+		if m.Valid {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	case KindAccept, KindCancel, KindCancelAck:
+		a := f.ack()
+		buf = binary.AppendUvarint(buf, uint64(a.Dest))
+		buf = binary.AppendUvarint(buf, a.Seq)
+	default:
+		panic(fmt.Sprintf("transport: encoding frame of kind %v", k))
+	}
+	return buf
+}
+
+// ack returns the control payload of an accept/cancel/cancelAck frame.
+func (f *Frame) ack() *Ack {
+	switch {
+	case f.Accept != nil:
+		return f.Accept
+	case f.Cancel != nil:
+		return f.Cancel
+	default:
+		return f.CancelAck
+	}
+}
+
+// EncodeFrame encodes f's body into a fresh slice.
+func EncodeFrame(f *Frame) []byte { return AppendFrame(nil, f) }
+
+// EncodedSize returns len(EncodeFrame(f)) — the chaos bandwidth cap and
+// byte counters use it. (Computed by encoding; frames are small.)
+func EncodedSize(f *Frame) int { return len(EncodeFrame(f)) }
+
+// decoder walks an encoded body with bounds checking.
+type decoder struct {
+	b   []byte
+	pos int
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *decoder) u8() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.pos >= len(d.b) {
+		d.fail("transport: truncated frame at byte %d", d.pos)
+		return 0
+	}
+	v := d.b[d.pos]
+	d.pos++
+	return v
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.pos:])
+	if n <= 0 {
+		d.fail("transport: bad uvarint at byte %d", d.pos)
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.pos:])
+	if n <= 0 {
+		d.fail("transport: bad varint at byte %d", d.pos)
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *decoder) bytes(n uint64) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.b)-d.pos) {
+		d.fail("transport: truncated frame: need %d bytes at %d, have %d", n, d.pos, len(d.b)-d.pos)
+		return nil
+	}
+	v := d.b[d.pos : d.pos+int(n)]
+	d.pos += int(n)
+	return v
+}
+
+// proc bounds a decoded processor ID: wire values are untrusted, and a
+// negative or absurd ID must not become a slice index downstream.
+func (d *decoder) proc() graph.ProcessID {
+	v := d.uvarint()
+	if v > 1<<31 {
+		d.fail("transport: processor id %d out of range", v)
+		return 0
+	}
+	return graph.ProcessID(v)
+}
+
+// DecodeFrame decodes one encoded body. Every error path is explicit: a
+// wrong version, unknown kind, truncation, over-long field, or trailing
+// garbage all fail without panicking.
+func DecodeFrame(b []byte) (Frame, error) {
+	if len(b) > MaxFrameBytes {
+		return Frame{}, fmt.Errorf("transport: frame body %d bytes exceeds cap %d", len(b), MaxFrameBytes)
+	}
+	d := &decoder{b: b}
+	if v := d.u8(); d.err == nil && v != CodecVersion {
+		return Frame{}, fmt.Errorf("transport: wire version %d, want %d", v, CodecVersion)
+	}
+	kind := FrameKind(d.u8())
+	var f Frame
+	f.From = d.proc()
+	switch kind {
+	case KindDV:
+		n := d.uvarint()
+		if d.err == nil && n > uint64(len(b)) {
+			// Each distance costs ≥1 byte; a count beyond the body length
+			// is corrupt, not merely truncated.
+			return Frame{}, fmt.Errorf("transport: dv length %d exceeds frame", n)
+		}
+		dv := make([]int, 0, n)
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			dv = append(dv, int(d.varint()))
+		}
+		f.DV = dv
+		if d.err == nil && len(f.DV) == 0 {
+			return Frame{}, fmt.Errorf("transport: empty dv frame")
+		}
+	case KindOffer:
+		o := &Offer{Dest: d.proc(), Seq: d.uvarint()}
+		plen := d.uvarint()
+		o.Msg.Payload = string(d.bytes(plen))
+		o.Msg.Color = int(d.varint())
+		o.Msg.UID = d.uvarint()
+		o.Msg.Src = d.proc()
+		o.Msg.Dest = d.proc()
+		o.Msg.Valid = d.u8() != 0
+		f.Offer = o
+	case KindAccept:
+		f.Accept = &Ack{Dest: d.proc(), Seq: d.uvarint()}
+	case KindCancel:
+		f.Cancel = &Ack{Dest: d.proc(), Seq: d.uvarint()}
+	case KindCancelAck:
+		f.CancelAck = &Ack{Dest: d.proc(), Seq: d.uvarint()}
+	default:
+		if d.err == nil {
+			return Frame{}, fmt.Errorf("transport: unknown frame kind %d", kind)
+		}
+	}
+	if d.err != nil {
+		return Frame{}, d.err
+	}
+	if d.pos != len(b) {
+		return Frame{}, fmt.Errorf("transport: %d trailing bytes after frame", len(b)-d.pos)
+	}
+	return f, nil
+}
+
+// WriteFrame writes f with its length prefix to w and returns the number
+// of bytes written.
+func WriteFrame(w io.Writer, f *Frame) (int, error) {
+	body := EncodeFrame(f)
+	if len(body) > MaxFrameBytes {
+		return 0, fmt.Errorf("transport: frame body %d bytes exceeds cap %d", len(body), MaxFrameBytes)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if n, err := w.Write(hdr[:]); err != nil {
+		return n, err
+	}
+	n, err := w.Write(body)
+	return 4 + n, err
+}
+
+// ReadFrame reads one length-prefixed frame from r. It rejects length
+// prefixes beyond MaxFrameBytes before allocating.
+func ReadFrame(r io.Reader) (Frame, int, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, 0, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameBytes {
+		return Frame{}, 4, fmt.Errorf("transport: frame length %d exceeds cap %d", n, MaxFrameBytes)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Frame{}, 4, err
+	}
+	f, err := DecodeFrame(body)
+	return f, 4 + int(n), err
+}

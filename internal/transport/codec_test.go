@@ -1,0 +1,122 @@
+package transport
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sampleFrames covers every frame kind and the value edge cases the
+// varint encoding cares about (zero, negative, max, empty payload).
+func sampleFrames() []Frame {
+	return []Frame{
+		{From: 0, DV: []int{0}},
+		{From: 3, DV: []int{0, 1, 2, 3, 4, 5, 6, 7}},
+		{From: 7, DV: []int{12, -1, 1 << 30, 0, 3}},
+		{From: 1, Offer: &Offer{Dest: 4, Seq: 1, Msg: Message{
+			Payload: "hello", Color: 2, UID: 42, Src: 1, Dest: 4, Valid: true}}},
+		{From: 2, Offer: &Offer{Dest: 0, Seq: 1 << 62, Msg: Message{
+			Payload: "", Color: -3, UID: 1<<60 + 9, Src: 2, Dest: 0, Valid: false}}},
+		{From: 9, Offer: &Offer{Dest: 5, Seq: 77, Msg: Message{
+			Payload: strings.Repeat("x", 4096), Color: 0, UID: 1, Src: 9, Dest: 5, Valid: true}}},
+		{From: 5, Accept: &Ack{Dest: 2, Seq: 9}},
+		{From: 0, Cancel: &Ack{Dest: 0, Seq: 0}},
+		{From: 6, CancelAck: &Ack{Dest: 3, Seq: 1<<64 - 1}},
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	for i, f := range sampleFrames() {
+		body := EncodeFrame(&f)
+		got, err := DecodeFrame(body)
+		if err != nil {
+			t.Fatalf("frame %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, f) {
+			t.Fatalf("frame %d: round trip mismatch:\n got %+v\nwant %+v", i, got, f)
+		}
+	}
+}
+
+func TestCodecStreamRoundTrip(t *testing.T) {
+	frames := sampleFrames()
+	var buf bytes.Buffer
+	total := 0
+	for i := range frames {
+		n, err := WriteFrame(&buf, &frames[i])
+		if err != nil {
+			t.Fatalf("write frame %d: %v", i, err)
+		}
+		total += n
+	}
+	if buf.Len() != total {
+		t.Fatalf("reported %d bytes written, buffer holds %d", total, buf.Len())
+	}
+	for i := range frames {
+		got, _, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("read frame %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, frames[i]) {
+			t.Fatalf("stream frame %d mismatch: got %+v", i, got)
+		}
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("%d bytes left over after reading all frames", buf.Len())
+	}
+}
+
+func TestCodecRejects(t *testing.T) {
+	good := EncodeFrame(&Frame{From: 1, Accept: &Ack{Dest: 2, Seq: 9}})
+	cases := map[string][]byte{
+		"empty":            {},
+		"bad version":      append([]byte{99}, good[1:]...),
+		"unknown kind":     {CodecVersion, 200, 1},
+		"invalid kind":     {CodecVersion, byte(KindInvalid), 1},
+		"truncated":        good[:len(good)-1],
+		"trailing bytes":   append(append([]byte{}, good...), 0),
+		"empty dv":         {CodecVersion, byte(KindDV), 1, 0},
+		"dv count too big": {CodecVersion, byte(KindDV), 1, 0xFF, 0xFF, 0xFF, 0x7F},
+		"huge payload len": {CodecVersion, byte(KindOffer), 1, 0, 1, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F},
+	}
+	for name, b := range cases {
+		if _, err := DecodeFrame(b); err == nil {
+			t.Errorf("%s: decode accepted %v", name, b)
+		}
+	}
+}
+
+func TestReadFrameRejectsOversizedPrefix(t *testing.T) {
+	// A hostile length prefix must fail before allocating the body.
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, _, err := ReadFrame(&buf); err == nil {
+		t.Fatal("oversized length prefix accepted")
+	}
+}
+
+// FuzzFrameCodec holds the codec to totality and round-trip identity:
+// arbitrary bytes either fail to decode or decode to a frame that
+// re-encodes and re-decodes to the same value.
+func FuzzFrameCodec(f *testing.F) {
+	for _, fr := range sampleFrames() {
+		f.Add(EncodeFrame(&fr))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{CodecVersion, byte(KindDV), 1, 2, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		body := EncodeFrame(&fr)
+		fr2, err := DecodeFrame(body)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded frame failed: %v\nframe %+v", err, fr)
+		}
+		if !reflect.DeepEqual(fr, fr2) {
+			t.Fatalf("round trip not identical:\n first %+v\nsecond %+v", fr, fr2)
+		}
+	})
+}

@@ -1,0 +1,47 @@
+package transport
+
+import (
+	"strings"
+	"testing"
+
+	"ssmfp/internal/graph"
+)
+
+func TestPeersRoundTrip(t *testing.T) {
+	peers := map[graph.ProcessID]string{
+		0: "127.0.0.1:7000",
+		1: "127.0.0.1:7001",
+		4: "10.0.0.4:9000",
+	}
+	got, err := ParsePeers(strings.NewReader(FormatPeers(peers)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(peers) {
+		t.Fatalf("got %v", got)
+	}
+	for id, addr := range peers {
+		if got[id] != addr {
+			t.Fatalf("peer %d = %q, want %q", id, got[id], addr)
+		}
+	}
+}
+
+func TestPeersCommentsAndErrors(t *testing.T) {
+	good := "# cluster\n0 127.0.0.1:7000\n\n1 127.0.0.1:7001\n"
+	if p, err := ParsePeers(strings.NewReader(good)); err != nil || len(p) != 2 {
+		t.Fatalf("good file: %v, %v", p, err)
+	}
+	for name, src := range map[string]string{
+		"empty":        "",
+		"bad id":       "x 127.0.0.1:7000\n",
+		"negative id":  "-1 127.0.0.1:7000\n",
+		"missing addr": "0\n",
+		"extra field":  "0 host:1 extra\n",
+		"duplicate":    "0 a:1\n0 b:2\n",
+	} {
+		if p, err := ParsePeers(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted as %v", name, p)
+		}
+	}
+}

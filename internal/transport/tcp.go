@@ -1,0 +1,404 @@
+package transport
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ssmfp/internal/graph"
+	"ssmfp/internal/obs"
+)
+
+// TCPOptions configures a node-scoped TCP transport.
+type TCPOptions struct {
+	// Local is the processor this transport serves.
+	Local graph.ProcessID
+	// Peers maps each neighbor of Local to its dial address. It may also
+	// carry Local's own listen address (used when Listen is empty) and
+	// non-neighbor entries, which are ignored.
+	Peers map[graph.ProcessID]string
+	// Listen is the address to listen on; empty selects Peers[Local].
+	Listen string
+	// Listener, when non-nil, is a pre-bound listener to use instead of
+	// binding Listen — in-process loopback clusters bind n listeners on
+	// port 0 first so every peer address is known before any node starts.
+	Listener net.Listener
+	// Depth is the per-link outbound queue and inbound buffer (≤0 =
+	// DefaultDepth). A full queue drops frames, like a congested Chan link.
+	Depth int
+	// BackoffMin/BackoffMax bound the reconnect backoff (defaults 20ms
+	// and 1s); each failed dial doubles the wait up to the max, plus up
+	// to 50% seeded jitter, and a successful dial resets it.
+	BackoffMin, BackoffMax time.Duration
+	// DialTimeout bounds one dial attempt (default 2s).
+	DialTimeout time.Duration
+	// Seed drives the backoff jitter.
+	Seed int64
+	// Bus, when non-nil, receives KindWire events for dials, redials and
+	// accepted connections (wall-clock domain, Step/Round −1).
+	Bus *obs.Bus
+}
+
+func (o TCPOptions) withDefaults() TCPOptions {
+	if o.Depth <= 0 {
+		o.Depth = DefaultDepth
+	}
+	if o.BackoffMin <= 0 {
+		o.BackoffMin = 20 * time.Millisecond
+	}
+	if o.BackoffMax < o.BackoffMin {
+		o.BackoffMax = time.Second
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	return o
+}
+
+// TCP carries frames for one processor over real sockets: a single
+// listener accepts inbound connections from any peer (frames self-identify
+// via Frame.From, so inbound links are demultiplexed per frame), and one
+// writer goroutine per neighbor lazily dials the peer's address on first
+// use, reconnecting with exponential backoff + jitter when the connection
+// drops. Frames queued while the link is down are flushed after
+// reconnect; frames overflowing the queue are dropped and recovered by
+// the protocol's retransmission, so a process can start, crash, or come
+// up late without any coordination.
+type TCP struct {
+	opts TCPOptions
+	ln   net.Listener
+
+	out map[graph.ProcessID]*tcpSendLink
+	in  map[graph.ProcessID]*tcpRecvLink
+
+	bytesSent   atomic.Uint64
+	bytesRecvd  atomic.Uint64
+	dials       atomic.Uint64
+	redials     atomic.Uint64
+	recvUnknown atomic.Uint64
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+// NewTCP builds and starts the transport for opts.Local on g: it binds
+// the listener immediately (so Addr is routable before any peer dials)
+// and starts one writer per neighbor. Dialing is lazy.
+func NewTCP(g *graph.Graph, opts TCPOptions) (*TCP, error) {
+	opts = opts.withDefaults()
+	nbrs := g.Neighbors(opts.Local)
+	for _, q := range nbrs {
+		if _, ok := opts.Peers[q]; !ok {
+			return nil, fmt.Errorf("transport: no peer address for neighbor %d of %d", q, opts.Local)
+		}
+	}
+	ln := opts.Listener
+	if ln == nil {
+		addr := opts.Listen
+		if addr == "" {
+			addr = opts.Peers[opts.Local]
+		}
+		if addr == "" {
+			return nil, fmt.Errorf("transport: node %d has no listen address", opts.Local)
+		}
+		var err error
+		ln, err = net.Listen("tcp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("transport: node %d listen: %w", opts.Local, err)
+		}
+	}
+	t := &TCP{
+		opts:  opts,
+		ln:    ln,
+		out:   make(map[graph.ProcessID]*tcpSendLink, len(nbrs)),
+		in:    make(map[graph.ProcessID]*tcpRecvLink, len(nbrs)),
+		stop:  make(chan struct{}),
+		conns: make(map[net.Conn]struct{}),
+	}
+	rng := rand.New(rand.NewSource(opts.Seed ^ int64(opts.Local)<<17))
+	for _, q := range nbrs {
+		sl := &tcpSendLink{tr: t, peer: q, outq: make(chan Frame, opts.Depth)}
+		t.out[q] = sl
+		t.in[q] = &tcpRecvLink{ch: make(chan Frame, opts.Depth)}
+		t.wg.Add(1)
+		go t.writer(sl, rand.New(rand.NewSource(rng.Int63())))
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr is the listener's address — with port-0 binds, the address peers
+// must be given to dial this node.
+func (t *TCP) Addr() string { return t.ln.Addr().String() }
+
+// Link returns the operative end of the directed edge: the send end for
+// from == Local, the receive end for to == Local. Asking for an edge not
+// incident to Local, or a non-neighbor edge, panics.
+func (t *TCP) Link(from, to graph.ProcessID) Link {
+	switch {
+	case from == t.opts.Local:
+		if l, ok := t.out[to]; ok {
+			return l
+		}
+	case to == t.opts.Local:
+		if l, ok := t.in[from]; ok {
+			return l
+		}
+	}
+	panic(fmt.Sprintf("transport: tcp node %d asked for link %d→%d", t.opts.Local, from, to))
+}
+
+// Stats sums this node's wire counters.
+func (t *TCP) Stats() Stats {
+	s := Stats{
+		BytesSent:  t.bytesSent.Load(),
+		BytesRecvd: t.bytesRecvd.Load(),
+		Dials:      t.dials.Load(),
+		Redials:    t.redials.Load(),
+	}
+	for _, l := range t.out {
+		ls := l.Stats()
+		s.FramesSent += ls.Sent
+		s.DroppedFull += ls.DroppedFull
+	}
+	for _, l := range t.in {
+		ls := l.Stats()
+		s.FramesRecvd += ls.Recvd
+		s.DroppedFull += ls.DroppedFull
+	}
+	return s
+}
+
+// Close stops the listener, every writer, and every open connection.
+func (t *TCP) Close() error {
+	t.stopOnce.Do(func() {
+		close(t.stop)
+		t.ln.Close()
+		t.mu.Lock()
+		for c := range t.conns {
+			c.Close()
+		}
+		t.mu.Unlock()
+	})
+	t.wg.Wait()
+	return nil
+}
+
+func (t *TCP) track(c net.Conn) {
+	t.mu.Lock()
+	t.conns[c] = struct{}{}
+	t.mu.Unlock()
+}
+
+func (t *TCP) untrack(c net.Conn) {
+	t.mu.Lock()
+	delete(t.conns, c)
+	t.mu.Unlock()
+	c.Close()
+}
+
+func (t *TCP) observe(detail string, from, to graph.ProcessID) {
+	if b := t.opts.Bus; b.Active() {
+		b.Publish(obs.Event{
+			Kind: obs.KindWire, Step: -1, Round: -1,
+			Proc: t.opts.Local, From: from, To: to, Detail: detail,
+		})
+	}
+}
+
+// acceptLoop serves inbound connections; each gets a reader goroutine
+// that demultiplexes frames by their From field.
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			select {
+			case <-t.stop:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		t.track(conn)
+		t.observe("tcp: accept "+conn.RemoteAddr().String(), t.opts.Local, t.opts.Local)
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *TCP) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer t.untrack(conn)
+	br := bufio.NewReader(conn)
+	for {
+		f, n, err := ReadFrame(br)
+		t.bytesRecvd.Add(uint64(n))
+		if err != nil {
+			// Socket errors end the connection (the peer redials); decode
+			// errors mean a corrupt or misbehaving stream — also fatal for
+			// the connection, since framing can no longer be trusted.
+			return
+		}
+		rl, ok := t.in[f.From]
+		if !ok {
+			t.recvUnknown.Add(1)
+			continue
+		}
+		select {
+		case rl.ch <- f:
+			rl.recvd.Add(1)
+		default:
+			rl.dropped.Add(1)
+		}
+	}
+}
+
+// writer owns the outbound connection to one peer: it dials lazily on
+// the first queued frame, writes length-prefixed frames with batched
+// flushes, and on any error closes the connection and re-dials with
+// exponential backoff + jitter while frames keep queueing (or dropping,
+// once the queue fills).
+func (t *TCP) writer(sl *tcpSendLink, rng *rand.Rand) {
+	defer t.wg.Done()
+	var conn net.Conn
+	var bw *bufio.Writer
+	everConnected := false
+	disconnect := func() {
+		if conn != nil {
+			t.untrack(conn)
+			conn, bw = nil, nil
+		}
+	}
+	defer disconnect()
+
+	backoff := t.opts.BackoffMin
+	for {
+		var f Frame
+		select {
+		case f = <-sl.outq:
+		case <-t.stop:
+			return
+		}
+		for conn == nil {
+			t.dials.Add(1)
+			if everConnected {
+				t.redials.Add(1)
+				t.observe("tcp: redial "+t.opts.Peers[sl.peer], t.opts.Local, sl.peer)
+			} else {
+				t.observe("tcp: dial "+t.opts.Peers[sl.peer], t.opts.Local, sl.peer)
+			}
+			c, err := net.DialTimeout("tcp", t.opts.Peers[sl.peer], t.opts.DialTimeout)
+			if err == nil {
+				conn, bw = c, bufio.NewWriter(c)
+				t.track(c)
+				everConnected = true
+				backoff = t.opts.BackoffMin
+				break
+			}
+			wait := backoff + time.Duration(rng.Int63n(int64(backoff)/2+1))
+			if backoff *= 2; backoff > t.opts.BackoffMax {
+				backoff = t.opts.BackoffMax
+			}
+			select {
+			case <-time.After(wait):
+			case <-t.stop:
+				return
+			}
+		}
+		n, err := WriteFrame(bw, &f)
+		t.bytesSent.Add(uint64(n))
+		if err == nil {
+			sl.sent.Add(1)
+			// Batch: drain whatever else is queued before flushing.
+			for more := true; more && err == nil; {
+				select {
+				case f = <-sl.outq:
+					n, err = WriteFrame(bw, &f)
+					t.bytesSent.Add(uint64(n))
+					if err == nil {
+						sl.sent.Add(1)
+					}
+				default:
+					more = false
+				}
+			}
+			if err == nil {
+				err = bw.Flush()
+			}
+		}
+		if err != nil {
+			sl.dropped.Add(1)
+			disconnect()
+		}
+	}
+}
+
+// tcpSendLink is the send end of Local→peer.
+type tcpSendLink struct {
+	tr      *TCP
+	peer    graph.ProcessID
+	outq    chan Frame
+	sent    atomic.Uint64
+	dropped atomic.Uint64
+}
+
+func (l *tcpSendLink) Send(f Frame) bool {
+	select {
+	case l.outq <- f:
+		return true
+	default:
+		l.dropped.Add(1)
+		return false
+	}
+}
+
+func (l *tcpSendLink) Recv() <-chan Frame {
+	panic(fmt.Sprintf("transport: Recv on the send end of a tcp link (node %d → %d)", l.tr.opts.Local, l.peer))
+}
+
+func (l *tcpSendLink) Stats() LinkStats {
+	return LinkStats{
+		Sent:        l.sent.Load(),
+		DroppedFull: l.dropped.Load(),
+		Queued:      len(l.outq),
+	}
+}
+
+func (l *tcpSendLink) Close() error { return nil }
+
+// tcpRecvLink is the receive end of peer→Local.
+type tcpRecvLink struct {
+	ch      chan Frame
+	recvd   atomic.Uint64
+	dropped atomic.Uint64
+}
+
+func (l *tcpRecvLink) Send(Frame) bool {
+	panic("transport: Send on the receive end of a tcp link")
+}
+
+func (l *tcpRecvLink) Recv() <-chan Frame { return l.ch }
+
+func (l *tcpRecvLink) Stats() LinkStats {
+	return LinkStats{
+		Recvd:       l.recvd.Load(),
+		DroppedFull: l.dropped.Load(),
+		Queued:      len(l.ch),
+	}
+}
+
+func (l *tcpRecvLink) Close() error { return nil }

@@ -1,0 +1,193 @@
+// Package transport abstracts the directed links of the message-passing
+// port (S13, internal/msgpass) behind a small interface, so the same
+// protocol code runs over in-process Go channels, real TCP sockets, or a
+// chaos-impaired wrapper of either — the wire half of carrying SSMFP into
+// "a real network" (the paper's closing open problem).
+//
+// A Transport hands out one Link per directed edge (u→v); the protocol
+// layer sends typed Frames on the link's send end and fans frames in from
+// the link's receive channel. Every backend is best-effort by contract:
+// Send may drop a frame (full queue, impairment, a TCP connection mid
+// reconnect) and never blocks the caller — the SSMFP hop handshake's
+// retransmission is what recovers losses, exactly as it recovers the
+// simulated losses of the state model. Backends:
+//
+//   - Chan (chanport.go): buffered Go channels, one per directed edge —
+//     the original msgpass wiring, extracted. Whole-graph scope: every
+//     link's both ends live in this process.
+//   - TCP (tcp.go): length-prefixed binary frames (codec.go) over real
+//     sockets, one listener per node and lazily-dialed outbound
+//     connections with exponential backoff + jitter. Node scope: the
+//     transport serves one processor; each SSMFP node can be its own OS
+//     process (cmd/ssmfp-node).
+//   - Chaos (chaos.go): a deterministic-under-seed impairment wrapper
+//     composable over either backend — latency/jitter, loss, duplication,
+//     genuine reordering, bandwidth caps, and scheduled partition/heal
+//     windows.
+//
+// The package sits below msgpass and may import only internal/graph and
+// internal/obs (for wall-clock wire events, Step/Round = −1).
+package transport
+
+import (
+	"ssmfp/internal/graph"
+)
+
+// Message is the wire image of one higher-layer message. It mirrors the
+// simulator's bookkeeping (UID and validity) so the same exactly-once
+// oracles apply across process boundaries.
+type Message struct {
+	Payload string
+	Color   int
+	UID     uint64
+	Src     graph.ProcessID
+	Dest    graph.ProcessID
+	Valid   bool
+}
+
+// Offer proposes the transfer of the sender's bufE occupancy for Dest;
+// Seq identifies the occupancy (monotone per sender).
+type Offer struct {
+	Dest graph.ProcessID
+	Seq  uint64
+	Msg  Message
+}
+
+// Ack is the shape shared by the three control frames of the hop
+// handshake (accept, cancel, cancelAck): a destination stream and the
+// sequence number being acknowledged, withdrawn, or killed.
+type Ack struct {
+	Dest graph.ProcessID
+	Seq  uint64
+}
+
+// Frame is the unit a Link carries: one typed SSMFP protocol frame.
+// Exactly one of the payload fields is set (Kind reports which).
+type Frame struct {
+	From      graph.ProcessID
+	DV        []int // distance vector (dist per destination)
+	Offer     *Offer
+	Accept    *Ack
+	Cancel    *Ack
+	CancelAck *Ack
+}
+
+// FrameKind discriminates the payload field a Frame carries.
+type FrameKind uint8
+
+// The frame kinds of wire-format version 1 (codec.go). Values are part of
+// the wire format; do not renumber.
+const (
+	KindInvalid FrameKind = iota
+	KindDV
+	KindOffer
+	KindAccept
+	KindCancel
+	KindCancelAck
+)
+
+// Kind reports which payload field f carries. A frame with no payload
+// field set (or with DV of length zero) is KindInvalid and is never put
+// on a wire.
+func (f *Frame) Kind() FrameKind {
+	switch {
+	case len(f.DV) > 0:
+		return KindDV
+	case f.Offer != nil:
+		return KindOffer
+	case f.Accept != nil:
+		return KindAccept
+	case f.Cancel != nil:
+		return KindCancel
+	case f.CancelAck != nil:
+		return KindCancelAck
+	}
+	return KindInvalid
+}
+
+// String names the kind for stats and wire events.
+func (k FrameKind) String() string {
+	switch k {
+	case KindDV:
+		return "dv"
+	case KindOffer:
+		return "offer"
+	case KindAccept:
+		return "accept"
+	case KindCancel:
+		return "cancel"
+	case KindCancelAck:
+		return "cancelAck"
+	}
+	return "invalid"
+}
+
+// Link is one directed edge u→v. The sender side uses Send, the receiver
+// side ranges over Recv; with a node-scoped backend (TCP) only the local
+// end is operative — Send on a receive-only end (or vice versa) is a
+// programming error and panics.
+type Link interface {
+	// Send puts f on the wire, best-effort: it never blocks, and reports
+	// false when the frame was dropped (full queue, active impairment,
+	// link down). Callers rely on retransmission, not on the return value,
+	// which exists for stats and tests.
+	Send(f Frame) bool
+	// Recv is the channel the far end's frames arrive on. The channel is
+	// never closed while the transport is open; receivers multiplex it
+	// with their own stop signal.
+	Recv() <-chan Frame
+	// Stats snapshots this link's counters.
+	Stats() LinkStats
+	// Close releases the link's resources. Transport.Close closes every
+	// link; per-link Close exists for tests.
+	Close() error
+}
+
+// LinkStats counts one directed link's wire activity.
+type LinkStats struct {
+	// Sent counts frames handed to the wire (after any impairment).
+	Sent uint64
+	// Recvd counts frames that arrived on Recv.
+	Recvd uint64
+	// DroppedFull counts frames dropped because a queue was full
+	// (congestion) or the connection was down.
+	DroppedFull uint64
+	// DroppedImpair counts frames dropped by injected impairment (chaos
+	// loss or an active partition window).
+	DroppedImpair uint64
+	// Duplicated counts extra copies injected by impairment.
+	Duplicated uint64
+	// Queued is the point-in-time occupancy of the link's outbound queue.
+	Queued int
+}
+
+// Stats aggregates wire activity over a whole transport.
+type Stats struct {
+	FramesSent    uint64 `json:"framesSent"`
+	FramesRecvd   uint64 `json:"framesRecvd"`
+	DroppedFull   uint64 `json:"droppedFull"`
+	DroppedImpair uint64 `json:"droppedImpair"`
+	Duplicated    uint64 `json:"duplicated"`
+	// BytesSent / BytesRecvd count encoded frame bytes (TCP only; the
+	// in-memory backends move structs, not bytes).
+	BytesSent  uint64 `json:"bytesSent"`
+	BytesRecvd uint64 `json:"bytesRecvd"`
+	// Dials counts outbound connection attempts, Redials the subset that
+	// were reconnections after a working connection failed (TCP only).
+	Dials   uint64 `json:"dials"`
+	Redials uint64 `json:"redials"`
+}
+
+// Transport hands out the directed links of a deployment.
+type Transport interface {
+	// Link returns the directed link from→to. Implementations cache
+	// links: calling Link twice with the same edge returns the same Link.
+	// Unknown edges panic — the topology is fixed at construction.
+	Link(from, to graph.ProcessID) Link
+	// Stats snapshots the transport-wide counters (for a wrapper, merged
+	// with the wrapped backend's).
+	Stats() Stats
+	// Close shuts the transport down: goroutines stop, sockets close,
+	// pending impairment timers are cancelled. Frames in flight are lost.
+	Close() error
+}

@@ -24,6 +24,10 @@ type LiveOptions struct {
 	LossRate float64
 	// DupRate delivers each frame twice with this probability (0..1).
 	DupRate float64
+	// Latency and Jitter delay each frame by base + uniform extra; jitter
+	// makes consecutive frames overtake each other (genuine reordering).
+	Latency time.Duration
+	Jitter  time.Duration
 	// CorruptStart randomizes the initial routing state and plants garbage
 	// messages in buffers.
 	CorruptStart bool
@@ -38,6 +42,8 @@ func NewLiveNetwork(t *Topology, opts LiveOptions) *LiveNetwork {
 		Seed:        opts.Seed,
 		LossRate:    opts.LossRate,
 		DupRate:     opts.DupRate,
+		Latency:     opts.Latency,
+		Jitter:      opts.Jitter,
 		CorruptInit: opts.CorruptStart,
 		Tick:        opts.Tick,
 	})
@@ -97,14 +103,16 @@ type LiveStatus struct {
 }
 
 // LiveQueue is one node's queue occupancy: unprocessed incoming frames,
-// higher-layer sends not yet accepted, and occupied buffers (the buffer
-// gauges lag by at most one tick).
+// higher-layer sends not yet accepted, occupied buffers (the buffer
+// gauges lag by at most one tick), and frames sitting in the node's
+// outbound wire queues.
 type LiveQueue struct {
 	Proc    ProcessID `json:"proc"`
 	Inbox   int       `json:"inbox"`
 	Pending int       `json:"pending"`
 	BufR    int       `json:"bufR"`
 	BufE    int       `json:"bufE"`
+	WireOut int       `json:"wireOut"`
 }
 
 // Status snapshots the network's live counters; safe to call from any
@@ -122,7 +130,8 @@ func (l *LiveNetwork) Status() LiveStatus {
 	}
 	for _, q := range l.nw.QueueDepths() {
 		out.Queues = append(out.Queues, LiveQueue{
-			Proc: q.Proc, Inbox: q.Inbox, Pending: q.Pending, BufR: q.BufR, BufE: q.BufE,
+			Proc: q.Proc, Inbox: q.Inbox, Pending: q.Pending,
+			BufR: q.BufR, BufE: q.BufE, WireOut: q.WireOut,
 		})
 	}
 	return out

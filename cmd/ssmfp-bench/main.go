@@ -1,160 +1,216 @@
-// Command ssmfp-bench regenerates every experiment of the reproduction —
+// Command ssmfp-bench regenerates the experiments of the reproduction —
 // the figures and propositions of the paper plus the comparison and
-// message-passing extensions — and prints their tables (the data recorded
-// in EXPERIMENTS.md).
+// message-passing extensions — as a parallel campaign over the experiment
+// cell grid, printing the familiar tables and optionally writing a
+// versioned machine-readable report.
 //
 // Usage:
 //
-//	ssmfp-bench [-seed N] [-paranoid] [-experiment all|f1|f2|f3|f4|p4|p5|p6|p7|x1..x6|ra|mc|ep]
-//	            [-trace-out f3.jsonl]
+//	ssmfp-bench [-seed N] [-seeds K] [-parallel W] [-filter p5,ep/grid]
+//	            [-quick] [-paranoid] [-json BENCH.json] [-cells]
+//	            [-progress] [-trace-out f3.jsonl]
+//	ssmfp-bench compare BASELINE.json CURRENT.json
+//	            [-wall-pct 25] [-alloc-pct 10] [-guard-pct 1]
 //
-// -trace-out records the Figure 3 replay (experiment f3) as a JSONL event
-// trace; render it with ssmfp-trace -replay.
+// The campaign is deterministic: the normalized report (wall-clock,
+// allocation and host fields excluded) is byte-identical for any
+// -parallel value. compare exits 1 on a regression against the baseline
+// and 2 on usage or I/O errors.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
+	"runtime"
+	"time"
 
+	"ssmfp/internal/campaign"
+	"ssmfp/internal/metrics"
 	"ssmfp/internal/obs"
 	"ssmfp/internal/sim"
 )
 
 func main() {
-	seed := flag.Int64("seed", 2009, "random seed for all experiments")
-	which := flag.String("experiment", "all", "experiment to run (all, f1, f2, f3, f4, p4, p5, p6, p7, x1, x2, x3, x4, x5, x6, ra, mc, ep)")
-	paranoid := flag.Bool("paranoid", false, "run every engine with the incremental self-check enabled (naive rescan cross-checks each step)")
-	traceOut := flag.String("trace-out", "", "write the f3 replay as a JSONL event trace to this file")
-	flag.Parse()
-	if *paranoid {
-		// The engines are constructed deep inside the experiments; the env
-		// var is how the default self-check mode reaches all of them.
-		os.Setenv("SSMFP_PARANOID", "1")
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		os.Exit(compareMain(os.Args[2:]))
+	}
+	os.Exit(benchMain(os.Args[1:]))
+}
+
+func benchMain(args []string) int {
+	fs := flag.NewFlagSet("ssmfp-bench", flag.ExitOnError)
+	seed := fs.Int64("seed", 2009, "campaign seed (repetition 0 of every cell runs it directly)")
+	seeds := fs.Int("seeds", 1, "repetitions per cell (rep > 0 uses derived seeds)")
+	parallel := fs.Int("parallel", runtime.NumCPU(), "worker count (any value yields the same normalized report)")
+	filter := fs.String("filter", "", "comma-separated cell-key prefixes (p5, ep/grid, f3)")
+	experiment := fs.String("experiment", "", "alias for -filter (legacy flag)")
+	quick := fs.Bool("quick", false, "skip the heavy cells")
+	paranoid := fs.Bool("paranoid", false, "run every engine with the incremental self-check enabled (naive rescan cross-checks each step)")
+	jsonOut := fs.String("json", "", "write the machine-readable campaign report to this file")
+	listCells := fs.Bool("cells", false, "list the selected cells and exit without running")
+	progress := fs.Bool("progress", false, "print per-cell progress to stderr")
+	traceOut := fs.String("trace-out", "", "write the f3 replay as a JSONL event trace to this file")
+	fs.Parse(args)
+
+	cfg := campaign.Config{
+		Seed: *seed, Seeds: *seeds, Parallel: *parallel,
+		Filter: *filter, Quick: *quick, Paranoid: *paranoid,
+	}
+	if cfg.Filter == "" {
+		cfg.Filter = *experiment
+	}
+	if *listCells {
+		for _, s := range campaign.Select(cfg) {
+			heavy := ""
+			if s.Heavy {
+				heavy = " (heavy)"
+			}
+			fmt.Printf("%s%s\n", s.Key(), heavy)
+		}
+		return 0
+	}
+	if *progress {
+		cfg.OnResult = func(done, total int, cr campaign.CellReport, _ sim.CellResult) {
+			verdict := "ok"
+			if !cr.OK {
+				verdict = "FAIL"
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s#%d %s (%s)\n",
+				done, total, cr.Key, cr.Rep, verdict, time.Duration(cr.WallNS).Round(time.Millisecond))
+		}
 	}
 
-	failed := false
-	run := func(id string, fn func() (fmt.Stringer, bool)) {
-		if *which != "all" && *which != id {
-			return
-		}
-		table, ok := fn()
-		fmt.Println(table)
-		if !ok {
-			failed = true
-			fmt.Printf("!! experiment %s FAILED its acceptance check\n\n", strings.ToUpper(id))
+	if *traceOut != "" {
+		if err := writeF3Trace(*traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "ssmfp-bench: trace:", err)
+			return 2
 		}
 	}
 
-	run("f1", func() (fmt.Stringer, bool) {
-		r := sim.ExperimentF1()
-		return r.Table, r.Acyclic && r.AllTrees && r.Components == 5
-	})
-	run("f2", func() (fmt.Stringer, bool) {
-		r := sim.ExperimentF2()
-		return r.Table, r.CleanAcyclic && r.CycleLen > 0
-	})
-	run("f3", func() (fmt.Stringer, bool) {
-		r, hdr, events := sim.ExperimentF3Recorded()
-		if *traceOut != "" {
-			f, err := os.Create(*traceOut)
-			if err == nil {
-				err = obs.WriteJSONL(f, hdr, events)
-				if cerr := f.Close(); err == nil {
-					err = cerr
-				}
-			}
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "ssmfp-bench: trace:", err)
-				os.Exit(2)
-			}
-			fmt.Printf("f3 trace: %d events -> %s\n", len(events), *traceOut)
+	rep, results, err := campaign.Run(context.Background(), cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssmfp-bench:", err)
+		return 2
+	}
+	render(rep, results)
+	if *jsonOut != "" {
+		if err := rep.WriteFile(*jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "ssmfp-bench:", err)
+			return 2
 		}
-		fmt.Println("== E-F3: Figure 3 execution replay ==")
-		fmt.Println(r.Trace)
-		if !r.OK {
-			fmt.Println("failures:", strings.Join(r.Failures, "; "))
-		}
-		return stringer(fmt.Sprintf("deliveries=%d (valid %d, invalid %d), m's color=%d, initial cycle=%v\n",
-			r.Deliveries, r.ValidDelivered, r.InvalidDelivered, r.HelloColor, r.CycleInitially)), r.OK
-	})
-	run("f4", func() (fmt.Stringer, bool) {
-		r := sim.ExperimentF4(*seed)
-		return r.Table, r.AllTypesHit && r.Consistent
-	})
-	run("p4", func() (fmt.Stringer, bool) {
-		r := sim.ExperimentP4(*seed, nil)
-		return r.Table, r.WithinBound
-	})
-	run("p5", func() (fmt.Stringer, bool) {
-		r := sim.ExperimentP5(*seed)
-		return r.Table, r.WithinBound
-	})
-	run("p6", func() (fmt.Stringer, bool) {
-		r := sim.ExperimentP6(*seed)
-		return r.Table, len(r.Rows) > 0
-	})
-	run("p7", func() (fmt.Stringer, bool) {
-		r := sim.ExperimentP7(*seed, nil)
-		fmt.Printf("amortized-vs-D linear fit: slope=%.3f intercept=%.3f R²=%.3f\n",
-			r.Fit.Slope, r.Fit.Intercept, r.Fit.R2)
-		return r.Table, r.Within
-	})
-	run("x1", func() (fmt.Stringer, bool) {
-		r := sim.ExperimentX1(*seed)
-		return r.Table, r.SSMFPOK
-	})
-	run("x2", func() (fmt.Stringer, bool) {
-		r := sim.ExperimentX2(*seed)
-		return r.Table, r.MaxOverhead < 8
-	})
-	run("x3", func() (fmt.Stringer, bool) {
-		r := sim.ExperimentX3(*seed)
-		return r.Table, r.AllOK
-	})
-	run("x4", func() (fmt.Stringer, bool) {
-		r := sim.ExperimentX4(*seed)
-		return r.Table, r.AllOK
-	})
-	run("x5", func() (fmt.Stringer, bool) {
-		r := sim.ExperimentX5(*seed)
-		ok := true
-		for _, row := range r.Rows {
-			if !row.AllDelivered {
-				ok = false
-			}
-		}
-		return r.Table, ok
-	})
-	run("x6", func() (fmt.Stringer, bool) {
-		r := sim.ExperimentX6(*seed)
-		return r.Table, r.AllOK
-	})
-	run("ra", func() (fmt.Stringer, bool) {
-		r := sim.ExperimentRA(*seed)
-		return r.Table, r.Tracks
-	})
-	run("mc", func() (fmt.Stringer, bool) {
-		r := sim.ExperimentMC()
-		return r.Table, r.AllOK
-	})
-	run("ep", func() (fmt.Stringer, bool) {
-		r := sim.ExperimentEnginePerf(*seed)
-		ok := r.AllMatch
-		for _, row := range r.Rows {
-			if row.Topology == "grid 20x20" && row.Ratio < 3 {
-				ok = false
-			}
-		}
-		return r.Table, ok
-	})
+		fmt.Printf("campaign report: %d cells -> %s\n", rep.Totals.Cells, *jsonOut)
+	}
+	if rep.Totals.Failed > 0 {
+		return 1
+	}
+	return 0
+}
 
-	if failed {
-		os.Exit(1)
+// render reassembles the legacy one-table-per-experiment output from the
+// per-cell results: repetition-0 tables sharing a title are merged in
+// canonical order, f3 prints its rendered trace, and E-P7's linear fit is
+// recomputed across its merged cells.
+func render(rep *campaign.Report, results []sim.CellResult) {
+	var current *metrics.Table
+	flush := func() {
+		if current != nil {
+			fmt.Println(current)
+			current = nil
+		}
+	}
+	var p7xs, p7ys []float64
+	for i, res := range results {
+		cr := rep.Cells[i]
+		if cr.Rep != 0 {
+			continue
+		}
+		if cr.Exp == "p7" && cr.Err == "" {
+			p7xs = append(p7xs, cr.Measure.Extra["d"])
+			p7ys = append(p7ys, cr.Measure.Extra["amortized"])
+		}
+		if res.Text != "" {
+			flush()
+			fmt.Println(res.Text)
+		}
+		if res.Table != nil {
+			if current == nil || !current.AppendFrom(res.Table) {
+				flush()
+				current = res.Table
+			}
+		}
+	}
+	flush()
+	if len(p7xs) >= 2 {
+		fit := metrics.LinearFit(p7xs, p7ys)
+		fmt.Printf("amortized-vs-D linear fit: slope=%.3f intercept=%.3f R²=%.3f\n\n", fit.Slope, fit.Intercept, fit.R2)
+	}
+	for _, cr := range rep.Cells {
+		if cr.Err != "" {
+			fmt.Printf("!! cell %s#%d ERROR: %s\n", cr.Key, cr.Rep, cr.Err)
+		} else if !cr.OK {
+			fmt.Printf("!! cell %s#%d FAILED its acceptance check\n", cr.Key, cr.Rep)
+		}
 	}
 }
 
-type stringer string
+// writeF3Trace records the Figure 3 replay's JSONL event trace (the
+// golden round-trip input of ssmfp-trace -replay).
+func writeF3Trace(path string) error {
+	_, hdr, events := sim.ExperimentF3Recorded()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = obs.WriteJSONL(f, hdr, events)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		fmt.Printf("f3 trace: %d events -> %s\n", len(events), path)
+	}
+	return err
+}
 
-func (s stringer) String() string { return string(s) }
+func compareMain(args []string) int {
+	fs := flag.NewFlagSet("ssmfp-bench compare", flag.ExitOnError)
+	th := campaign.DefaultThresholds()
+	fs.Float64Var(&th.WallPct, "wall-pct", th.WallPct, "wall-clock regression threshold (%%; host-dependent, keep generous)")
+	fs.Float64Var(&th.AllocPct, "alloc-pct", th.AllocPct, "allocation-count regression threshold (%%)")
+	fs.Float64Var(&th.GuardPct, "guard-pct", th.GuardPct, "guard-evaluation regression threshold (%%; deterministic)")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: ssmfp-bench compare [flags] BASELINE.json CURRENT.json")
+		return 2
+	}
+	base, err := campaign.Load(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssmfp-bench compare:", err)
+		return 2
+	}
+	cur, err := campaign.Load(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssmfp-bench compare:", err)
+		return 2
+	}
+	r := campaign.Compare(base, cur, th)
+	for _, d := range r.Regressions {
+		fmt.Printf("REGRESSION %s\n", d)
+	}
+	for _, id := range r.Missing {
+		fmt.Printf("MISSING %s (in baseline, absent from current)\n", id)
+	}
+	for _, d := range r.Improvements {
+		fmt.Printf("improvement %s\n", d)
+	}
+	for _, id := range r.Added {
+		fmt.Printf("added %s (not in baseline)\n", id)
+	}
+	if !r.Clean() {
+		fmt.Printf("compare: %d regression(s), %d missing cell(s)\n", len(r.Regressions), len(r.Missing))
+		return 1
+	}
+	fmt.Printf("compare: clean (%d cells, %d improvement(s), %d added)\n", len(base.Cells), len(r.Improvements), len(r.Added))
+	return 0
+}

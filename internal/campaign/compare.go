@@ -1,0 +1,111 @@
+package campaign
+
+import (
+	"fmt"
+)
+
+// Thresholds configures the regression gate. Percentage thresholds apply
+// to cost growth relative to the baseline; the Min* floors exempt cells
+// too small to measure reliably (a 30% jump on a 2ms cell is noise).
+// Guard evaluations are deterministic per (cell, seed) and host-
+// independent, so GuardPct can be tight; wall time is host-dependent and
+// should stay generous.
+type Thresholds struct {
+	WallPct  float64
+	AllocPct float64
+	GuardPct float64
+
+	MinWallNS     int64
+	MinAllocs     int64
+	MinGuardEvals int64
+}
+
+// DefaultThresholds is the gate used by ssmfp-bench compare and CI: 25%
+// on wall time (generous, host noise), 10% on allocations, 1% on guard
+// evaluations (deterministic, any growth is a real code change).
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		WallPct: 25, AllocPct: 10, GuardPct: 1,
+		MinWallNS: 20e6, MinAllocs: 200_000, MinGuardEvals: 100_000,
+	}
+}
+
+// Delta is one per-cell metric change.
+type Delta struct {
+	Key    string  `json:"key"`
+	Metric string  `json:"metric"` // "wall_ns", "allocs", "guard_evals"
+	Base   int64   `json:"base"`
+	Cur    int64   `json:"cur"`
+	Pct    float64 `json:"pct"`
+}
+
+func (d Delta) String() string {
+	return fmt.Sprintf("%s: %s %d -> %d (%+.1f%%)", d.Key, d.Metric, d.Base, d.Cur, d.Pct)
+}
+
+// CompareResult is the gate's verdict.
+type CompareResult struct {
+	// Regressions are metric growths past their thresholds, plus any
+	// cell that passed in the baseline and fails now (reported with
+	// Metric "ok").
+	Regressions []Delta
+	// Improvements are metric shrinkages past the same thresholds —
+	// informational (a candidate for refreshing the baseline).
+	Improvements []Delta
+	// Missing are baseline cells absent from the current report;
+	// Added are current cells absent from the baseline (informational).
+	Missing []string
+	Added   []string
+}
+
+// Clean reports whether the gate passes: no regressions and no cells
+// silently dropped.
+func (c CompareResult) Clean() bool {
+	return len(c.Regressions) == 0 && len(c.Missing) == 0
+}
+
+// Compare diffs cur against base cell by cell (matched on key and
+// repetition). Schema equality is assumed (Load enforces it).
+func Compare(base, cur *Report, th Thresholds) CompareResult {
+	var out CompareResult
+	curBy := make(map[string]CellReport, len(cur.Cells))
+	for _, c := range cur.Cells {
+		curBy[fmt.Sprintf("%s#%d", c.Key, c.Rep)] = c
+	}
+	seen := make(map[string]bool, len(base.Cells))
+	for _, b := range base.Cells {
+		id := fmt.Sprintf("%s#%d", b.Key, b.Rep)
+		seen[id] = true
+		c, ok := curBy[id]
+		if !ok {
+			out.Missing = append(out.Missing, id)
+			continue
+		}
+		if b.OK && !c.OK {
+			out.Regressions = append(out.Regressions, Delta{Key: id, Metric: "ok", Base: 1, Cur: 0})
+		}
+		check := func(metric string, bv, cv int64, pct float64, floor int64) {
+			if pct <= 0 || bv < floor {
+				return
+			}
+			d := Delta{Key: id, Metric: metric, Base: bv, Cur: cv,
+				Pct: 100 * float64(cv-bv) / float64(bv)}
+			switch {
+			case d.Pct > pct:
+				out.Regressions = append(out.Regressions, d)
+			case d.Pct < -pct:
+				out.Improvements = append(out.Improvements, d)
+			}
+		}
+		check("wall_ns", b.WallNS, c.WallNS, th.WallPct, th.MinWallNS)
+		check("allocs", b.Allocs, c.Allocs, th.AllocPct, th.MinAllocs)
+		check("guard_evals", b.Measure.GuardEvals, c.Measure.GuardEvals, th.GuardPct, th.MinGuardEvals)
+	}
+	for _, c := range cur.Cells {
+		id := fmt.Sprintf("%s#%d", c.Key, c.Rep)
+		if !seen[id] {
+			out.Added = append(out.Added, id)
+		}
+	}
+	return out
+}

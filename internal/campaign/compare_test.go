@@ -1,0 +1,99 @@
+package campaign
+
+import (
+	"testing"
+
+	"ssmfp/internal/sim"
+)
+
+func syntheticReport() *Report {
+	return &Report{
+		Schema: Schema, Seed: 1, Seeds: 1,
+		Cells: []CellReport{
+			{Key: "f4", Exp: "f4", OK: true, WallNS: 400e6, Allocs: 1e6,
+				Measure: sim.CellMeasure{GuardEvals: 2_000_000}},
+			{Key: "p5/line-3", Exp: "p5", Variant: "line-3", OK: true, WallNS: 50e6, Allocs: 500_000,
+				Measure: sim.CellMeasure{GuardEvals: 300_000}},
+			{Key: "p7/d2", Exp: "p7", Variant: "d2", OK: true, WallNS: 1e6, Allocs: 10_000,
+				Measure: sim.CellMeasure{GuardEvals: 5_000}},
+		},
+	}
+}
+
+// TestCompareClean: identical reports gate clean.
+func TestCompareClean(t *testing.T) {
+	r := Compare(syntheticReport(), syntheticReport(), DefaultThresholds())
+	if !r.Clean() || len(r.Improvements) != 0 || len(r.Added) != 0 {
+		t.Errorf("identical reports not clean: %+v", r)
+	}
+}
+
+// TestCompareWallRegression: a 25%-threshold gate must fire on a 30%
+// slowdown of a large cell and stay quiet below the threshold.
+func TestCompareWallRegression(t *testing.T) {
+	base, cur := syntheticReport(), syntheticReport()
+	cur.Cells[0].WallNS = int64(float64(base.Cells[0].WallNS) * 1.30)
+	r := Compare(base, cur, DefaultThresholds())
+	if r.Clean() || len(r.Regressions) != 1 {
+		t.Fatalf("30%% slowdown not flagged: %+v", r)
+	}
+	d := r.Regressions[0]
+	if d.Key != "f4#0" || d.Metric != "wall_ns" || d.Pct < 29 || d.Pct > 31 {
+		t.Errorf("wrong delta: %+v", d)
+	}
+
+	cur2 := syntheticReport()
+	cur2.Cells[0].WallNS = int64(float64(base.Cells[0].WallNS) * 1.20)
+	if r := Compare(base, cur2, DefaultThresholds()); !r.Clean() {
+		t.Errorf("20%% slowdown flagged at a 25%% threshold: %+v", r.Regressions)
+	}
+}
+
+// TestCompareFloors: small cells are exempt from percentage gates (noise),
+// and an improvement is informational, not a failure.
+func TestCompareFloors(t *testing.T) {
+	base, cur := syntheticReport(), syntheticReport()
+	cur.Cells[2].WallNS = base.Cells[2].WallNS * 10 // tiny cell, below MinWallNS
+	if r := Compare(base, cur, DefaultThresholds()); !r.Clean() {
+		t.Errorf("sub-floor cell gated: %+v", r.Regressions)
+	}
+	cur2 := syntheticReport()
+	cur2.Cells[0].WallNS = base.Cells[0].WallNS / 2
+	r := Compare(base, cur2, DefaultThresholds())
+	if !r.Clean() || len(r.Improvements) != 1 {
+		t.Errorf("halved wall time not reported as improvement: %+v", r)
+	}
+}
+
+// TestCompareGuardEvals: guard evaluations are deterministic, so even a
+// small growth past the tight threshold must gate.
+func TestCompareGuardEvals(t *testing.T) {
+	base, cur := syntheticReport(), syntheticReport()
+	cur.Cells[0].Measure.GuardEvals = int64(float64(base.Cells[0].Measure.GuardEvals) * 1.05)
+	r := Compare(base, cur, DefaultThresholds())
+	if r.Clean() || r.Regressions[0].Metric != "guard_evals" {
+		t.Errorf("5%% guard-eval growth not flagged: %+v", r)
+	}
+}
+
+// TestCompareOKAndMissing: acceptance regressions and dropped cells fail
+// the gate; new cells do not.
+func TestCompareOKAndMissing(t *testing.T) {
+	base, cur := syntheticReport(), syntheticReport()
+	cur.Cells[1].OK = false
+	r := Compare(base, cur, DefaultThresholds())
+	if r.Clean() || r.Regressions[0].Metric != "ok" {
+		t.Errorf("OK->fail not flagged: %+v", r)
+	}
+
+	cur2 := syntheticReport()
+	cur2.Cells = cur2.Cells[:2]
+	cur2.Cells = append(cur2.Cells, CellReport{Key: "x9/new", Exp: "x9", OK: true})
+	r2 := Compare(base, cur2, DefaultThresholds())
+	if r2.Clean() || len(r2.Missing) != 1 || r2.Missing[0] != "p7/d2#0" {
+		t.Errorf("dropped cell not flagged: %+v", r2)
+	}
+	if len(r2.Added) != 1 || r2.Added[0] != "x9/new#0" {
+		t.Errorf("added cell not reported: %+v", r2)
+	}
+}

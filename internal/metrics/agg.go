@@ -1,0 +1,77 @@
+package metrics
+
+import "math"
+
+// Agg is a mergeable running aggregate: count, min, max, mean and the
+// centered second moment (Welford's M2). Unlike Summarize it never holds
+// the sample, so independent workers can each fold their own cells and the
+// partial aggregates combine associatively with Merge — the shape the
+// campaign runner needs to aggregate incrementally without a barrier.
+//
+// Floating-point addition is not associative, so merging the same
+// partials in a different order can change the low bits of Mean and M2.
+// Callers that need bit-stable output (the campaign report) must either
+// merge in a canonical order or keep Agg-derived numbers out of the
+// deterministic sections; integer sums (Count, and Sum when the inputs
+// are integers small enough to be exact in a float64) are exact and
+// order-independent.
+type Agg struct {
+	Count int64   `json:"count"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	M2    float64 `json:"-"` // sum of squared deviations from the mean
+}
+
+// Add folds one observation into the aggregate.
+func (a *Agg) Add(x float64) {
+	a.Count++
+	if a.Count == 1 {
+		a.Min, a.Max = x, x
+	} else {
+		if x < a.Min {
+			a.Min = x
+		}
+		if x > a.Max {
+			a.Max = x
+		}
+	}
+	d := x - a.Mean
+	a.Mean += d / float64(a.Count)
+	a.M2 += d * (x - a.Mean)
+}
+
+// Merge folds another aggregate into a (Chan et al.'s parallel variance
+// update). Merging a zero Agg is a no-op.
+func (a *Agg) Merge(b Agg) {
+	if b.Count == 0 {
+		return
+	}
+	if a.Count == 0 {
+		*a = b
+		return
+	}
+	if b.Min < a.Min {
+		a.Min = b.Min
+	}
+	if b.Max > a.Max {
+		a.Max = b.Max
+	}
+	n := float64(a.Count + b.Count)
+	d := b.Mean - a.Mean
+	a.M2 += b.M2 + d*d*float64(a.Count)*float64(b.Count)/n
+	a.Mean += d * float64(b.Count) / n
+	a.Count += b.Count
+}
+
+// Sum returns the total of all folded observations.
+func (a Agg) Sum() float64 { return a.Mean * float64(a.Count) }
+
+// Stddev returns the sample standard deviation (0 for fewer than two
+// observations).
+func (a Agg) Stddev() float64 {
+	if a.Count < 2 {
+		return 0
+	}
+	return math.Sqrt(a.M2 / float64(a.Count-1))
+}

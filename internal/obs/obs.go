@@ -68,6 +68,16 @@ const (
 	// transports under internal/transport, never from an engine run, so
 	// no replayable trace contains them.
 	KindWire Kind = "wire"
+	// KindCellStart marks a campaign worker picking up one experiment
+	// cell; Detail carries the cell key ("p5/line-5#0"), Count the cell's
+	// canonical grid index. Like wire events, campaign events live in the
+	// wall-clock domain (Step and Round are -1) and never appear in a
+	// replayable engine trace.
+	KindCellStart Kind = "cell-start"
+	// KindCellDone marks a cell's completion; Detail carries the cell
+	// key, Count the number of cells completed so far, and Rule reuses
+	// its string slot for the verdict ("ok" or "fail").
+	KindCellDone Kind = "cell-done"
 )
 
 // Valid reports whether k is a kind of the current schema.
@@ -75,7 +85,7 @@ func (k Kind) Valid() bool {
 	switch k {
 	case KindStep, KindFire, KindGenerate, KindInternal, KindForward,
 		KindErase, KindDeliver, KindRound, KindFault, KindRoute, KindStabilized,
-		KindWire:
+		KindWire, KindCellStart, KindCellDone:
 		return true
 	}
 	return false

@@ -1,0 +1,331 @@
+package sim
+
+import (
+	"fmt"
+	"strconv"
+
+	"ssmfp/internal/metrics"
+)
+
+// CellMeasure collects the paper-facing quantities of one experiment cell
+// in machine-readable form: step/round/guard-evaluation costs plus the
+// delivery accounting behind Propositions 4-7. All fields are
+// deterministic for a given (cell, seed) — wall-clock and allocation
+// numbers live in the campaign report, not here.
+type CellMeasure struct {
+	Steps             int   `json:"steps,omitempty"`
+	Rounds            int   `json:"rounds,omitempty"`
+	GuardEvals        int64 `json:"guard_evals,omitempty"`
+	Generated         int   `json:"generated,omitempty"`
+	DeliveredValid    int   `json:"delivered_valid,omitempty"`
+	DeliveredInvalid  int   `json:"delivered_invalid,omitempty"`
+	MaxInvalidPerDest int   `json:"max_invalid_per_dest,omitempty"`
+	// InvalidBound is the 2n reference of Proposition 4 (set by E-P4).
+	InvalidBound int `json:"invalid_bound,omitempty"`
+	// DelayRounds and MaxWaitingRounds are the Proposition 6 quantities
+	// (set by E-P6); MaxLatencyRounds is the Proposition 5 quantity.
+	DelayRounds      int `json:"delay_rounds,omitempty"`
+	MaxWaitingRounds int `json:"max_waiting_rounds,omitempty"`
+	MaxLatencyRounds int `json:"max_latency_rounds,omitempty"`
+	// Extra carries experiment-specific scalars (amortized cost, overhead
+	// ratio, caterpillar counts, ...). JSON maps marshal with sorted keys,
+	// so reports containing Extra stay byte-comparable.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// measureOf lifts a scenario Result into the cell measurement schema.
+func measureOf(r Result) CellMeasure {
+	return CellMeasure{
+		Steps:             r.Steps,
+		Rounds:            r.Rounds,
+		GuardEvals:        r.Stats.GuardEvals,
+		Generated:         r.Generated,
+		DeliveredValid:    r.DeliveredValid,
+		DeliveredInvalid:  r.InvalidDelivered,
+		MaxInvalidPerDest: r.MaxInvalidPerDst,
+	}
+}
+
+// CellSpec names one cell of the experiment grid: an experiment ID
+// (f1..ep, as in ssmfp-bench -experiment) and, for sweep experiments, the
+// canonical case variant. Heavy marks the cells a -quick campaign skips.
+type CellSpec struct {
+	Exp     string `json:"exp"`
+	Variant string `json:"variant,omitempty"`
+	Heavy   bool   `json:"heavy,omitempty"`
+}
+
+// Key renders the spec as "exp" or "exp/variant" — the identifier used in
+// campaign reports, -filter expressions, and obs cell events.
+func (s CellSpec) Key() string {
+	if s.Variant == "" {
+		return s.Exp
+	}
+	return s.Exp + "/" + s.Variant
+}
+
+// heavyCells marks the grid's expensive cells (hundreds of milliseconds
+// and up at the default seed): they dominate campaign wall time, so
+// -quick skips them and the scheduler starts them first.
+var heavyCells = map[string]bool{
+	"f4":            true, // 500k-step census with per-step classification
+	"p4/n8":         true,
+	"p4/n10":        true,
+	"p5/line-9":     true,
+	"p5/star-8":     true,
+	"p7/d8":         true,
+	"mc":            true, // exhaustive state-space exploration
+	"ep/grid-20x20": true, // naive baseline is Θ(n²·rules) per step
+	"ep/random-100": true,
+	"ep/random-400": true,
+}
+
+// CellGrid enumerates the full experiment grid in canonical order (the
+// order ssmfp-bench prints, f1 → ep). The variants are derived from the
+// same canonical case lists the experiments iterate, so the grid cannot
+// drift from the experiments.
+func CellGrid() []CellSpec {
+	var cells []CellSpec
+	add := func(exp, variant string) {
+		s := CellSpec{Exp: exp, Variant: variant}
+		s.Heavy = heavyCells[s.Key()]
+		cells = append(cells, s)
+	}
+	add("f1", "")
+	add("f2", "")
+	add("f3", "")
+	add("f4", "")
+	for _, n := range P4Sizes {
+		add("p4", fmt.Sprintf("n%d", n))
+	}
+	for _, c := range p5Cases() {
+		add("p5", c.name)
+	}
+	for _, c := range p6Cases() {
+		add("p6", c.name)
+	}
+	for _, d := range P7Diameters {
+		add("p7", fmt.Sprintf("d%d", d))
+	}
+	add("x1", "")
+	for _, c := range x2Cases() {
+		add("x2", c.name)
+	}
+	for _, c := range x3Cases() {
+		add("x3", c.slug)
+	}
+	for _, c := range x4Cases() {
+		add("x4", c.slug)
+	}
+	for _, p := range x5Policies() {
+		add("x5", p.String())
+	}
+	for _, w := range X6Waves {
+		add("x6", fmt.Sprintf("w%d", w))
+	}
+	add("ra", "")
+	add("mc", "")
+	for _, c := range epCases() {
+		add("ep", c.slug)
+	}
+	return cells
+}
+
+// CellResult is one cell's outcome: the acceptance verdict (the same
+// criterion ssmfp-bench applies to the full experiment, restricted to
+// this cell), the one-row table fragment (or Text for f3's rendered
+// trace), and the measurements.
+type CellResult struct {
+	Spec    CellSpec
+	OK      bool
+	Table   *metrics.Table // nil for f3 (Text carries the trace)
+	Text    string
+	Measure CellMeasure
+}
+
+// RunCell executes one cell of the grid under the given options. The
+// options' Cases and OnCell fields are overwritten (RunCell owns the
+// case selection); Seed, Paranoid and Ctx are honored. Cells are
+// independent: a cell's numbers do not depend on which other cells run,
+// because sweep experiments tie per-case seeds to canonical case
+// indices, not subset positions.
+func RunCell(spec CellSpec, o Options) (CellResult, error) {
+	res := CellResult{Spec: spec}
+	o.Cases = nil
+	if spec.Variant != "" {
+		o.Cases = []string{spec.Variant}
+	}
+	var captured CellMeasure
+	o.OnCell = func(_ string, m CellMeasure) { captured = m }
+
+	oneRow := func(n int, what string) error {
+		if n != 1 {
+			return fmt.Errorf("sim: cell %s selected %d %s, want 1 (unknown variant?)", spec.Key(), n, what)
+		}
+		return nil
+	}
+
+	switch spec.Exp {
+	case "f1":
+		r := ExperimentF1()
+		res.OK = r.Acyclic && r.AllTrees && r.Components == 5
+		res.Table = r.Table
+		res.Measure = CellMeasure{Extra: map[string]float64{"components": float64(r.Components)}}
+	case "f2":
+		r := ExperimentF2()
+		res.OK = r.CleanAcyclic && r.CycleLen > 0
+		res.Table = r.Table
+		res.Measure = CellMeasure{Extra: map[string]float64{"cycle_len": float64(r.CycleLen)}}
+	case "f3":
+		r := ExperimentF3()
+		res.OK = r.OK
+		res.Text = fmt.Sprintf("== E-F3: Figure 3 execution replay ==\n%s\ndeliveries=%d (valid %d, invalid %d), m's color=%d, initial cycle=%v\n",
+			r.Trace, r.Deliveries, r.ValidDelivered, r.InvalidDelivered, r.HelloColor, r.CycleInitially)
+		res.Measure = CellMeasure{
+			DeliveredValid:   r.ValidDelivered,
+			DeliveredInvalid: r.InvalidDelivered,
+			Extra:            map[string]float64{"hello_color": float64(r.HelloColor)},
+		}
+	case "f4":
+		r, m := ExperimentF4With(o)
+		res.OK = r.AllTypesHit && r.Consistent
+		res.Table = r.Table
+		res.Measure = m
+	case "p4":
+		n, err := variantInt(spec.Variant, "n")
+		if err != nil {
+			return res, err
+		}
+		r := ExperimentP4With(o, []int{n})
+		if err := oneRow(len(r.Rows), "sizes"); err != nil {
+			return res, err
+		}
+		res.OK = r.WithinBound
+		res.Table = r.Table
+		res.Measure = captured
+	case "p5":
+		r := ExperimentP5With(o)
+		if err := oneRow(len(r.Rows), "topologies"); err != nil {
+			return res, err
+		}
+		res.OK = r.WithinBound
+		res.Table = r.Table
+		res.Measure = captured
+	case "p6":
+		r := ExperimentP6With(o)
+		if err := oneRow(len(r.Rows), "topologies"); err != nil {
+			return res, err
+		}
+		res.OK = true
+		res.Table = r.Table
+		res.Measure = captured
+	case "p7":
+		d, err := variantInt(spec.Variant, "d")
+		if err != nil {
+			return res, err
+		}
+		r := ExperimentP7With(o, []int{d})
+		if err := oneRow(len(r.Rows), "diameters"); err != nil {
+			return res, err
+		}
+		res.OK = r.Within
+		res.Table = r.Table
+		res.Measure = captured
+	case "x1":
+		r, m := ExperimentX1With(o)
+		res.OK = r.SSMFPOK
+		res.Table = r.Table
+		res.Measure = m
+	case "x2":
+		r := ExperimentX2With(o)
+		if err := oneRow(len(r.Rows), "topologies"); err != nil {
+			return res, err
+		}
+		res.OK = r.MaxOverhead < 8
+		res.Table = r.Table
+		res.Measure = captured
+	case "x3":
+		r := ExperimentX3With(o)
+		if err := oneRow(len(r.Rows), "configurations"); err != nil {
+			return res, err
+		}
+		res.OK = r.AllOK
+		res.Table = r.Table
+		res.Measure = captured
+	case "x4":
+		r := ExperimentX4With(o)
+		if err := oneRow(len(r.Rows), "topologies"); err != nil {
+			return res, err
+		}
+		res.OK = r.AllOK
+		res.Table = r.Table
+		res.Measure = captured
+	case "x5":
+		r := ExperimentX5With(o)
+		if err := oneRow(len(r.Rows), "policies"); err != nil {
+			return res, err
+		}
+		res.OK = r.Rows[0].AllDelivered
+		res.Table = r.Table
+		res.Measure = captured
+	case "x6":
+		r := ExperimentX6With(o)
+		if err := oneRow(len(r.Rows), "storm intensities"); err != nil {
+			return res, err
+		}
+		res.OK = r.AllOK
+		res.Table = r.Table
+		res.Measure = captured
+	case "ra":
+		r := ExperimentRAWith(o)
+		res.OK = r.Tracks
+		res.Table = r.Table
+		extra := map[string]float64{}
+		for _, row := range r.Rows {
+			pfx := "fast"
+			if row.Variant == "slow A (unit steps)" {
+				pfx = "slow"
+			}
+			extra[pfx+"_ra_rounds"] = float64(row.RoutingRound)
+			extra[pfx+"_probe_delay"] = float64(row.ProbeDelay)
+		}
+		res.Measure = CellMeasure{Extra: extra}
+	case "mc":
+		r := ExperimentMC()
+		res.OK = r.AllOK
+		res.Table = r.Table
+		states := 0
+		for _, row := range r.Rows {
+			states += row.States
+		}
+		res.Measure = CellMeasure{Extra: map[string]float64{
+			"states_total":      float64(states + r.LiteralR5States),
+			"literal_r5_states": float64(r.LiteralR5States),
+		}}
+	case "ep":
+		r := ExperimentEnginePerfWith(o)
+		if err := oneRow(len(r.Rows), "topologies"); err != nil {
+			return res, err
+		}
+		row := r.Rows[0]
+		res.OK = row.Match && (spec.Variant != "grid-20x20" || row.Ratio >= 3)
+		res.Table = r.Table
+		res.Measure = captured
+	default:
+		return res, fmt.Errorf("sim: unknown experiment %q", spec.Exp)
+	}
+	return res, nil
+}
+
+// variantInt parses sweep variants of the form "<prefix><int>" ("n8",
+// "d4").
+func variantInt(variant, prefix string) (int, error) {
+	if len(variant) <= len(prefix) || variant[:len(prefix)] != prefix {
+		return 0, fmt.Errorf("sim: variant %q: want %s<int>", variant, prefix)
+	}
+	n, err := strconv.Atoi(variant[len(prefix):])
+	if err != nil {
+		return 0, fmt.Errorf("sim: variant %q: %v", variant, err)
+	}
+	return n, nil
+}

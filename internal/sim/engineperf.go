@@ -65,57 +65,96 @@ func sameMoves(a, b map[string]int) bool {
 	return true
 }
 
+// epCase is one sweep point of E-EP. Random graphs derive from a per-case
+// seed offset (not one rng shared across the sweep) so a case builds the
+// same graph whether it runs alone as a campaign cell or inside the full
+// sweep.
+type epCase struct {
+	slug    string
+	display string
+	steps   int
+	make    func(seed int64) *graph.Graph
+}
+
+// epCases is the canonical case list of E-EP. Step caps shrink with n to
+// keep the naive baseline affordable (it costs Θ(n² · n) guard
+// evaluations overall: n processors × ~6n+1 rules each, every step).
+func epCases() []epCase {
+	randomCase := func(n, m, off int) func(int64) *graph.Graph {
+		return func(seed int64) *graph.Graph {
+			return graph.RandomConnected(n, m, rand.New(rand.NewSource(seed+int64(off))))
+		}
+	}
+	return []epCase{
+		{"grid-5x5", "grid 5x5", 200, func(int64) *graph.Graph { return graph.Grid(5, 5) }},
+		{"grid-10x10", "grid 10x10", 80, func(int64) *graph.Graph { return graph.Grid(10, 10) }},
+		{"grid-20x20", "grid 20x20", 24, func(int64) *graph.Graph { return graph.Grid(20, 20) }},
+		{"random-25", "random n=25 m=50", 200, randomCase(25, 50, 103)},
+		{"random-100", "random n=100 m=200", 80, randomCase(100, 200, 104)},
+		{"random-400", "random n=400 m=800", 24, randomCase(400, 800, 105)},
+	}
+}
+
+// epCell runs one canonical case of E-EP: the same scenario through the
+// naive and the incremental engine, comparing fingerprints. Self-check
+// stays off in both modes regardless of paranoia so the guard-evaluation
+// counts are the modes' real costs, not the harness's.
+func epCell(o Options, idx int) (EPRow, CellMeasure) {
+	c := epCases()[idx]
+	g := c.make(o.Seed)
+	runSeed := o.Seed + int64(idx)
+	nStats, nSteps, nMoves := epRun(g, runSeed, c.steps, false)
+	iStats, iSteps, iMoves := epRun(g, runSeed, c.steps, true)
+	match := nSteps == iSteps && sameMoves(nMoves, iMoves)
+	steps := iSteps
+	if steps == 0 {
+		steps = 1
+	}
+	evaluated := iStats.ProcsEvaluated + iStats.ProcsSkipped
+	skippedPct := 0.0
+	if evaluated > 0 {
+		skippedPct = 100 * float64(iStats.ProcsSkipped) / float64(evaluated)
+	}
+	row := EPRow{
+		Topology:        c.display,
+		N:               g.N(),
+		Steps:           iSteps,
+		NaivePerStep:    float64(nStats.GuardEvals) / float64(steps),
+		IncPerStep:      float64(iStats.GuardEvals) / float64(steps),
+		ProcsSkippedPct: skippedPct,
+		Match:           match,
+	}
+	if row.IncPerStep > 0 {
+		row.Ratio = row.NaivePerStep / row.IncPerStep
+	}
+	return row, CellMeasure{
+		Steps:      iSteps,
+		GuardEvals: iStats.GuardEvals,
+		Extra:      map[string]float64{"ratio": row.Ratio, "naive_guard_evals": float64(nStats.GuardEvals)},
+	}
+}
+
 // ExperimentEnginePerf sweeps grids and random connected graphs at
 // n ∈ {25, 100, 400} under a central random daemon with a random-pairs
-// workload. Step caps shrink with n to keep the naive baseline affordable
-// (it costs Θ(n² · n) guard evaluations overall: n processors × ~6n+1
-// rules each, every step).
+// workload.
 func ExperimentEnginePerf(seed int64) EPResult {
+	return ExperimentEnginePerfWith(Options{Seed: seed})
+}
+
+// ExperimentEnginePerfWith runs the E-EP sweep with explicit options;
+// Options.Cases uses the slugs (grid-5x5 ... random-400).
+func ExperimentEnginePerfWith(o Options) EPResult {
 	res := EPResult{AllMatch: true}
 	t := metrics.NewTable("E-EP: guard evaluations per step — naive rescan vs incremental enabled set",
 		"topology", "n", "steps", "naive evals/step", "incremental evals/step", "ratio", "procs skipped", "identical run")
-	type tc struct {
-		name  string
-		g     *graph.Graph
-		steps int
-	}
-	rng := rand.New(rand.NewSource(seed))
-	cases := []tc{
-		{"grid 5x5", graph.Grid(5, 5), 200},
-		{"grid 10x10", graph.Grid(10, 10), 80},
-		{"grid 20x20", graph.Grid(20, 20), 24},
-		{"random n=25 m=50", graph.RandomConnected(25, 50, rng), 200},
-		{"random n=100 m=200", graph.RandomConnected(100, 200, rng), 80},
-		{"random n=400 m=800", graph.RandomConnected(400, 800, rng), 24},
-	}
-	for i, c := range cases {
-		runSeed := seed + int64(i)
-		nStats, nSteps, nMoves := epRun(c.g, runSeed, c.steps, false)
-		iStats, iSteps, iMoves := epRun(c.g, runSeed, c.steps, true)
-		match := nSteps == iSteps && sameMoves(nMoves, iMoves)
-		if !match {
+	for i, c := range epCases() {
+		if !o.wants(c.slug) || o.cancelled() {
+			continue
+		}
+		row, m := epCell(o, i)
+		o.report(c.slug, m)
+		if !row.Match {
 			res.AllMatch = false
-		}
-		steps := iSteps
-		if steps == 0 {
-			steps = 1
-		}
-		evaluated := iStats.ProcsEvaluated + iStats.ProcsSkipped
-		skippedPct := 0.0
-		if evaluated > 0 {
-			skippedPct = 100 * float64(iStats.ProcsSkipped) / float64(evaluated)
-		}
-		row := EPRow{
-			Topology:        c.name,
-			N:               c.g.N(),
-			Steps:           iSteps,
-			NaivePerStep:    float64(nStats.GuardEvals) / float64(steps),
-			IncPerStep:      float64(iStats.GuardEvals) / float64(steps),
-			ProcsSkippedPct: skippedPct,
-			Match:           match,
-		}
-		if row.IncPerStep > 0 {
-			row.Ratio = row.NaivePerStep / row.IncPerStep
 		}
 		res.Rows = append(res.Rows, row)
 		t.AddRow(row.Topology, row.N, row.Steps,

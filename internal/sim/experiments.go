@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -23,6 +24,72 @@ func correctTables(g *graph.Graph) []*routing.NodeState {
 		ts[p] = routing.CorrectState(g, graph.ProcessID(p))
 	}
 	return ts
+}
+
+// Options parameterizes one experiment run explicitly. It replaces the
+// SSMFP_PARANOID environment variable as the way paranoia reaches the
+// engines an experiment constructs: the campaign runner executes many
+// cells concurrently in one process, so per-run configuration must not
+// live in process-global mutable state.
+type Options struct {
+	// Seed is the experiment's base seed; sweep cases derive their own
+	// seeds from it by canonical case index, so a case produces the same
+	// numbers whether it runs alone (one campaign cell) or inside the
+	// full sweep.
+	Seed int64
+
+	// Paranoid turns the engine's differential self-check on for every
+	// engine the experiment builds. False keeps the engine default (on
+	// under `go test`, off otherwise) rather than forcing it off.
+	Paranoid bool
+
+	// Ctx, when non-nil, aborts long runs early when cancelled
+	// (best-effort; checked at case boundaries and, inside scenario
+	// runs, every few hundred steps).
+	Ctx context.Context
+
+	// Cases restricts a sweep experiment to the named canonical cases
+	// (nil = all). Unknown names are ignored. Per-case seeds stay tied
+	// to the canonical index, not the subset position.
+	Cases []string
+
+	// OnCell, when non-nil, receives each case's measurements as the
+	// case completes. The campaign runner collects per-cell quantities
+	// through it without running anything twice.
+	OnCell func(name string, m CellMeasure)
+}
+
+// engineOpts translates the options into engine construction options.
+func (o Options) engineOpts() []sm.EngineOption {
+	if o.Paranoid {
+		return []sm.EngineOption{sm.WithSelfCheck(true)}
+	}
+	return nil
+}
+
+// wants reports whether the named case is selected.
+func (o Options) wants(name string) bool {
+	if len(o.Cases) == 0 {
+		return true
+	}
+	for _, c := range o.Cases {
+		if c == name {
+			return true
+		}
+	}
+	return false
+}
+
+// cancelled reports a best-effort context check at case boundaries.
+func (o Options) cancelled() bool {
+	return o.Ctx != nil && o.Ctx.Err() != nil
+}
+
+// report forwards one case's measurements to the OnCell hook.
+func (o Options) report(name string, m CellMeasure) {
+	if o.OnCell != nil {
+		o.OnCell(name, m)
+	}
 }
 
 // --- E-F1: Figure 1, destination-based buffer graph -------------------
@@ -117,12 +184,20 @@ type F4Result struct {
 // ExperimentF4 runs a corrupted scenario on the Figure 1 network and
 // classifies every buffer at every step.
 func ExperimentF4(seed int64) F4Result {
+	r, _ := ExperimentF4With(Options{Seed: seed})
+	return r
+}
+
+// ExperimentF4With runs the caterpillar census with explicit options and
+// reports the run's cell measurements alongside the result.
+func ExperimentF4With(o Options) (F4Result, CellMeasure) {
+	seed := o.Seed
 	g := graph.Figure1Network()
 	rng := rand.New(rand.NewSource(seed))
 	cfg := core.RandomConfig(g, rng, core.DefaultCorrupt)
 	cfg[0].(*core.Node).FW.Enqueue("f4-probe", 4)
 	cfg[3].(*core.Node).FW.Enqueue("f4-probe-2", 2)
-	e := sm.NewEngine(g, core.FullProgram(g), NewDaemon(CentralRandom, seed, g.N()), cfg)
+	e := sm.NewEngine(g, core.FullProgram(g), NewDaemon(CentralRandom, seed, g.N()), cfg, o.engineOpts()...)
 
 	res := F4Result{Seen: make(map[core.CaterpillarType]int), Consistent: true}
 	snapshot := func() []sm.State {
@@ -133,6 +208,9 @@ func ExperimentF4(seed int64) F4Result {
 		return out
 	}
 	for i := 0; i < 500_000; i++ {
+		if i%1024 == 0 && o.cancelled() {
+			break
+		}
 		cfgNow := snapshot()
 		for d := 0; d < g.N(); d++ {
 			census := core.CaterpillarCensus(g, cfgNow, graph.ProcessID(d))
@@ -156,7 +234,17 @@ func ExperimentF4(seed int64) F4Result {
 		t.AddRow(typ.String(), res.Seen[typ])
 	}
 	res.Table = t
-	return res
+	stats := e.Stats()
+	return res, CellMeasure{
+		Steps:      e.Steps(),
+		Rounds:     e.Rounds(),
+		GuardEvals: stats.GuardEvals,
+		Extra: map[string]float64{
+			"type1": float64(res.Seen[core.Type1]),
+			"type2": float64(res.Seen[core.Type2]),
+			"type3": float64(res.Seen[core.Type3]),
+		},
+	}
 }
 
 // --- E-P4: Proposition 4, ≤ 2n invalid deliveries ----------------------
@@ -179,37 +267,59 @@ type P4Result struct {
 	Table       *metrics.Table
 }
 
+// P4Sizes is the canonical size sweep of experiment E-P4.
+var P4Sizes = []int{4, 6, 8, 10}
+
+// p4Cell runs one size of the E-P4 sweep.
+func p4Cell(o Options, n int) (P4Row, CellMeasure) {
+	rng := rand.New(rand.NewSource(o.Seed + int64(n)))
+	g := graph.RandomConnected(n, 2*n, rng)
+	r := Run(Scenario{
+		Name:  fmt.Sprintf("p4-n%d", n),
+		Graph: g,
+		Corrupt: &core.CorruptOptions{
+			BufferFill:     1,
+			CorruptRouting: true,
+			CorruptQueues:  true,
+		},
+		Daemon:    Synchronous,
+		Seed:      o.Seed + int64(n),
+		MaxSteps:  5_000_000,
+		NoRA:      true,
+		Ctx:       o.Ctx,
+		SelfCheck: o.Paranoid,
+	})
+	row := P4Row{
+		N:              n,
+		InvalidPlaced:  2 * n * n,
+		MaxPerDest:     r.MaxInvalidPerDst,
+		Bound:          2 * n,
+		TotalDelivered: r.InvalidDelivered,
+	}
+	m := measureOf(r)
+	m.InvalidBound = row.Bound
+	return row, m
+}
+
 // ExperimentP4 runs the invalid-delivery sweep.
 func ExperimentP4(seed int64, sizes []int) P4Result {
+	return ExperimentP4With(Options{Seed: seed}, sizes)
+}
+
+// ExperimentP4With runs the invalid-delivery sweep with explicit options.
+func ExperimentP4With(o Options, sizes []int) P4Result {
 	if len(sizes) == 0 {
-		sizes = []int{4, 6, 8, 10}
+		sizes = P4Sizes
 	}
 	res := P4Result{WithinBound: true}
 	t := metrics.NewTable("E-P4: invalid deliveries per destination vs the 2n bound (Prop. 4)",
 		"n", "invalid placed", "max delivered to one dest", "bound 2n", "total invalid delivered")
 	for _, n := range sizes {
-		rng := rand.New(rand.NewSource(seed + int64(n)))
-		g := graph.RandomConnected(n, 2*n, rng)
-		r := Run(Scenario{
-			Name:  fmt.Sprintf("p4-n%d", n),
-			Graph: g,
-			Corrupt: &core.CorruptOptions{
-				BufferFill:     1,
-				CorruptRouting: true,
-				CorruptQueues:  true,
-			},
-			Daemon:   Synchronous,
-			Seed:     seed + int64(n),
-			MaxSteps: 5_000_000,
-			NoRA:     true,
-		})
-		row := P4Row{
-			N:              n,
-			InvalidPlaced:  2 * n * n,
-			MaxPerDest:     r.MaxInvalidPerDst,
-			Bound:          2 * n,
-			TotalDelivered: r.InvalidDelivered,
+		if o.cancelled() {
+			break
 		}
+		row, m := p4Cell(o, n)
+		o.report(fmt.Sprintf("n%d", n), m)
 		if row.MaxPerDest > row.Bound {
 			res.WithinBound = false
 		}
@@ -239,48 +349,81 @@ type P5Result struct {
 	Table       *metrics.Table
 }
 
+// topoCase is one named topology of a sweep; graphs are built lazily so
+// enumerating the case list (for the campaign cell grid) costs nothing.
+type topoCase struct {
+	name string
+	make func() *graph.Graph
+}
+
+// p5Cases is the canonical case list of E-P5: lines grow D at Δ=2, stars
+// grow Δ at D=2. Per-case seeds are seed + canonical index.
+func p5Cases() []topoCase {
+	var cases []topoCase
+	for _, n := range []int{3, 5, 7, 9} {
+		n := n
+		cases = append(cases, topoCase{fmt.Sprintf("line-%d", n), func() *graph.Graph { return graph.Line(n) }})
+	}
+	for _, n := range []int{4, 6, 8} {
+		n := n
+		cases = append(cases, topoCase{fmt.Sprintf("star-%d", n), func() *graph.Graph { return graph.Star(n) }})
+	}
+	return cases
+}
+
+// p5Cell runs one canonical case of the E-P5 sweep and reports whether it
+// stayed within the (generously constant-factored) bound.
+func p5Cell(o Options, idx int) (P5Row, bool, CellMeasure) {
+	c := p5Cases()[idx]
+	g := c.make()
+	// Saturating cross-traffic: everyone sends to everyone once.
+	w := workload.AllToAll(g, 1)
+	r := Run(Scenario{
+		Name:      "p5-" + c.name,
+		Graph:     g,
+		Corrupt:   &core.DefaultCorrupt,
+		Daemon:    WeaklyFairLIFO,
+		Seed:      o.Seed + int64(idx),
+		Workload:  w,
+		MaxSteps:  8_000_000,
+		NoRA:      true,
+		Ctx:       o.Ctx,
+		SelfCheck: o.Paranoid,
+	})
+	row := P5Row{
+		Topology:   c.name,
+		Delta:      g.MaxDegree(),
+		D:          g.Diameter(),
+		MaxLatency: int(r.LatencyRounds.Max),
+		Bound:      math.Pow(float64(g.MaxDegree()), float64(g.Diameter())),
+	}
+	// The paper's bound is asymptotic; we check against a generous
+	// constant multiple plus the routing-stabilization additive term.
+	within := float64(row.MaxLatency) <= 40*(row.Bound+float64(4*g.N()))
+	m := measureOf(r)
+	m.MaxLatencyRounds = row.MaxLatency
+	return row, within, m
+}
+
 // ExperimentP5 sweeps lines (growing D at Δ=2) and stars (growing Δ at
 // D=2) under adversarial cross-traffic and a corrupted initial
 // configuration.
 func ExperimentP5(seed int64) P5Result {
+	return ExperimentP5With(Options{Seed: seed})
+}
+
+// ExperimentP5With runs the E-P5 sweep with explicit options.
+func ExperimentP5With(o Options) P5Result {
 	res := P5Result{WithinBound: true}
 	t := metrics.NewTable("E-P5: worst delivery latency vs Δ^D bound (Prop. 5)",
 		"topology", "Δ", "D", "max latency (rounds)", "Δ^D")
-	type tc struct {
-		name string
-		g    *graph.Graph
-	}
-	var cases []tc
-	for _, n := range []int{3, 5, 7, 9} {
-		cases = append(cases, tc{fmt.Sprintf("line-%d", n), graph.Line(n)})
-	}
-	for _, n := range []int{4, 6, 8} {
-		cases = append(cases, tc{fmt.Sprintf("star-%d", n), graph.Star(n)})
-	}
-	for i, c := range cases {
-		g := c.g
-		// Saturating cross-traffic: everyone sends to everyone once.
-		w := workload.AllToAll(g, 1)
-		r := Run(Scenario{
-			Name:     "p5-" + c.name,
-			Graph:    g,
-			Corrupt:  &core.DefaultCorrupt,
-			Daemon:   WeaklyFairLIFO,
-			Seed:     seed + int64(i),
-			Workload: w,
-			MaxSteps: 8_000_000,
-			NoRA:     true,
-		})
-		row := P5Row{
-			Topology:   c.name,
-			Delta:      g.MaxDegree(),
-			D:          g.Diameter(),
-			MaxLatency: int(r.LatencyRounds.Max),
-			Bound:      math.Pow(float64(g.MaxDegree()), float64(g.Diameter())),
+	for i, c := range p5Cases() {
+		if !o.wants(c.name) || o.cancelled() {
+			continue
 		}
-		// The paper's bound is asymptotic; we check against a generous
-		// constant multiple plus the routing-stabilization additive term.
-		if float64(row.MaxLatency) > 40*(row.Bound+float64(4*g.N())) {
+		row, within, m := p5Cell(o, i)
+		o.report(c.name, m)
+		if !within {
 			res.WithinBound = false
 		}
 		res.Rows = append(res.Rows, row)
@@ -307,39 +450,69 @@ type P6Result struct {
 	Table *metrics.Table
 }
 
+// p6Cases is the canonical case list of E-P6.
+func p6Cases() []topoCase {
+	return []topoCase{
+		{"line-5", func() *graph.Graph { return graph.Line(5) }},
+		{"star-6", func() *graph.Graph { return graph.Star(6) }},
+		{"grid-3x3", func() *graph.Graph { return graph.Grid(3, 3) }},
+	}
+}
+
+// p6Cell runs one canonical case of the E-P6 sweep.
+func p6Cell(o Options, idx int) (P6Row, CellMeasure) {
+	g := p6Cases()[idx].make()
+	sink := graph.ProcessID(0)
+	probe := graph.ProcessID(g.N() - 1)
+	w := workload.AllToOne(g, sink, 2)
+	// The probe source sends three extra messages so waiting time has
+	// at least two intervals.
+	w = append(w, workload.SinglePair(probe, sink, 3)...)
+	r := Run(Scenario{
+		Name:      fmt.Sprintf("p6-%d", idx),
+		Graph:     g,
+		Corrupt:   &core.DefaultCorrupt,
+		Daemon:    CentralRandom,
+		Seed:      o.Seed + int64(idx),
+		Workload:  w,
+		MaxSteps:  8_000_000,
+		NoRA:      true,
+		Ctx:       o.Ctx,
+		SelfCheck: o.Paranoid,
+	})
+	gens := r.GenRoundsBySource[probe]
+	row := P6Row{Topology: g.String(), Delta: g.MaxDegree(), D: g.Diameter()}
+	if len(gens) > 0 {
+		row.Delay = gens[0]
+		for j := 1; j < len(gens); j++ {
+			if wait := gens[j] - gens[j-1]; wait > row.MaxWaiting {
+				row.MaxWaiting = wait
+			}
+		}
+	}
+	m := measureOf(r)
+	m.DelayRounds = row.Delay
+	m.MaxWaitingRounds = row.MaxWaiting
+	return row, m
+}
+
 // ExperimentP6 loads one source with k messages under all-to-one
 // cross-traffic toward the same sink and measures its emission cadence.
 func ExperimentP6(seed int64) P6Result {
+	return ExperimentP6With(Options{Seed: seed})
+}
+
+// ExperimentP6With runs the E-P6 sweep with explicit options.
+func ExperimentP6With(o Options) P6Result {
 	res := P6Result{}
 	t := metrics.NewTable("E-P6: delay and waiting time at a loaded source (Prop. 6)",
 		"topology", "Δ", "D", "delay (rounds)", "max waiting (rounds)")
-	for i, g := range []*graph.Graph{graph.Line(5), graph.Star(6), graph.Grid(3, 3)} {
-		sink := graph.ProcessID(0)
-		probe := graph.ProcessID(g.N() - 1)
-		w := workload.AllToOne(g, sink, 2)
-		// The probe source sends three extra messages so waiting time has
-		// at least two intervals.
-		w = append(w, workload.SinglePair(probe, sink, 3)...)
-		r := Run(Scenario{
-			Name:     fmt.Sprintf("p6-%d", i),
-			Graph:    g,
-			Corrupt:  &core.DefaultCorrupt,
-			Daemon:   CentralRandom,
-			Seed:     seed + int64(i),
-			Workload: w,
-			MaxSteps: 8_000_000,
-			NoRA:     true,
-		})
-		gens := r.GenRoundsBySource[probe]
-		row := P6Row{Topology: g.String(), Delta: g.MaxDegree(), D: g.Diameter()}
-		if len(gens) > 0 {
-			row.Delay = gens[0]
-			for j := 1; j < len(gens); j++ {
-				if wait := gens[j] - gens[j-1]; wait > row.MaxWaiting {
-					row.MaxWaiting = wait
-				}
-			}
+	for i, c := range p6Cases() {
+		if !o.wants(c.name) || o.cancelled() {
+			continue
 		}
+		row, m := p6Cell(o, i)
+		o.report(c.name, m)
 		res.Rows = append(res.Rows, row)
 		t.AddRow(row.Topology, row.Delta, row.D, row.Delay, row.MaxWaiting)
 	}
@@ -367,34 +540,57 @@ type P7Result struct {
 	Table  *metrics.Table
 }
 
+// P7Diameters is the canonical diameter sweep of experiment E-P7.
+var P7Diameters = []int{2, 4, 6, 8}
+
+// p7Cell runs one diameter of the E-P7 sweep and reports whether the
+// amortized cost stayed within the 3D (+ slack) reference.
+func p7Cell(o Options, d int) (P7Row, bool, CellMeasure) {
+	g := graph.Line(d + 1)
+	w := workload.AllToOne(g, 0, 4)
+	r := Run(Scenario{
+		Name:      fmt.Sprintf("p7-d%d", d),
+		Graph:     g,
+		Corrupt:   nil, // amortized analysis is about steady state
+		Daemon:    Synchronous,
+		Seed:      o.Seed + int64(d),
+		Workload:  w,
+		MaxSteps:  8_000_000,
+		NoRA:      true,
+		Ctx:       o.Ctx,
+		SelfCheck: o.Paranoid,
+	})
+	deliveries := r.DeliveredValid + r.InvalidDelivered
+	row := P7Row{D: d, Rounds: r.Rounds, Deliveries: deliveries}
+	if deliveries > 0 {
+		row.Amortized = float64(r.Rounds) / float64(deliveries)
+	}
+	m := measureOf(r)
+	m.Extra = map[string]float64{"d": float64(d), "amortized": row.Amortized}
+	return row, row.Amortized <= float64(3*d)+10, m
+}
+
 // ExperimentP7 saturates lines of growing diameter with all-to-one traffic.
 func ExperimentP7(seed int64, diameters []int) P7Result {
+	return ExperimentP7With(Options{Seed: seed}, diameters)
+}
+
+// ExperimentP7With runs the E-P7 sweep with explicit options.
+func ExperimentP7With(o Options, diameters []int) P7Result {
 	if len(diameters) == 0 {
-		diameters = []int{2, 4, 6, 8}
+		diameters = P7Diameters
 	}
 	res := P7Result{Within: true}
 	t := metrics.NewTable("E-P7: amortized rounds per delivery vs D (Prop. 7)",
 		"D", "rounds", "deliveries", "rounds/delivery", "3D reference")
 	var xs, ys []float64
 	for _, d := range diameters {
-		g := graph.Line(d + 1)
-		w := workload.AllToOne(g, 0, 4)
-		r := Run(Scenario{
-			Name:     fmt.Sprintf("p7-d%d", d),
-			Graph:    g,
-			Corrupt:  nil, // amortized analysis is about steady state
-			Daemon:   Synchronous,
-			Seed:     seed + int64(d),
-			Workload: w,
-			MaxSteps: 8_000_000,
-			NoRA:     true,
-		})
-		deliveries := r.DeliveredValid + r.InvalidDelivered
-		row := P7Row{D: d, Rounds: r.Rounds, Deliveries: deliveries}
-		if deliveries > 0 {
-			row.Amortized = float64(r.Rounds) / float64(deliveries)
+		if o.cancelled() {
+			break
 		}
-		if row.Amortized > float64(3*d)+10 {
+		row, within, m := p7Cell(o, d)
+		o.report(fmt.Sprintf("d%d", d), m)
+		if !within {
 			res.Within = false
 		}
 		res.Rows = append(res.Rows, row)
@@ -431,6 +627,13 @@ type X1Result struct {
 // ExperimentX1 runs the three protocols on the same ring with the same
 // routing loop and the same traffic.
 func ExperimentX1(seed int64) X1Result {
+	r, _ := ExperimentX1With(Options{Seed: seed})
+	return r
+}
+
+// ExperimentX1With runs the comparison with explicit options.
+func ExperimentX1With(o Options) (X1Result, CellMeasure) {
+	seed := o.Seed
 	res := X1Result{}
 	g := graph.Ring(6)
 	const dest = 0
@@ -445,7 +648,7 @@ func ExperimentX1(seed int64) X1Result {
 		for p := 1; p < g.N(); p++ {
 			cfg[p].(*core.Node).FW.Enqueue("x", dest) // colliding payloads
 		}
-		e := sm.NewEngine(g, core.FullProgram(g), NewDaemon(CentralRandom, seed, g.N()), cfg)
+		e := sm.NewEngine(g, core.FullProgram(g), NewDaemon(CentralRandom, seed, g.N()), cfg, o.engineOpts()...)
 		tr := checker.New(g)
 		tr.RecordInitial(cfg)
 		tr.Attach(e)
@@ -488,7 +691,7 @@ func ExperimentX1(seed int64) X1Result {
 		for p := 1; p < g.N(); p++ {
 			cfg[p].(*baseline.Node).FW.Enqueue("x", dest)
 		}
-		e := sm.NewEngine(g, baseline.NaiveFullProgram(g), NewDaemon(CentralRandom, seed, g.N()), cfg)
+		e := sm.NewEngine(g, baseline.NaiveFullProgram(g), NewDaemon(CentralRandom, seed, g.N()), cfg, o.engineOpts()...)
 		tr := checker.New(g)
 		tr.Attach(e)
 		_, terminal := e.Run(5_000_000, nil)
@@ -508,7 +711,13 @@ func ExperimentX1(seed int64) X1Result {
 		t.AddRow(r.Protocol, r.Delivered, r.Lost, r.Violations, r.Stuck)
 	}
 	res.Table = t
-	return res
+	return res, CellMeasure{
+		DeliveredValid: ssmfpRes.Delivered,
+		Extra: map[string]float64{
+			"ssmfp_violations": float64(ssmfpRes.Violations),
+			"ssmfp_lost":       float64(ssmfpRes.Lost),
+		},
+	}
 }
 
 // --- E-X2: fault-free overhead ------------------------------------------
@@ -532,48 +741,78 @@ type X2Result struct {
 	Table       *metrics.Table
 }
 
+// x2Cases is the canonical case list of E-X2.
+func x2Cases() []topoCase {
+	return []topoCase{
+		{"line-6", func() *graph.Graph { return graph.Line(6) }},
+		{"ring-8", func() *graph.Graph { return graph.Ring(8) }},
+		{"grid-3x3", func() *graph.Graph { return graph.Grid(3, 3) }},
+		{"star-6", func() *graph.Graph { return graph.Star(6) }},
+	}
+}
+
+// x2Cell runs one topology of the E-X2 comparison.
+func x2Cell(o Options, idx int) (X2Row, CellMeasure) {
+	g := x2Cases()[idx].make()
+	rng := rand.New(rand.NewSource(o.Seed + int64(idx)))
+	w := workload.Permutation(g, rng)
+
+	r := Run(Scenario{
+		Name:      "x2-ssmfp",
+		Graph:     g,
+		Daemon:    Synchronous,
+		Seed:      o.Seed + int64(idx),
+		Workload:  w,
+		MaxSteps:  4_000_000,
+		NoRA:      true,
+		Ctx:       o.Ctx,
+		SelfCheck: o.Paranoid,
+	})
+	fwMoves := 0
+	for base, c := range r.MovesByRule {
+		if base != "A" {
+			fwMoves += c
+		}
+	}
+
+	a := baseline.NewAtomic(g, baseline.CorrectTables(g), o.Seed+int64(idx))
+	for _, s := range w {
+		a.Enqueue(s.Src, s.Payload, s.Dest)
+	}
+	a.Run(4_000_000)
+
+	row := X2Row{Topology: g.String()}
+	if r.DeliveredValid > 0 {
+		row.SSMFPMoves = float64(fwMoves) / float64(r.DeliveredValid)
+	}
+	if len(a.Delivered()) > 0 {
+		row.ClassicalMoves = float64(a.Moves()) / float64(len(a.Delivered()))
+	}
+	if row.ClassicalMoves > 0 {
+		row.Overhead = row.SSMFPMoves / row.ClassicalMoves
+	}
+	m := measureOf(r)
+	m.Extra = map[string]float64{"overhead": row.Overhead}
+	return row, m
+}
+
 // ExperimentX2 runs identical permutation traffic fault-free on several
 // topologies.
 func ExperimentX2(seed int64) X2Result {
+	return ExperimentX2With(Options{Seed: seed})
+}
+
+// ExperimentX2With runs the E-X2 comparison with explicit options.
+func ExperimentX2With(o Options) X2Result {
 	res := X2Result{}
 	t := metrics.NewTable("E-X2: fault-free moves per message — SSMFP vs classical controller",
 		"topology", "SSMFP moves/msg", "classical moves/msg", "overhead")
-	for i, g := range []*graph.Graph{graph.Line(6), graph.Ring(8), graph.Grid(3, 3), graph.Star(6)} {
-		rng := rand.New(rand.NewSource(seed + int64(i)))
-		w := workload.Permutation(g, rng)
-
-		r := Run(Scenario{
-			Name:     "x2-ssmfp",
-			Graph:    g,
-			Daemon:   Synchronous,
-			Seed:     seed + int64(i),
-			Workload: w,
-			MaxSteps: 4_000_000,
-			NoRA:     true,
-		})
-		fwMoves := 0
-		for base, c := range r.MovesByRule {
-			if base != "A" {
-				fwMoves += c
-			}
+	for i, c := range x2Cases() {
+		if !o.wants(c.name) || o.cancelled() {
+			continue
 		}
-
-		a := baseline.NewAtomic(g, baseline.CorrectTables(g), seed+int64(i))
-		for _, s := range w {
-			a.Enqueue(s.Src, s.Payload, s.Dest)
-		}
-		a.Run(4_000_000)
-
-		row := X2Row{Topology: g.String()}
-		if r.DeliveredValid > 0 {
-			row.SSMFPMoves = float64(fwMoves) / float64(r.DeliveredValid)
-		}
-		if len(a.Delivered()) > 0 {
-			row.ClassicalMoves = float64(a.Moves()) / float64(len(a.Delivered()))
-		}
-		if row.ClassicalMoves > 0 {
-			row.Overhead = row.SSMFPMoves / row.ClassicalMoves
-		}
+		row, m := x2Cell(o, i)
+		o.report(c.name, m)
 		if row.Overhead > res.MaxOverhead {
 			res.MaxOverhead = row.Overhead
 		}

@@ -40,27 +40,26 @@ type X4Result struct {
 	Table *metrics.Table
 }
 
-// ExperimentX4 runs permutation traffic through the level-buffer
-// controller on a ring (specialized 3-cover, clockwise routing), a tree
-// (2-cover, minimal routing), and general graphs (alternating cover).
-func ExperimentX4(seed int64) X4Result {
-	res := X4Result{AllOK: true}
-	t := metrics.NewTable("E-X4: buffers per node — SSMFP vs destination-based vs acyclic cover (§4)",
-		"topology", "n", "SSMFP (2n)", "dest-based (n)", "acyclic cover (k)", "path stretch", "exactly once")
+// x4Case is one scheme/topology case of E-X4. The slug is the campaign
+// cell variant; the display name keeps the legacy table labels.
+type x4Case struct {
+	slug    string
+	display string
+	make    func(seed int64) (*graph.Graph, *acyclic.Cover, []*routing.NodeState)
+}
 
-	cases := []struct {
-		name string
-		make func() (*graph.Graph, *acyclic.Cover, []*routing.NodeState)
-	}{
-		{"ring-8 (clockwise)", func() (*graph.Graph, *acyclic.Cover, []*routing.NodeState) {
+// x4Cases is the canonical case list of E-X4.
+func x4Cases() []x4Case {
+	return []x4Case{
+		{"ring-8", "ring-8 (clockwise)", func(int64) (*graph.Graph, *acyclic.Cover, []*routing.NodeState) {
 			g := graph.Ring(8)
 			return g, acyclic.RingCover(g), acyclic.ClockwiseRingTables(g)
 		}},
-		{"tree-15 (minimal)", func() (*graph.Graph, *acyclic.Cover, []*routing.NodeState) {
+		{"tree-15", "tree-15 (minimal)", func(int64) (*graph.Graph, *acyclic.Cover, []*routing.NodeState) {
 			g := graph.BinaryTree(15)
 			return g, acyclic.TreeCover(g, 0), correctTables(g)
 		}},
-		{"grid-3x3 (alternating)", func() (*graph.Graph, *acyclic.Cover, []*routing.NodeState) {
+		{"grid-3x3", "grid-3x3 (alternating)", func(int64) (*graph.Graph, *acyclic.Cover, []*routing.NodeState) {
 			g := graph.Grid(3, 3)
 			ts := correctTables(g)
 			c, err := acyclic.AlternatingCover(g, ts)
@@ -69,7 +68,7 @@ func ExperimentX4(seed int64) X4Result {
 			}
 			return g, c, ts
 		}},
-		{"random-10 (alternating)", func() (*graph.Graph, *acyclic.Cover, []*routing.NodeState) {
+		{"random-10", "random-10 (alternating)", func(seed int64) (*graph.Graph, *acyclic.Cover, []*routing.NodeState) {
 			rng := rand.New(rand.NewSource(seed))
 			g := graph.RandomConnected(10, 20, rng)
 			ts := correctTables(g)
@@ -80,40 +79,70 @@ func ExperimentX4(seed int64) X4Result {
 			return g, c, ts
 		}},
 	}
-	for i, c := range cases {
-		g, cover, tables := c.make()
-		ctrl := acyclic.NewController(cover, tables, seed+int64(i))
-		rng := rand.New(rand.NewSource(seed + int64(i)))
-		w := workload.Permutation(g, rng)
-		var pathLen, shortest int
-		for _, s := range w {
-			ctrl.Enqueue(s.Src, s.Payload, s.Dest)
-			pathLen += tableDistance(tables, s.Src, s.Dest)
-			shortest += g.Dist(s.Src, s.Dest)
+}
+
+// x4Cell runs one canonical case of E-X4.
+func x4Cell(o Options, idx int) (X4Row, CellMeasure) {
+	c := x4Cases()[idx]
+	g, cover, tables := c.make(o.Seed)
+	ctrl := acyclic.NewController(cover, tables, o.Seed+int64(idx))
+	rng := rand.New(rand.NewSource(o.Seed + int64(idx)))
+	w := workload.Permutation(g, rng)
+	var pathLen, shortest int
+	for _, s := range w {
+		ctrl.Enqueue(s.Src, s.Payload, s.Dest)
+		pathLen += tableDistance(tables, s.Src, s.Dest)
+		shortest += g.Dist(s.Src, s.Dest)
+	}
+	_, stopped := ctrl.Run(4_000_000)
+	seen := map[uint64]int{}
+	for _, p := range ctrl.Delivered() {
+		seen[p.UID]++
+	}
+	exactlyOnce := len(seen) == len(w)
+	for _, n := range seen {
+		if n != 1 {
+			exactlyOnce = false
 		}
-		_, stopped := ctrl.Run(4_000_000)
-		seen := map[uint64]int{}
-		for _, p := range ctrl.Delivered() {
-			seen[p.UID]++
+	}
+	row := X4Row{
+		Topology:    c.display,
+		N:           g.N(),
+		SSMFP:       2 * g.N(),
+		DestBased:   g.N(),
+		AcyclicK:    cover.Size(),
+		Drained:     stopped && ctrl.Quiescent(),
+		ExactlyOnce: exactlyOnce,
+	}
+	if shortest > 0 {
+		row.Stretch = float64(pathLen) / float64(shortest)
+	}
+	return row, CellMeasure{
+		Generated:      len(w),
+		DeliveredValid: len(seen),
+		Extra:          map[string]float64{"cover_k": float64(cover.Size()), "stretch": row.Stretch},
+	}
+}
+
+// ExperimentX4 runs permutation traffic through the level-buffer
+// controller on a ring (specialized 3-cover, clockwise routing), a tree
+// (2-cover, minimal routing), and general graphs (alternating cover).
+func ExperimentX4(seed int64) X4Result {
+	return ExperimentX4With(Options{Seed: seed})
+}
+
+// ExperimentX4With runs the E-X4 sweep with explicit options; case names
+// in Options.Cases use the slugs (ring-8, tree-15, grid-3x3, random-10).
+func ExperimentX4With(o Options) X4Result {
+	res := X4Result{AllOK: true}
+	t := metrics.NewTable("E-X4: buffers per node — SSMFP vs destination-based vs acyclic cover (§4)",
+		"topology", "n", "SSMFP (2n)", "dest-based (n)", "acyclic cover (k)", "path stretch", "exactly once")
+	for i, c := range x4Cases() {
+		if !o.wants(c.slug) || o.cancelled() {
+			continue
 		}
-		exactlyOnce := len(seen) == len(w)
-		for _, c := range seen {
-			if c != 1 {
-				exactlyOnce = false
-			}
-		}
-		row := X4Row{
-			Topology:    c.name,
-			N:           g.N(),
-			SSMFP:       2 * g.N(),
-			DestBased:   g.N(),
-			AcyclicK:    cover.Size(),
-			Drained:     stopped && ctrl.Quiescent(),
-			ExactlyOnce: exactlyOnce,
-		}
-		if shortest > 0 {
-			row.Stretch = float64(pathLen) / float64(shortest)
-		}
+		row, m := x4Cell(o, i)
+		o.report(c.slug, m)
 		if !row.Drained || !row.ExactlyOnce {
 			res.AllOK = false
 		}
@@ -158,42 +187,71 @@ type X5Result struct {
 	Table *metrics.Table
 }
 
+// x5Policies is the canonical policy list of E-X5; Options.Cases and the
+// campaign cell variants use the policies' String() names.
+func x5Policies() []core.ChoicePolicy {
+	return []core.ChoicePolicy{core.PolicyQueue, core.PolicyRotating, core.PolicyLowestID}
+}
+
+// x5Cell runs the loaded star under one policy.
+func x5Cell(o Options, policy core.ChoicePolicy) (X5Row, CellMeasure) {
+	g := graph.Star(6)
+	cfg := core.CleanConfig(g)
+	for leaf := graph.ProcessID(1); leaf <= 4; leaf++ {
+		for k := 0; k < 10; k++ {
+			cfg[leaf].(*core.Node).FW.Enqueue(fmt.Sprintf("bulk-%d-%d", leaf, k), 0)
+		}
+	}
+	cfg[5].(*core.Node).FW.Enqueue("probe", 0)
+
+	e := sm.NewEngine(g, core.FullProgramWithPolicy(g, policy), NewDaemon(CentralRandom, o.Seed, g.N()), cfg, o.engineOpts()...)
+	tr := checker.New(g)
+	tr.Attach(e)
+	probeStep := -1
+	e.Subscribe(func(ev sm.Event) {
+		if ev.Kind == core.KindDeliver && ev.Payload.(core.DeliverEvent).Msg.Payload == "probe" {
+			probeStep = ev.Step
+		}
+	})
+	e.Run(4_000_000, nil)
+
+	row := X5Row{
+		Policy:        policy.String(),
+		AllDelivered:  tr.AllValidDelivered() && len(tr.Violations()) == 0,
+		ProbeDelivery: probeStep,
+	}
+	for _, l := range tr.LatencyRounds() {
+		if l > row.MaxLatency {
+			row.MaxLatency = l
+		}
+	}
+	stats := e.Stats()
+	return row, CellMeasure{
+		Steps:            e.Steps(),
+		Rounds:           e.Rounds(),
+		GuardEvals:       stats.GuardEvals,
+		DeliveredValid:   tr.DeliveredValid(),
+		MaxLatencyRounds: row.MaxLatency,
+		Extra:            map[string]float64{"probe_step": float64(probeStep)},
+	}
+}
+
 // ExperimentX5 runs the same loaded star under each policy.
 func ExperimentX5(seed int64) X5Result {
+	return ExperimentX5With(Options{Seed: seed})
+}
+
+// ExperimentX5With runs the policy ablation with explicit options.
+func ExperimentX5With(o Options) X5Result {
 	res := X5Result{}
 	t := metrics.NewTable("E-X5: choice policy ablation on a loaded star (§4 future work)",
 		"policy", "all delivered", "probe delivered at step", "max latency (rounds)")
-	for _, policy := range []core.ChoicePolicy{core.PolicyQueue, core.PolicyRotating, core.PolicyLowestID} {
-		g := graph.Star(6)
-		cfg := core.CleanConfig(g)
-		for leaf := graph.ProcessID(1); leaf <= 4; leaf++ {
-			for k := 0; k < 10; k++ {
-				cfg[leaf].(*core.Node).FW.Enqueue(fmt.Sprintf("bulk-%d-%d", leaf, k), 0)
-			}
+	for _, policy := range x5Policies() {
+		if !o.wants(policy.String()) || o.cancelled() {
+			continue
 		}
-		cfg[5].(*core.Node).FW.Enqueue("probe", 0)
-
-		e := sm.NewEngine(g, core.FullProgramWithPolicy(g, policy), NewDaemon(CentralRandom, seed, g.N()), cfg)
-		tr := checker.New(g)
-		tr.Attach(e)
-		probeStep := -1
-		e.Subscribe(func(ev sm.Event) {
-			if ev.Kind == core.KindDeliver && ev.Payload.(core.DeliverEvent).Msg.Payload == "probe" {
-				probeStep = ev.Step
-			}
-		})
-		e.Run(4_000_000, nil)
-
-		row := X5Row{
-			Policy:        policy.String(),
-			AllDelivered:  tr.AllValidDelivered() && len(tr.Violations()) == 0,
-			ProbeDelivery: probeStep,
-		}
-		for _, l := range tr.LatencyRounds() {
-			if l > row.MaxLatency {
-				row.MaxLatency = l
-			}
-		}
+		row, m := x5Cell(o, policy)
+		o.report(policy.String(), m)
 		res.Rows = append(res.Rows, row)
 		t.AddRow(row.Policy, row.AllDelivered, row.ProbeDelivery, row.MaxLatency)
 	}
@@ -220,48 +278,76 @@ type X6Result struct {
 	Table *metrics.Table
 }
 
-// ExperimentX6 runs fault storms of growing intensity.
-func ExperimentX6(seed int64) X6Result {
-	res := X6Result{AllOK: true}
-	t := metrics.NewTable("E-X6: transient fault storms (snap-stabilization mid-run)",
-		"fault waves", "messages compromised by faults", "post-fault exactly-once", "violations")
-	for _, waves := range []int{1, 3, 6} {
-		rng := rand.New(rand.NewSource(seed + int64(waves)))
-		g := graph.Grid(3, 3)
-		cfg := core.CleanConfig(g)
-		e := sm.NewEngine(g, core.FullProgram(g), NewDaemon(CentralRandom, seed, g.N()), cfg)
-		tr := checker.New(g)
-		tr.RecordInitial(cfg)
-		tr.Attach(e)
-		in := faults.NewInjector(g, seed+int64(waves), nil)
+// X6Waves is the canonical storm-intensity sweep of E-X6; campaign cell
+// variants are "w<waves>".
+var X6Waves = []int{1, 3, 6}
 
-		for wave := 0; wave < waves; wave++ {
-			for k := 0; k < 4; k++ {
-				src := graph.ProcessID(rng.Intn(g.N()))
-				dst := graph.ProcessID(rng.Intn(g.N()))
-				e.StateOf(src).(*core.Node).FW.Enqueue(fmt.Sprintf("w%d-%d", wave, k), dst)
-			}
-			// Strike while the wave is still in flight.
-			for i := 0; i < 15; i++ {
-				e.Step()
-			}
-			tr.MarkCompromised(faults.InFlightValid(e, g)...)
-			tr.MarkCompromised(in.Strike(e, 4)...)
-			faults.RearmRequests(e, g)
-		}
+// x6Cell runs one fault-storm intensity.
+func x6Cell(o Options, waves int) (X6Row, CellMeasure) {
+	seed := o.Seed
+	rng := rand.New(rand.NewSource(seed + int64(waves)))
+	g := graph.Grid(3, 3)
+	cfg := core.CleanConfig(g)
+	e := sm.NewEngine(g, core.FullProgram(g), NewDaemon(CentralRandom, seed, g.N()), cfg, o.engineOpts()...)
+	tr := checker.New(g)
+	tr.RecordInitial(cfg)
+	tr.Attach(e)
+	in := faults.NewInjector(g, seed+int64(waves), nil)
+
+	for wave := 0; wave < waves; wave++ {
 		for k := 0; k < 4; k++ {
 			src := graph.ProcessID(rng.Intn(g.N()))
 			dst := graph.ProcessID(rng.Intn(g.N()))
-			e.StateOf(src).(*core.Node).FW.Enqueue(fmt.Sprintf("final-%d", k), dst)
+			e.StateOf(src).(*core.Node).FW.Enqueue(fmt.Sprintf("w%d-%d", wave, k), dst)
 		}
-		_, terminal := e.Run(4_000_000, nil)
+		// Strike while the wave is still in flight.
+		for i := 0; i < 15; i++ {
+			e.Step()
+		}
+		tr.MarkCompromised(faults.InFlightValid(e, g)...)
+		tr.MarkCompromised(in.Strike(e, 4)...)
+		faults.RearmRequests(e, g)
+	}
+	for k := 0; k < 4; k++ {
+		src := graph.ProcessID(rng.Intn(g.N()))
+		dst := graph.ProcessID(rng.Intn(g.N()))
+		e.StateOf(src).(*core.Node).FW.Enqueue(fmt.Sprintf("final-%d", k), dst)
+	}
+	_, terminal := e.Run(4_000_000, nil)
 
-		row := X6Row{
-			Waves:       waves,
-			Compromised: tr.Compromised(),
-			PostFaultOK: terminal && tr.AllValidDelivered(),
-			Violations:  len(tr.Violations()),
+	row := X6Row{
+		Waves:       waves,
+		Compromised: tr.Compromised(),
+		PostFaultOK: terminal && tr.AllValidDelivered(),
+		Violations:  len(tr.Violations()),
+	}
+	stats := e.Stats()
+	return row, CellMeasure{
+		Steps:          e.Steps(),
+		Rounds:         e.Rounds(),
+		GuardEvals:     stats.GuardEvals,
+		Generated:      tr.GeneratedCount(),
+		DeliveredValid: tr.DeliveredValid(),
+		Extra:          map[string]float64{"compromised": float64(row.Compromised)},
+	}
+}
+
+// ExperimentX6 runs fault storms of growing intensity.
+func ExperimentX6(seed int64) X6Result {
+	return ExperimentX6With(Options{Seed: seed})
+}
+
+// ExperimentX6With runs the fault-storm sweep with explicit options.
+func ExperimentX6With(o Options) X6Result {
+	res := X6Result{AllOK: true}
+	t := metrics.NewTable("E-X6: transient fault storms (snap-stabilization mid-run)",
+		"fault waves", "messages compromised by faults", "post-fault exactly-once", "violations")
+	for _, waves := range X6Waves {
+		if !o.wants(fmt.Sprintf("w%d", waves)) || o.cancelled() {
+			continue
 		}
+		row, m := x6Cell(o, waves)
+		o.report(fmt.Sprintf("w%d", waves), m)
 		if !row.PostFaultOK || row.Violations > 0 {
 			res.AllOK = false
 		}

@@ -36,6 +36,12 @@ type RAResult struct {
 
 // ExperimentRA runs the ablation.
 func ExperimentRA(seed int64) RAResult {
+	return ExperimentRAWith(Options{Seed: seed})
+}
+
+// ExperimentRAWith runs the ablation with explicit options.
+func ExperimentRAWith(o Options) RAResult {
+	seed := o.Seed
 	res := RAResult{}
 	t := metrics.NewTable("E-RA: generation delay tracks R_A (the max(R_A, ·) term of Props. 5-7)",
 		"routing variant", "R_A (rounds)", "probe generation delay (rounds)", "probe delivered")
@@ -57,12 +63,15 @@ func ExperimentRA(seed int64) RAResult {
 		cfg[0].(*core.Node).FW.Enqueue("ra-probe", graph.ProcessID(g.N()-1))
 
 		full := sm.Compose(prog(g, core.RoutingOf), core.NewProgram(g))
-		e := sm.NewEngine(g, full, NewDaemon(CentralRoundRobin, seed, g.N()), cfg)
+		e := sm.NewEngine(g, full, NewDaemon(CentralRoundRobin, seed, g.N()), cfg, o.engineOpts()...)
 		tr := checker.New(g)
 		tr.Attach(e)
 
 		row := RARow{Variant: name, RoutingRound: -1}
 		for i := 0; i < 10_000_000; i++ {
+			if i%1024 == 0 && o.cancelled() {
+				break
+			}
 			if row.RoutingRound < 0 && routingCorrect(g, e) {
 				row.RoutingRound = e.Rounds()
 			}

@@ -8,6 +8,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -67,6 +68,18 @@ type Scenario struct {
 	MaxSteps int               // safety cap; 0 = 10 million
 	NoRA     bool              // skip per-step routing-correctness probing (faster)
 	Policy   core.ChoicePolicy // choice_p(d) policy (default: the paper's FIFO queue)
+
+	// Ctx, when non-nil, aborts the run early when cancelled; the check
+	// is amortized (every few hundred steps), so cancellation is prompt
+	// but not exact. Result.Interrupted reports an abort.
+	Ctx context.Context
+
+	// SelfCheck forces the engine's differential self-check on — the
+	// explicit, per-run replacement for the SSMFP_PARANOID environment
+	// variable (campaign workers run in one process; an env var would be
+	// shared mutable state across concurrent cells). False leaves the
+	// engine's default (on under `go test`, off otherwise).
+	SelfCheck bool
 
 	// Monitors are invariant probes evaluated on the configuration before
 	// every step (and once at the end); the first error aborts the run and
@@ -154,6 +167,9 @@ type Result struct {
 	// any (it also aborts the run).
 	MonitorErr error
 
+	// Interrupted reports that Scenario.Ctx was cancelled mid-run.
+	Interrupted bool
+
 	// Stats holds the engine's enabled-set instrumentation counters.
 	Stats sm.Stats
 
@@ -202,7 +218,11 @@ func Run(s Scenario) Result {
 	} else {
 		cfg = core.RandomConfig(g, rng, *s.Corrupt)
 	}
-	e := sm.NewEngine(g, core.FullProgramWithPolicy(g, s.Policy), NewDaemon(s.Daemon, s.Seed, g.N()), cfg)
+	var eopts []sm.EngineOption
+	if s.SelfCheck {
+		eopts = append(eopts, sm.WithSelfCheck(true))
+	}
+	e := sm.NewEngine(g, core.FullProgramWithPolicy(g, s.Policy), NewDaemon(s.Daemon, s.Seed, g.N()), cfg, eopts...)
 	tr := checker.New(g)
 	tr.RecordInitial(cfg)
 	tr.Attach(e)
@@ -268,6 +288,10 @@ func Run(s Scenario) Result {
 		return true
 	}
 	for e.Steps() < maxSteps {
+		if s.Ctx != nil && e.Steps()%256 == 0 && s.Ctx.Err() != nil {
+			res.Interrupted = true
+			break
+		}
 		in.Tick(e)
 		if res.RoutingRounds < 0 && !s.NoRA && routingCorrect(g, e) {
 			res.RoutingRounds = e.Rounds()

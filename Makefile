@@ -12,7 +12,7 @@ COVER_FLOOR ?= 74.0
 BENCH_FLAGS ?= -quick -seeds 2 -parallel 1
 
 .PHONY: all build test test-short race bench experiments check cluster examples \
-	cover cover-check fmt lint vet fuzz campaign bench-baseline
+	cover cover-check fmt lint vet fuzz campaign bench-baseline load-smoke
 
 all: build vet test
 
@@ -67,6 +67,14 @@ campaign:
 # guard evaluations strictly).
 bench-baseline:
 	$(GO) run ./cmd/ssmfp-bench $(BENCH_FLAGS) -json BENCH_baseline.json
+
+# ~10s open-loop load smoke on a 3x3 grid: exits nonzero if any message
+# is lost, duplicated or misdelivered, or if the latency histogram comes
+# back empty. Gates the load subsystem end to end in tier-2 CI.
+load-smoke:
+	$(GO) run ./cmd/ssmfp-load -topology grid -rows 3 -cols 3 \
+		-rate 2000 -messages 20000 -seed 42 -drain-timeout 30s -json /tmp/load-smoke.json
+	$(GO) run ./cmd/ssmfp-bench compare /tmp/load-smoke.json /tmp/load-smoke.json
 
 # Non-blocking fuzz pass over the transport frame codec (seeds committed
 # under internal/transport/testdata/fuzz).

@@ -20,6 +20,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +28,7 @@ import (
 	"time"
 
 	"ssmfp/internal/campaign"
+	"ssmfp/internal/load"
 	"ssmfp/internal/metrics"
 	"ssmfp/internal/obs"
 	"ssmfp/internal/sim"
@@ -173,16 +175,43 @@ func writeF3Trace(path string) error {
 	return err
 }
 
+// sniffSchema peeks at a report file's "schema" field so compare can
+// dispatch between campaign reports and load reports.
+func sniffSchema(path string) (string, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	var hdr struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(b, &hdr); err != nil {
+		return "", fmt.Errorf("%s: %v", path, err)
+	}
+	return hdr.Schema, nil
+}
+
 func compareMain(args []string) int {
 	fs := flag.NewFlagSet("ssmfp-bench compare", flag.ExitOnError)
 	th := campaign.DefaultThresholds()
 	fs.Float64Var(&th.WallPct, "wall-pct", th.WallPct, "wall-clock regression threshold (%%; host-dependent, keep generous)")
 	fs.Float64Var(&th.AllocPct, "alloc-pct", th.AllocPct, "allocation-count regression threshold (%%)")
 	fs.Float64Var(&th.GuardPct, "guard-pct", th.GuardPct, "guard-evaluation regression threshold (%%; deterministic)")
+	var lth load.Thresholds
+	fs.Float64Var(&lth.P99Pct, "p99-pct", 0, "load reports: allowed p99 latency growth (%%; default 75)")
+	fs.Float64Var(&lth.RatePct, "rate-pct", 0, "load reports: allowed achieved-rate drop (%%; default 25)")
 	fs.Parse(args)
 	if fs.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: ssmfp-bench compare [flags] BASELINE.json CURRENT.json")
 		return 2
+	}
+	schema, err := sniffSchema(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssmfp-bench compare:", err)
+		return 2
+	}
+	if schema == load.Schema {
+		return compareLoad(fs.Arg(0), fs.Arg(1), lth)
 	}
 	base, err := campaign.Load(fs.Arg(0))
 	if err != nil {
@@ -212,5 +241,35 @@ func compareMain(args []string) int {
 		return 1
 	}
 	fmt.Printf("compare: clean (%d cells, %d improvement(s), %d added)\n", len(base.Cells), len(r.Improvements), len(r.Added))
+	return 0
+}
+
+// compareLoad gates a load report against a load baseline.
+func compareLoad(basePath, curPath string, th load.Thresholds) int {
+	base, err := load.Load(basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssmfp-bench compare:", err)
+		return 2
+	}
+	cur, err := load.Load(curPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssmfp-bench compare:", err)
+		return 2
+	}
+	r := load.Compare(base, cur, th)
+	for _, b := range r.Broken {
+		fmt.Printf("BROKEN %s\n", b)
+	}
+	for _, d := range r.Regressions {
+		fmt.Printf("REGRESSION %s\n", d)
+	}
+	for _, d := range r.Improvements {
+		fmt.Printf("improvement %s\n", d)
+	}
+	if !r.Clean() {
+		fmt.Printf("compare: %d broken, %d regression(s)\n", len(r.Broken), len(r.Regressions))
+		return 1
+	}
+	fmt.Printf("compare: clean (%d steps, %d improvement(s))\n", len(base.Steps), len(r.Improvements))
 	return 0
 }

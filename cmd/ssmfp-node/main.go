@@ -27,6 +27,13 @@
 //
 // Exit status is 0 iff every valid message was delivered exactly once at
 // its destination.
+//
+// With -rate R the cluster paces the workload at R messages/second on a
+// schedule every process derives from the seed, tags payloads with their
+// scheduled instants, and reports per-node latency quantiles plus a
+// mergeable histogram shard; the launcher merges the shards into
+// cluster-wide quantiles. Per-node achieved send/deliver rates are
+// reported in every mode.
 package main
 
 import (
@@ -42,6 +49,8 @@ import (
 	"time"
 
 	"ssmfp/internal/graph"
+	"ssmfp/internal/load"
+	"ssmfp/internal/metrics"
 	"ssmfp/internal/msgpass"
 	"ssmfp/internal/transport"
 )
@@ -55,6 +64,8 @@ type config struct {
 	peers    string
 	messages int
 	spread   time.Duration
+	rate     float64
+	arrival  string
 	seed     int64
 	tick     time.Duration
 	timeout  time.Duration
@@ -76,6 +87,8 @@ func main() {
 	flag.StringVar(&cfg.peers, "peers", "", "peer address file: one \"<id> <host:port>\" per line")
 	flag.IntVar(&cfg.messages, "messages", 20, "total messages in the cluster-wide workload")
 	flag.DurationVar(&cfg.spread, "send-spread", 0, "inject the workload uniformly over this window instead of all at once (lets sends straddle -partition cuts)")
+	flag.Float64Var(&cfg.rate, "rate", 0, "pace the workload at this cluster-wide offered rate in messages/second, tagging payloads for latency measurement (0 = burst mode)")
+	flag.StringVar(&cfg.arrival, "arrival", "poisson", "arrival process for -rate: poisson or constant")
 	flag.Int64Var(&cfg.seed, "seed", 1, "seed for workload, chaos and protocol randomness")
 	flag.DurationVar(&cfg.tick, "tick", 2*time.Millisecond, "node timer period (gossip + retransmission)")
 	flag.DurationVar(&cfg.timeout, "timeout", 60*time.Second, "give up waiting for deliveries after this long")
@@ -155,6 +168,29 @@ func workload(g *graph.Graph, seed int64, messages int) []workloadEntry {
 	return out
 }
 
+// schedule derives the workload's arrival offsets from (seed, rate,
+// arrival) on a dedicated rng stream. Every process computes the
+// identical list, so the cluster-wide offered rate is shared without
+// coordination: each node sleeps until its own entries' instants and
+// lets everyone else's pass.
+func schedule(n int, seed int64, rate float64, arrival string) ([]time.Duration, error) {
+	rng := rand.New(rand.NewSource(seed ^ 0x53434844)) // "SCHD": distinct stream from workload and protocol
+	out := make([]time.Duration, n)
+	var at time.Duration
+	for i := range out {
+		switch arrival {
+		case "constant":
+			at = time.Duration(float64(i) / rate * float64(time.Second))
+		case "poisson":
+			at += time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+		default:
+			return nil, fmt.Errorf("unknown -arrival %q (want poisson or constant)", arrival)
+		}
+		out[i] = at
+	}
+	return out, nil
+}
+
 // parsePartitions parses "start:dur:u-v[;u-v]" windows, comma-separated.
 func parsePartitions(s string) ([]transport.PartitionWindow, error) {
 	if s == "" {
@@ -219,6 +255,20 @@ type report struct {
 	Delivered []delivRec  `json:"delivered"`
 	Expected  int         `json:"expected"`
 	Stats     wireSummary `json:"stats"`
+
+	// Achieved per-node rates, messages/second: sends over this node's
+	// injection window, valid deliveries over the span from start to the
+	// last delivery. Always reported (0 when the node sent or received
+	// nothing).
+	SendRate    float64 `json:"sendRate"`
+	DeliverRate float64 `json:"deliverRate"`
+
+	// Latency carries this node's delivery-latency quantiles and Hist the
+	// mergeable histogram shard behind them — only in -rate mode, where
+	// payloads are tagged with their scheduled instants. The launcher
+	// merges all nodes' shards into cluster-wide quantiles.
+	Latency *load.LatencySummary `json:"latency,omitempty"`
+	Hist    *metrics.LatencyHist `json:"hist,omitempty"`
 }
 
 type sentRec struct {
@@ -319,6 +369,12 @@ func runNode(cfg config) error {
 	defer nw.Stop()
 
 	plan := workload(g, cfg.seed, cfg.messages)
+	var sched []time.Duration
+	if cfg.rate > 0 {
+		if sched, err = schedule(len(plan), cfg.seed, cfg.rate, cfg.arrival); err != nil {
+			return err
+		}
+	}
 	expected := 0
 	var sent []sentRec
 	start := time.Now()
@@ -329,7 +385,20 @@ func runNode(cfg config) error {
 		if e.Src != local {
 			continue
 		}
-		if cfg.spread > 0 && len(plan) > 0 {
+		payload := fmt.Sprintf("m-%d-%d", e.Src, e.Dst)
+		switch {
+		case sched != nil:
+			// Rate mode: hold each entry to its slot of the shared
+			// cluster-wide schedule, and tag the payload with the
+			// *scheduled* instant so the destination can compute latency
+			// from the delivery alone — a send delayed by backpressure
+			// counts that delay as latency (no coordinated omission).
+			at := start.Add(sched[i])
+			if d := time.Until(at); d > 0 {
+				time.Sleep(d)
+			}
+			payload = load.EncodeTag(i, e.Src, e.Dst, at.UnixNano())
+		case cfg.spread > 0 && len(plan) > 0:
 			// Entry i of the global plan goes out at its slot of the
 			// spread window, so sends straddle any partition cuts
 			// scheduled inside it.
@@ -338,15 +407,32 @@ func runNode(cfg config) error {
 				time.Sleep(d)
 			}
 		}
-		uid := nw.Send(local, fmt.Sprintf("m-%d-%d", e.Src, e.Dst), e.Dst)
+		uid, err := nw.Send(local, payload, e.Dst)
+		if err != nil {
+			return fmt.Errorf("send %d->%d: %w", e.Src, e.Dst, err)
+		}
 		sent = append(sent, sentRec{UID: uid, Dst: int(e.Dst)})
 	}
+	sendWindow := time.Since(start)
 
 	nw.WaitDelivered(expected, cfg.timeout)
 
 	var delivered []delivRec
+	var hist metrics.LatencyHist
+	var lastDelivery time.Time
+	validDeliveries := 0
 	for _, d := range nw.Deliveries() {
 		delivered = append(delivered, delivRec{UID: d.Msg.UID, Src: int(d.Msg.Src), Valid: d.Msg.Valid})
+		if !d.Msg.Valid {
+			continue
+		}
+		validDeliveries++
+		if d.Time.After(lastDelivery) {
+			lastDelivery = d.Time
+		}
+		if _, _, _, schedNanos, ok := load.ParseTag(d.Msg.Payload); ok {
+			hist.Add(d.Time.UnixNano() - schedNanos)
+		}
 	}
 	rep := report{
 		ID:        cfg.id,
@@ -354,6 +440,17 @@ func runNode(cfg config) error {
 		Delivered: delivered,
 		Expected:  expected,
 		Stats:     summarize(nw.Stats()),
+	}
+	if len(sent) > 0 && sendWindow > 0 {
+		rep.SendRate = float64(len(sent)) / sendWindow.Seconds()
+	}
+	if span := lastDelivery.Sub(start); validDeliveries > 0 && span > 0 {
+		rep.DeliverRate = float64(validDeliveries) / span.Seconds()
+	}
+	if hist.Count() > 0 {
+		sum := load.SummarizeHist(&hist)
+		rep.Latency = &sum
+		rep.Hist = &hist
 	}
 	enc, err := json.Marshal(rep)
 	if err != nil {

@@ -12,6 +12,8 @@ import (
 	"time"
 
 	"ssmfp/internal/graph"
+	"ssmfp/internal/load"
+	"ssmfp/internal/metrics"
 	"ssmfp/internal/transport"
 )
 
@@ -95,6 +97,8 @@ func runSpawn(cfg config) error {
 			"-peers", peersPath,
 			"-messages", strconv.Itoa(cfg.messages),
 			"-send-spread", cfg.spread.String(),
+			"-rate", strconv.FormatFloat(cfg.rate, 'g', -1, 64),
+			"-arrival", cfg.arrival,
 			"-seed", strconv.FormatInt(cfg.seed, 10),
 			"-tick", cfg.tick.String(),
 			"-timeout", cfg.timeout.String(),
@@ -162,10 +166,25 @@ func runSpawn(cfg config) error {
 		Messages   int      `json:"messages"`
 		Delivered  int      `json:"delivered"`
 		Violations []string `json:"violations"`
-		Reports    []report `json:"reports"`
+
+		// Rate mode: cluster-wide latency quantiles from the merged
+		// per-node histogram shards — the shards are mergeable by
+		// construction, so the cluster view is exact, not an average of
+		// node quantiles.
+		Latency *load.LatencySummary `json:"latency,omitempty"`
+
+		Reports []report `json:"reports"`
 	}{Nodes: len(reports), Messages: cfg.messages, Violations: violations, Reports: reports}
+	var merged metrics.LatencyHist
 	for _, r := range reports {
 		summary.Delivered += len(r.Delivered)
+		if r.Hist != nil {
+			merged.Merge(r.Hist)
+		}
+	}
+	if merged.Count() > 0 {
+		sum := load.SummarizeHist(&merged)
+		summary.Latency = &sum
 	}
 	enc, _ := json.MarshalIndent(summary, "", "  ")
 	fmt.Println(string(enc))

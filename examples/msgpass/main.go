@@ -30,7 +30,11 @@ func main() {
 	n := ssmfp.ProcessID(12)
 	var ids []uint64
 	for p := ssmfp.ProcessID(0); p < n; p++ {
-		ids = append(ids, live.Send(p, (p+6)%n, fmt.Sprintf("live-%d", p)))
+		uid, err := live.Send(p, (p+6)%n, fmt.Sprintf("live-%d", p))
+		if err != nil {
+			log.Fatal(err)
+		}
+		ids = append(ids, uid)
 	}
 	fmt.Printf("sent %d messages over lossy asynchronous links (15%% frame loss)...\n", len(ids))
 

@@ -1,0 +1,225 @@
+package load
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"ssmfp/internal/graph"
+	"ssmfp/internal/metrics"
+	"ssmfp/internal/msgpass"
+)
+
+// tagPrefix versions the payload tag format. Every load-generated message
+// carries "lt1:<seq>:<src>:<dst>:<schedNanos>" as its payload, so the
+// latency of a delivery is computable from the delivery stream alone — no
+// side table has to cross process boundaries, which is what lets the same
+// collector serve the in-process LiveNetwork and the TCP cluster (whose
+// nodes share the host clock via loopback).
+const tagPrefix = "lt1:"
+
+// warmupPrefix tags warmup traffic: counted on arrival so the driver can
+// wait for the deployment to be hot, but excluded from the histogram and
+// the exactly-once verdict.
+const warmupPrefix = "lw1:"
+
+// EncodeTag renders the load payload for plan entry seq: source, intended
+// destination, and the scheduled injection instant in Unix nanoseconds.
+// The scheduled (not actual) instant is the open-loop anti-coordinated-
+// omission guarantee: a send delayed by backpressure counts that delay as
+// latency instead of silently shifting the schedule.
+func EncodeTag(seq int, src, dst graph.ProcessID, schedNanos int64) string {
+	return fmt.Sprintf("%s%d:%d:%d:%d", tagPrefix, seq, src, dst, schedNanos)
+}
+
+// ParseTag decodes a payload written by EncodeTag; ok is false for
+// foreign payloads (untagged traffic sharing the network).
+func ParseTag(payload string) (seq int, src, dst graph.ProcessID, schedNanos int64, ok bool) {
+	rest, found := strings.CutPrefix(payload, tagPrefix)
+	if !found {
+		return 0, 0, 0, 0, false
+	}
+	parts := strings.Split(rest, ":")
+	if len(parts) != 4 {
+		return 0, 0, 0, 0, false
+	}
+	seq, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return 0, 0, 0, 0, false
+	}
+	s, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return 0, 0, 0, 0, false
+	}
+	d, err := strconv.Atoi(parts[2])
+	if err != nil {
+		return 0, 0, 0, 0, false
+	}
+	schedNanos, err = strconv.ParseInt(parts[3], 10, 64)
+	if err != nil {
+		return 0, 0, 0, 0, false
+	}
+	return seq, graph.ProcessID(s), graph.ProcessID(d), schedNanos, true
+}
+
+// maxViolationDetails caps the per-violation detail strings kept in a
+// report; beyond it only counters grow.
+const maxViolationDetails = 8
+
+// expectRec is the collector's per-plan-entry state.
+type expectRec struct {
+	src, dst graph.ProcessID
+	sent     bool
+	seen     int
+}
+
+// Collector folds the delivery stream of one load step into latency and
+// exactly-once accounting. It is pre-seeded with the full injection plan,
+// marks entries as the driver sends them, and continuously cross-checks
+// every tagged delivery: unknown sequence numbers, deliveries at the
+// wrong destination, duplicates, and deliveries of never-sent entries are
+// all violations the moment they happen, not at the end of the run.
+type Collector struct {
+	mu        sync.Mutex
+	expect    []expectRec
+	delivered atomic.Int64
+	warm      atomic.Int64
+	dupes     int
+	misrouted int
+	unsent    int
+	details   []string
+	hist      metrics.LatencyHist
+
+	// onComplete, when non-nil, is called once per first delivery with the
+	// source of the completed message — the closed-loop driver's token
+	// refill. Called outside the collector lock, from the destination's
+	// node goroutine.
+	onComplete func(src graph.ProcessID)
+}
+
+// newCollector seeds a collector with the plan's (src, dst) pairs.
+func newCollector(plan []planEntry) *Collector {
+	c := &Collector{expect: make([]expectRec, len(plan))}
+	for i, e := range plan {
+		c.expect[i] = expectRec{src: e.Src, dst: e.Dst}
+	}
+	return c
+}
+
+// markSent records that plan entry seq is about to be injected. It must
+// run before the Send so a fast delivery can never race the bookkeeping.
+func (c *Collector) markSent(seq int) {
+	c.mu.Lock()
+	c.expect[seq].sent = true
+	c.mu.Unlock()
+}
+
+// unmarkSent rolls markSent back after a failed Send.
+func (c *Collector) unmarkSent(seq int) {
+	c.mu.Lock()
+	c.expect[seq].sent = false
+	c.mu.Unlock()
+}
+
+// observe folds one delivery. Invalid messages (planted junk from
+// corrupted starts) and untagged payloads are not load traffic and are
+// ignored.
+func (c *Collector) observe(d msgpass.Delivery) {
+	if d.Msg == nil || !d.Msg.Valid {
+		return
+	}
+	if strings.HasPrefix(d.Msg.Payload, warmupPrefix) {
+		c.warm.Add(1)
+		return
+	}
+	seq, src, dst, sched, ok := ParseTag(d.Msg.Payload)
+	if !ok {
+		return
+	}
+	var complete func(graph.ProcessID)
+	c.mu.Lock()
+	switch {
+	case seq < 0 || seq >= len(c.expect):
+		c.misrouted++
+		c.detail("delivery of unknown seq %d at %d", seq, d.At)
+	case !c.expect[seq].sent:
+		c.unsent++
+		c.detail("delivery of never-sent seq %d at %d", seq, d.At)
+	default:
+		rec := &c.expect[seq]
+		if d.At != rec.dst || dst != rec.dst || src != rec.src {
+			c.misrouted++
+			c.detail("seq %d delivered at %d, want %d", seq, d.At, rec.dst)
+		}
+		rec.seen++
+		if rec.seen > 1 {
+			c.dupes++
+			c.detail("seq %d delivered %d times", seq, rec.seen)
+		} else {
+			c.hist.Add(d.Time.UnixNano() - sched)
+			c.delivered.Add(1)
+			complete = c.onComplete
+		}
+	}
+	c.mu.Unlock()
+	if complete != nil {
+		complete(src)
+	}
+}
+
+func (c *Collector) detail(format string, args ...any) {
+	if len(c.details) < maxViolationDetails {
+		c.details = append(c.details, fmt.Sprintf(format, args...))
+	}
+}
+
+// Delivered returns the number of distinct plan entries delivered so far;
+// safe without the lock (the progress ticker reads it concurrently).
+func (c *Collector) Delivered() int { return int(c.delivered.Load()) }
+
+// finish closes the books after the drain window: it counts entries that
+// were sent but never delivered and returns the step's verdict. sent is
+// the driver's count of successful Sends.
+func (c *Collector) finish(sent int) (exactlyOnce bool, violations []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	missing := 0
+	for seq := range c.expect {
+		if c.expect[seq].sent && c.expect[seq].seen == 0 {
+			missing++
+			c.detail("seq %d sent but never delivered", seq)
+		}
+	}
+	total := c.dupes + c.misrouted + c.unsent + missing
+	if total > len(c.details) {
+		c.details = append(c.details, fmt.Sprintf("... and %d more violations", total-len(c.details)))
+	}
+	return total == 0 && c.Delivered() == sent, c.details
+}
+
+// Hist returns the latency histogram; call only after the run is drained
+// and the hook detached (the returned pointer is not further synchronized).
+func (c *Collector) Hist() *metrics.LatencyHist { return &c.hist }
+
+// Hook is the stable OnDeliver callback wired once into a network's
+// options; the collector behind it swaps per load step. A detached hook
+// costs one atomic load per delivery.
+type Hook struct {
+	c atomic.Pointer[Collector]
+}
+
+// OnDeliver routes one delivery to the attached collector, if any. Wire
+// this method into msgpass.Options.OnDeliver.
+func (h *Hook) OnDeliver(d msgpass.Delivery) {
+	if c := h.c.Load(); c != nil {
+		c.observe(d)
+	}
+}
+
+// Attach directs subsequent deliveries to c.
+func (h *Hook) Attach(c *Collector) { h.c.Store(c) }
+
+// Detach stops observing; in-flight observe calls may still complete.
+func (h *Hook) Detach() { h.c.Store(nil) }

@@ -1,0 +1,129 @@
+package load
+
+import "fmt"
+
+// Thresholds gate a load comparison. Latency regressions are judged per
+// step against both a relative growth bound and an absolute noise floor
+// (a p99 going from 40µs to 70µs on an idle step is scheduler noise, not
+// a regression); throughput regressions symmetrically. Exactly-once
+// flips and missing steps always gate, thresholds notwithstanding.
+type Thresholds struct {
+	// P99Pct is the allowed p99 latency growth in percent. Default 75.
+	P99Pct float64
+	// P99MinNS ignores p99 deltas below this absolute floor. Default 250µs.
+	P99MinNS int64
+	// RatePct is the allowed achieved-rate (and knee-rate) drop in
+	// percent. Default 25.
+	RatePct float64
+	// RateMin ignores rate deltas below this many msgs/s. Default 50.
+	RateMin float64
+}
+
+func (t Thresholds) withDefaults() Thresholds {
+	if t.P99Pct <= 0 {
+		t.P99Pct = 75
+	}
+	if t.P99MinNS <= 0 {
+		t.P99MinNS = 250_000
+	}
+	if t.RatePct <= 0 {
+		t.RatePct = 25
+	}
+	if t.RateMin <= 0 {
+		t.RateMin = 50
+	}
+	return t
+}
+
+// Delta is one metric's movement between two reports.
+type Delta struct {
+	Step   int     `json:"step"`
+	Metric string  `json:"metric"`
+	Old    float64 `json:"old,omitempty"`
+	New    float64 `json:"new,omitempty"`
+	Pct    float64 `json:"pct"`
+}
+
+func (d Delta) String() string {
+	return fmt.Sprintf("step %d %s: %.0f -> %.0f (%+.1f%%)", d.Step, d.Metric, d.Old, d.New, d.Pct)
+}
+
+// CompareResult classifies every gated metric's movement.
+type CompareResult struct {
+	// Broken are hard failures: schema/config mismatches, exactly-once
+	// flips, missing steps. Any entry fails the gate.
+	Broken []string `json:"broken,omitempty"`
+	// Regressions exceeded their threshold; Improvements moved the other
+	// way by the same margin (informational).
+	Regressions  []Delta `json:"regressions,omitempty"`
+	Improvements []Delta `json:"improvements,omitempty"`
+}
+
+// Clean reports whether the comparison passes the gate.
+func (r *CompareResult) Clean() bool {
+	return len(r.Broken) == 0 && len(r.Regressions) == 0
+}
+
+// Compare gates report next against baseline prev.
+func Compare(prev, next *Report, th Thresholds) *CompareResult {
+	th = th.withDefaults()
+	res := &CompareResult{}
+	if prev.Schema != next.Schema {
+		res.Broken = append(res.Broken, fmt.Sprintf("schema mismatch: %q vs %q", prev.Schema, next.Schema))
+		return res
+	}
+	if prev.Topology != next.Topology || prev.Driver != next.Driver || prev.Seed != next.Seed {
+		res.Broken = append(res.Broken,
+			fmt.Sprintf("configuration mismatch: %s/%s/seed %d vs %s/%s/seed %d",
+				prev.Topology, prev.Driver, prev.Seed, next.Topology, next.Driver, next.Seed))
+		return res
+	}
+	if len(next.Steps) < len(prev.Steps) {
+		res.Broken = append(res.Broken,
+			fmt.Sprintf("missing steps: baseline has %d, new report %d", len(prev.Steps), len(next.Steps)))
+	}
+	if prev.ExactlyOnce && !next.ExactlyOnce {
+		res.Broken = append(res.Broken, "exactly-once verdict flipped to fail")
+	}
+	for i := range prev.Steps {
+		if i >= len(next.Steps) {
+			break
+		}
+		p, n := &prev.Steps[i], &next.Steps[i]
+		if p.ExactlyOnce && !n.ExactlyOnce {
+			res.Broken = append(res.Broken, fmt.Sprintf("step %d: exactly-once flipped to fail", i))
+		}
+		res.classify(i, "p99_latency_ns", float64(p.Latency.P99NS), float64(n.Latency.P99NS),
+			true, th.P99Pct, float64(th.P99MinNS))
+		res.classify(i, "achieved_rate", p.AchievedRate, n.AchievedRate,
+			false, th.RatePct, th.RateMin)
+	}
+	if prev.Sweep && next.Sweep {
+		res.classify(-1, "knee_rate", prev.KneeRate, next.KneeRate, false, th.RatePct, th.RateMin)
+		res.classify(-1, "max_achieved", prev.MaxAchieved, next.MaxAchieved, false, th.RatePct, th.RateMin)
+	}
+	return res
+}
+
+// classify files the movement of one metric. higherBad marks metrics
+// where growth is the regression direction (latency); otherwise shrink
+// is (throughput). Deltas under the absolute floor are noise either way.
+func (r *CompareResult) classify(step int, metric string, old, new float64, higherBad bool, pct, floor float64) {
+	if old == 0 {
+		return // no baseline signal
+	}
+	diff := new - old
+	if !higherBad {
+		diff = -diff
+	}
+	if diff < 0 {
+		// moved in the good direction; report past the same margin
+		if -diff >= floor && -diff/old*100 >= pct {
+			r.Improvements = append(r.Improvements, Delta{Step: step, Metric: metric, Old: old, New: new, Pct: (new - old) / old * 100})
+		}
+		return
+	}
+	if diff >= floor && diff/old*100 >= pct {
+		r.Regressions = append(r.Regressions, Delta{Step: step, Metric: metric, Old: old, New: new, Pct: (new - old) / old * 100})
+	}
+}

@@ -1,0 +1,110 @@
+package load
+
+import (
+	"fmt"
+	"time"
+
+	"ssmfp/internal/graph"
+)
+
+// SweepConfig drives a saturation sweep: the open-loop driver is run once
+// per rung of a fixed geometric rate ladder, each rung on a freshly built
+// deployment so a saturated step's backlog cannot poison the next. The
+// ladder never adapts to measurements — determinism of the step list is
+// what makes sweep reports comparable across runs.
+type SweepConfig struct {
+	// Base configures each step; Rate and Step are overwritten per rung,
+	// and Driver must be open-loop (the default).
+	Base Config
+	// Start is the first rung's offered rate in messages/second.
+	// Default 100.
+	Start float64
+	// Factor multiplies the rate between rungs. Default 2.
+	Factor float64
+	// Steps is the number of rungs. Default 6.
+	Steps int
+	// KneeRatio is the goodput threshold defining saturation: the knee is
+	// the highest rung whose achieved/offered ratio still meets it.
+	// Default 0.9.
+	KneeRatio float64
+}
+
+func (sc SweepConfig) withDefaults() SweepConfig {
+	if sc.Start <= 0 {
+		sc.Start = 100
+	}
+	if sc.Factor <= 1 {
+		sc.Factor = 2
+	}
+	if sc.Steps <= 0 {
+		sc.Steps = 6
+	}
+	if sc.KneeRatio <= 0 || sc.KneeRatio > 1 {
+		sc.KneeRatio = 0.9
+	}
+	return sc
+}
+
+// Rates returns the full ladder, a pure function of the configuration.
+func (sc SweepConfig) Rates() []float64 {
+	sc = sc.withDefaults()
+	rates := make([]float64, sc.Steps)
+	r := sc.Start
+	for i := range rates {
+		rates[i] = r
+		r *= sc.Factor
+	}
+	return rates
+}
+
+// Sweep runs the ladder on topology g. factory builds a fresh deployment
+// for rung i and returns the network, the hook its OnDeliver is wired to,
+// and a teardown. topology is the report's human-readable label. The
+// returned error covers setup problems only; a failed verdict is
+// reported, not returned.
+func Sweep(topology string, g *graph.Graph, factory func(step int) (Network, *Hook, func(), error), sc SweepConfig) (*Report, error) {
+	sc = sc.withDefaults()
+	if sc.Base.Driver == DriverClosed {
+		return nil, fmt.Errorf("load: sweep needs the open-loop driver")
+	}
+	start := time.Now()
+	var steps []StepReport
+	for i, rate := range sc.Rates() {
+		nw, hook, closeFn, err := factory(i)
+		if err != nil {
+			return nil, fmt.Errorf("load: building deployment for step %d: %w", i, err)
+		}
+		cfg := sc.Base
+		cfg.Rate = rate
+		cfg.Step = i
+		rep, err := Run(nw, g, hook, cfg)
+		closeFn()
+		if err != nil {
+			return nil, fmt.Errorf("load: step %d: %w", i, err)
+		}
+		steps = append(steps, rep)
+	}
+	r := NewReport(topology, sc.Base, true, steps)
+	r.KneeRatio = sc.KneeRatio
+	detectKnee(r, sc.KneeRatio)
+	r.Run = NewRunInfo(start)
+	return r, nil
+}
+
+// detectKnee fills the report's knee summary from the measured rates: the
+// knee is the highest step whose goodput ratio meets kneeRatio, and the
+// sweep saturated if any step fell below it.
+func detectKnee(r *Report, kneeRatio float64) {
+	r.KneeStep = 0
+	for i, s := range r.Steps {
+		if s.AchievedRate > r.MaxAchieved {
+			r.MaxAchieved = s.AchievedRate
+		}
+		if s.GoodputRatio >= kneeRatio {
+			r.KneeStep = i
+			r.KneeRate = s.OfferedRate
+		} else {
+			r.Saturated = true
+		}
+	}
+}

@@ -36,6 +36,7 @@
 package msgpass
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -53,11 +54,18 @@ import (
 // peer decodes.
 type Message = transport.Message
 
-// Delivery records a consumption at a destination.
+// Delivery records a consumption at a destination. Time is the wall-clock
+// instant the destination handed the message up — the load subsystem's
+// latency measurements end here.
 type Delivery struct {
-	Msg *Message
-	At  graph.ProcessID
+	Msg  *Message
+	At   graph.ProcessID
+	Time time.Time
 }
+
+// ErrStopped is returned by Send after Stop: the node goroutines are gone,
+// so an accepted message could never move again.
+var ErrStopped = errors.New("msgpass: network stopped")
 
 // Options tunes the port.
 type Options struct {
@@ -80,6 +88,11 @@ type Options struct {
 	// same implicit chaos wrapper. Zero means no delay injection.
 	Latency time.Duration
 	Jitter  time.Duration
+	// BandwidthBps caps each directed link at this many encoded frame
+	// bytes per second through the same implicit chaos wrapper (0 =
+	// unlimited). Load experiments use it to study saturation under a
+	// line-rate bound.
+	BandwidthBps int
 	// Seed drives loss and corruption randomness.
 	Seed int64
 	// CorruptInit randomizes initial routing state and plants invalid
@@ -105,6 +118,14 @@ type Options struct {
 	// no bus (or no subscriber) the nodes pay one atomic load per event
 	// site.
 	Bus *obs.Bus
+	// OnDeliver, when non-nil, is invoked once per local delivery, from
+	// the destination's node goroutine, after the delivery is recorded.
+	// It is the push-based delivery stream the load subsystem's latency
+	// collector hooks into (polling Deliveries is O(n) per snapshot). The
+	// callback must be fast and must not call back into the Network.
+	// Invocation order across destinations may differ from the order of
+	// the Deliveries slice.
+	OnDeliver func(Delivery)
 }
 
 func (o Options) withDefaults() Options {
@@ -145,8 +166,10 @@ type Network struct {
 	deliveries []Delivery
 	delivered  chan struct{} // closed and replaced on every delivery
 
-	stop chan struct{}
-	wg   sync.WaitGroup
+	stop     chan struct{}
+	stopOnce sync.Once
+	stopped  atomic.Bool
+	wg       sync.WaitGroup
 }
 
 // Stats counts wire-level activity: how many frames of each kind were
@@ -179,14 +202,15 @@ func New(g *graph.Graph, opts Options) *Network {
 	if nw.tr == nil {
 		nw.ownTr = true
 		var tr transport.Transport = transport.NewChan(g, opts.ChannelDepth)
-		if opts.LossRate > 0 || opts.DupRate > 0 || opts.Latency > 0 || opts.Jitter > 0 {
+		if opts.LossRate > 0 || opts.DupRate > 0 || opts.Latency > 0 || opts.Jitter > 0 || opts.BandwidthBps > 0 {
 			tr = transport.NewChaos(tr, transport.ChaosOptions{
-				Seed:     opts.Seed,
-				LossRate: opts.LossRate,
-				DupRate:  opts.DupRate,
-				Latency:  opts.Latency,
-				Jitter:   opts.Jitter,
-				Bus:      opts.Bus,
+				Seed:         opts.Seed,
+				LossRate:     opts.LossRate,
+				DupRate:      opts.DupRate,
+				Latency:      opts.Latency,
+				Jitter:       opts.Jitter,
+				BandwidthBps: opts.BandwidthBps,
+				Bus:          opts.Bus,
 			})
 		}
 		nw.tr = tr
@@ -219,17 +243,30 @@ func (nw *Network) Start() {
 
 // Stop terminates all node goroutines and waits for them; a transport the
 // Network built for itself is closed, a caller-supplied one is left open.
+// Stop is idempotent: long-running load drivers race their shutdown paths
+// against the network's, and a second Stop must be a harmless no-op, not a
+// close-of-closed-channel panic.
 func (nw *Network) Stop() {
-	close(nw.stop)
-	nw.wg.Wait()
-	if nw.ownTr {
-		nw.tr.Close()
-	}
+	nw.stopOnce.Do(func() {
+		nw.stopped.Store(true)
+		close(nw.stop)
+		nw.wg.Wait()
+		if nw.ownTr {
+			nw.tr.Close()
+		}
+	})
 }
 
 // Send injects a higher-layer send request at src and returns the UID the
-// oracles can track. src must be local to this Network instance.
-func (nw *Network) Send(src graph.ProcessID, payload string, dst graph.ProcessID) uint64 {
+// oracles can track. src must be local to this Network instance (a
+// non-local source is a programming error and panics). After Stop it
+// returns ErrStopped: the message could never be forwarded, and sustained
+// load drivers need the shutdown race surfaced as an error, not a message
+// silently parked on a dead queue.
+func (nw *Network) Send(src graph.ProcessID, payload string, dst graph.ProcessID) (uint64, error) {
+	if nw.stopped.Load() {
+		return 0, ErrStopped
+	}
 	n := nw.nodes[src]
 	if n == nil {
 		panic(fmt.Sprintf("msgpass: Send at processor %d, which is not local to this deployment", src))
@@ -244,7 +281,7 @@ func (nw *Network) Send(src graph.ProcessID, payload string, dst graph.ProcessID
 	n.mu.Lock()
 	n.pending = append(n.pending, m)
 	n.mu.Unlock()
-	return uid
+	return uid, nil
 }
 
 // Deliveries returns a snapshot of all (local) deliveries so far.
@@ -256,7 +293,9 @@ func (nw *Network) Deliveries() []Delivery {
 
 // WaitDelivered blocks until at least k deliveries happened or the timeout
 // elapsed; it reports whether the threshold was reached. It is signalled
-// by deliver, not polled.
+// by deliver, not polled. On a stopped network it returns immediately with
+// the verdict on the deliveries recorded so far — no new delivery can
+// arrive, so blocking out the timeout would only stall the caller.
 func (nw *Network) WaitDelivered(k int, timeout time.Duration) bool {
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
@@ -268,8 +307,12 @@ func (nw *Network) WaitDelivered(k int, timeout time.Duration) bool {
 		if got >= k {
 			return true
 		}
+		if nw.stopped.Load() {
+			return false
+		}
 		select {
 		case <-sig:
+		case <-nw.stop:
 		case <-timer.C:
 			nw.mu.Lock()
 			got = len(nw.deliveries)
@@ -280,11 +323,17 @@ func (nw *Network) WaitDelivered(k int, timeout time.Duration) bool {
 }
 
 func (nw *Network) deliver(d Delivery) {
+	d.Time = time.Now()
 	nw.mu.Lock()
 	nw.deliveries = append(nw.deliveries, d)
 	close(nw.delivered) // wake every WaitDelivered
 	nw.delivered = make(chan struct{})
 	nw.mu.Unlock()
+	// Outside the lock: the hook may take its own locks (the latency
+	// collector does) and must not be able to deadlock against Deliveries.
+	if fn := nw.opts.OnDeliver; fn != nil {
+		fn(d)
+	}
 }
 
 // Stats returns a snapshot of the wire-level counters.

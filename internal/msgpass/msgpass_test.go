@@ -11,6 +11,16 @@ import (
 	"ssmfp/internal/obs"
 )
 
+// mustSend injects a message on a network the test knows is running.
+func mustSend(t *testing.T, nw *msgpass.Network, src graph.ProcessID, payload string, dst graph.ProcessID) uint64 {
+	t.Helper()
+	uid, err := nw.Send(src, payload, dst)
+	if err != nil {
+		t.Fatalf("Send(%d, %q, %d): %v", src, payload, dst, err)
+	}
+	return uid
+}
+
 // checkExactlyOnce fails the test if any UID in want is missing or any
 // valid UID was delivered more than once.
 func checkExactlyOnce(t *testing.T, nw *msgpass.Network, want map[uint64]graph.ProcessID) {
@@ -42,7 +52,7 @@ func TestSingleMessageDelivered(t *testing.T) {
 	nw := msgpass.New(g, msgpass.Options{Seed: 1})
 	nw.Start()
 	defer nw.Stop()
-	uid := nw.Send(0, "hello", 3)
+	uid := mustSend(t, nw, 0, "hello", 3)
 	if !nw.WaitDelivered(1, 10*time.Second) {
 		t.Fatal("message not delivered in time")
 	}
@@ -54,7 +64,7 @@ func TestSelfSend(t *testing.T) {
 	nw := msgpass.New(g, msgpass.Options{Seed: 2})
 	nw.Start()
 	defer nw.Stop()
-	uid := nw.Send(1, "me", 1)
+	uid := mustSend(t, nw, 1, "me", 1)
 	if !nw.WaitDelivered(1, 10*time.Second) {
 		t.Fatal("self-send not delivered")
 	}
@@ -71,7 +81,7 @@ func TestManyMessagesExactlyOnce(t *testing.T) {
 	for src := 0; src < g.N(); src++ {
 		for off := 1; off <= 3; off++ {
 			dst := graph.ProcessID((src + off) % g.N())
-			uid := nw.Send(graph.ProcessID(src), fmt.Sprintf("m%d", k), dst)
+			uid := mustSend(t, nw, graph.ProcessID(src), fmt.Sprintf("m%d", k), dst)
 			want[uid] = dst
 			k++
 		}
@@ -90,7 +100,7 @@ func TestLossyLinksStillExactlyOnce(t *testing.T) {
 	want := make(map[uint64]graph.ProcessID)
 	for src := 0; src < g.N(); src++ {
 		dst := graph.ProcessID((src + 3) % g.N())
-		uid := nw.Send(graph.ProcessID(src), fmt.Sprintf("lossy%d", src), dst)
+		uid := mustSend(t, nw, graph.ProcessID(src), fmt.Sprintf("lossy%d", src), dst)
 		want[uid] = dst
 	}
 	if !nw.WaitDelivered(len(want), 60*time.Second) {
@@ -107,7 +117,7 @@ func TestCorruptInitialStateStillDelivers(t *testing.T) {
 	want := make(map[uint64]graph.ProcessID)
 	for src := 0; src < g.N(); src++ {
 		dst := graph.ProcessID((src + 2) % g.N())
-		uid := nw.Send(graph.ProcessID(src), fmt.Sprintf("c%d", src), dst)
+		uid := mustSend(t, nw, graph.ProcessID(src), fmt.Sprintf("c%d", src), dst)
 		want[uid] = dst
 	}
 	deadline := time.Now().Add(60 * time.Second)
@@ -153,6 +163,60 @@ func TestStopTerminates(t *testing.T) {
 	}
 }
 
+func TestStoppedNetworkGuards(t *testing.T) {
+	// Long-running load drivers race Send/WaitDelivered against shutdown;
+	// the stopped network must answer with errors, not panics or stalls.
+	g := graph.Line(3)
+	nw := msgpass.New(g, msgpass.Options{Seed: 8})
+	nw.Start()
+	mustSend(t, nw, 0, "before-stop", 2)
+	if !nw.WaitDelivered(1, 10*time.Second) {
+		t.Fatal("pre-stop message not delivered")
+	}
+	nw.Stop()
+	nw.Stop() // idempotent: a second Stop must not panic
+	if _, err := nw.Send(0, "after-stop", 2); err != msgpass.ErrStopped {
+		t.Fatalf("Send after Stop: err = %v, want ErrStopped", err)
+	}
+	start := time.Now()
+	if nw.WaitDelivered(2, 30*time.Second) {
+		t.Fatal("WaitDelivered reported an impossible second delivery")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("WaitDelivered blocked %v on a stopped network", elapsed)
+	}
+	// Thresholds already met keep reporting true after Stop.
+	if !nw.WaitDelivered(1, time.Millisecond) {
+		t.Fatal("WaitDelivered lost the recorded delivery after Stop")
+	}
+}
+
+func TestOnDeliverHookObservesDeliveries(t *testing.T) {
+	g := graph.Line(4)
+	var mu sync.Mutex
+	var got []msgpass.Delivery
+	nw := msgpass.New(g, msgpass.Options{Seed: 9, OnDeliver: func(d msgpass.Delivery) {
+		mu.Lock()
+		got = append(got, d)
+		mu.Unlock()
+	}})
+	nw.Start()
+	defer nw.Stop()
+	before := time.Now()
+	uid := mustSend(t, nw, 0, "hooked", 3)
+	if !nw.WaitDelivered(1, 10*time.Second) {
+		t.Fatal("message not delivered in time")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 || got[0].Msg.UID != uid || got[0].At != 3 {
+		t.Fatalf("hook observed %+v, want one delivery of uid %d at 3", got, uid)
+	}
+	if got[0].Time.Before(before) || got[0].Time.After(time.Now()) {
+		t.Fatalf("delivery timestamp %v outside the test window", got[0].Time)
+	}
+}
+
 func TestWaitDeliveredTimesOut(t *testing.T) {
 	g := graph.Line(2)
 	nw := msgpass.New(g, msgpass.Options{Seed: 7})
@@ -168,7 +232,7 @@ func TestStatsCountRetransmissionsUnderLoss(t *testing.T) {
 	nw := msgpass.New(g, msgpass.Options{Seed: 12, LossRate: 0.4})
 	nw.Start()
 	defer nw.Stop()
-	uid := nw.Send(0, "lossy-road", 4)
+	uid := mustSend(t, nw, 0, "lossy-road", 4)
 	if !nw.WaitDelivered(1, 60*time.Second) {
 		t.Fatal("not delivered despite retransmission")
 	}
@@ -239,7 +303,7 @@ func TestDuplicatingLinksStillExactlyOnce(t *testing.T) {
 	want := make(map[uint64]graph.ProcessID)
 	for src := 0; src < g.N(); src++ {
 		dst := graph.ProcessID((src + 2) % g.N())
-		uid := nw.Send(graph.ProcessID(src), fmt.Sprintf("dup%d", src), dst)
+		uid := mustSend(t, nw, graph.ProcessID(src), fmt.Sprintf("dup%d", src), dst)
 		want[uid] = dst
 	}
 	if !nw.WaitDelivered(len(want), 60*time.Second) {
@@ -268,7 +332,7 @@ func TestBusObservesMessageLifecycle(t *testing.T) {
 	nw := msgpass.New(g, msgpass.Options{Seed: 5, Bus: bus})
 	nw.Start()
 	defer nw.Stop()
-	uid := nw.Send(0, "watched", 3)
+	uid := mustSend(t, nw, 0, "watched", 3)
 	if uid != 1 {
 		t.Fatalf("uid = %d, want 1", uid)
 	}

@@ -78,6 +78,17 @@ const (
 	// key, Count the number of cells completed so far, and Rule reuses
 	// its string slot for the verdict ("ok" or "fail").
 	KindCellDone Kind = "cell-done"
+	// KindLoadTick is the load generator's periodic progress beat: Count
+	// carries the tagged deliveries so far and Detail a compact
+	// "step=<i> sent=<s> delivered=<d>" summary. Load events live in the
+	// wall-clock domain (Step and Round are -1) and never appear in a
+	// replayable engine trace.
+	KindLoadTick Kind = "load-tick"
+	// KindLoadDone marks the completion of one load step (a single run is
+	// one step; a sweep emits one per rate step). Count carries the step
+	// index, Detail the step summary, and Rule reuses its string slot for
+	// the exactly-once verdict ("ok" or "fail").
+	KindLoadDone Kind = "load-done"
 )
 
 // Valid reports whether k is a kind of the current schema.
@@ -85,7 +96,7 @@ func (k Kind) Valid() bool {
 	switch k {
 	case KindStep, KindFire, KindGenerate, KindInternal, KindForward,
 		KindErase, KindDeliver, KindRound, KindFault, KindRoute, KindStabilized,
-		KindWire, KindCellStart, KindCellDone:
+		KindWire, KindCellStart, KindCellDone, KindLoadTick, KindLoadDone:
 		return true
 	}
 	return false

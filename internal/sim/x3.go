@@ -58,7 +58,7 @@ func x3Cell(o Options, idx int) (X3Row, CellMeasure) {
 	want := make(map[uint64]graph.ProcessID)
 	for src := 0; src < g.N(); src++ {
 		dst := graph.ProcessID((src + 4) % g.N())
-		uid := nw.Send(graph.ProcessID(src), fmt.Sprintf("x3-%s-%d", c.display, src), dst)
+		uid, _ := nw.Send(graph.ProcessID(src), fmt.Sprintf("x3-%s-%d", c.display, src), dst)
 		want[uid] = dst
 	}
 	start := time.Now()

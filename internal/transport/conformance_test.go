@@ -347,7 +347,10 @@ func runExactlyOnce(t *testing.T, mk backendFactory, opts msgpass.Options, timeo
 	for src := 0; src < g.N(); src++ {
 		for off := 1; off <= 3; off++ {
 			dst := graph.ProcessID((src + off) % g.N())
-			uid := nw.Send(graph.ProcessID(src), fmt.Sprintf("m%d-%d", src, off), dst)
+			uid, err := nw.Send(graph.ProcessID(src), fmt.Sprintf("m%d-%d", src, off), dst)
+			if err != nil {
+				t.Fatalf("Send(%d -> %d): %v", src, dst, err)
+			}
 			want[uid] = dst
 		}
 	}
@@ -422,4 +425,54 @@ func TestExactlyOncePartitionHeal(t *testing.T) {
 		}},
 	})
 	runExactlyOnce(t, mk, msgpass.Options{Seed: 25}, 60*time.Second)
+}
+
+// TestChaosBandwidthCapSustained pushes a sustained burst through a
+// bandwidth-capped link and checks the line-rate model: every frame
+// arrives exactly once, in order, and the drain rate clamps to the cap
+// (frames queue behind each other's serialization time instead of being
+// dropped).
+func TestChaosBandwidthCapSustained(t *testing.T) {
+	g := graph.Line(2)
+	sample := offerFrame(0, 1, 1)
+	size := transport.EncodedSize(&sample)
+	const frames = 300
+	const lineRate = 250 // frames per second
+	mk := chaosOver(chanBackend, transport.ChaosOptions{Seed: 5, BandwidthBps: size * lineRate})
+	tr, cleanup := mk(t, g)
+	defer cleanup()
+	l := tr.Link(0, 1)
+
+	start := time.Now()
+	for seq := uint64(1); seq <= frames; seq++ {
+		if !l.Send(offerFrame(0, 1, seq)) {
+			t.Fatalf("frame %d rejected — the cap must delay, not drop", seq)
+		}
+	}
+	var got []uint64
+	deadline := time.After(30 * time.Second)
+	for len(got) < frames {
+		select {
+		case f := <-l.Recv():
+			if f.Offer != nil {
+				got = append(got, f.Offer.Seq)
+			}
+		case <-deadline:
+			t.Fatalf("only %d/%d frames drained before the deadline", len(got), frames)
+		}
+	}
+	elapsed := time.Since(start)
+
+	for i, seq := range got {
+		if seq != uint64(i+1) {
+			t.Fatalf("frame %d arrived as %d — cap reordered or duplicated the line", i+1, seq)
+		}
+	}
+	ideal := frames * time.Second / lineRate
+	if elapsed < ideal*7/10 {
+		t.Fatalf("burst drained in %v, line rate allows no less than ~%v", elapsed, ideal)
+	}
+	if measured := float64(frames) / elapsed.Seconds(); measured > lineRate*13/10 {
+		t.Fatalf("measured %.0f frames/s through a %d frames/s line", measured, lineRate)
+	}
 }

@@ -28,6 +28,9 @@ type LiveOptions struct {
 	// makes consecutive frames overtake each other (genuine reordering).
 	Latency time.Duration
 	Jitter  time.Duration
+	// BandwidthBps caps each directed link at this many encoded frame
+	// bytes per second (0 = unlimited), modelling a real line rate.
+	BandwidthBps int
 	// CorruptStart randomizes the initial routing state and plants garbage
 	// messages in buffers.
 	CorruptStart bool
@@ -39,25 +42,32 @@ type LiveOptions struct {
 // Call Close when done.
 func NewLiveNetwork(t *Topology, opts LiveOptions) *LiveNetwork {
 	nw := msgpass.New(t, msgpass.Options{
-		Seed:        opts.Seed,
-		LossRate:    opts.LossRate,
-		DupRate:     opts.DupRate,
-		Latency:     opts.Latency,
-		Jitter:      opts.Jitter,
-		CorruptInit: opts.CorruptStart,
-		Tick:        opts.Tick,
+		Seed:         opts.Seed,
+		LossRate:     opts.LossRate,
+		DupRate:      opts.DupRate,
+		Latency:      opts.Latency,
+		Jitter:       opts.Jitter,
+		BandwidthBps: opts.BandwidthBps,
+		CorruptInit:  opts.CorruptStart,
+		Tick:         opts.Tick,
 	})
 	nw.Start()
 	return &LiveNetwork{nw: nw}
 }
 
-// Send injects a message and returns a tracking ID.
-func (l *LiveNetwork) Send(src, dst ProcessID, payload string) uint64 {
+// ErrClosed is returned by Send on a LiveNetwork that has been closed.
+var ErrClosed = msgpass.ErrStopped
+
+// Send injects a message and returns a tracking ID. After Close it
+// returns ErrClosed instead of injecting (load generators race shutdown;
+// a closed network must refuse work, not panic).
+func (l *LiveNetwork) Send(src, dst ProcessID, payload string) (uint64, error) {
 	return l.nw.Send(src, payload, dst)
 }
 
 // WaitDelivered blocks until at least k messages (valid or not) have been
-// delivered, or the timeout elapses.
+// delivered, or the timeout elapses. On a closed network it returns
+// promptly: true if the threshold was already met, false otherwise.
 func (l *LiveNetwork) WaitDelivered(k int, timeout time.Duration) bool {
 	return l.nw.WaitDelivered(k, timeout)
 }
@@ -137,5 +147,7 @@ func (l *LiveNetwork) Status() LiveStatus {
 	return out
 }
 
-// Close stops every processor goroutine and waits for them.
+// Close stops every processor goroutine and waits for them. Close is
+// idempotent: further calls are no-ops, and a closed network keeps
+// serving Deliveries, Status, and DeliveredExactlyOnce snapshots.
 func (l *LiveNetwork) Close() { l.nw.Stop() }

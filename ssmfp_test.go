@@ -161,7 +161,11 @@ func TestLiveNetworkEndToEnd(t *testing.T) {
 	defer live.Close()
 	var ids []uint64
 	for p := ssmfp.ProcessID(0); p < 6; p++ {
-		ids = append(ids, live.Send(p, (p+3)%6, "live"))
+		uid, err := live.Send(p, (p+3)%6, "live")
+		if err != nil {
+			t.Fatalf("Send(%d): %v", p, err)
+		}
+		ids = append(ids, uid)
 	}
 	deadline := time.Now().Add(60 * time.Second)
 	for time.Now().Before(deadline) {
@@ -172,6 +176,32 @@ func TestLiveNetworkEndToEnd(t *testing.T) {
 	}
 	if !live.DeliveredExactlyOnce(ids...) {
 		t.Fatalf("live network failed exactly-once; deliveries: %d", len(live.Deliveries()))
+	}
+}
+
+func TestLiveNetworkClosedGuards(t *testing.T) {
+	live := ssmfp.NewLiveNetwork(ssmfp.Line(3), ssmfp.LiveOptions{Seed: 2})
+	uid, err := live.Send(0, 2, "pre-close")
+	if err != nil {
+		t.Fatalf("Send on open network: %v", err)
+	}
+	if !live.WaitDelivered(1, 30*time.Second) {
+		t.Fatal("pre-close message not delivered")
+	}
+	live.Close()
+	live.Close() // idempotent: a second Close must not panic
+	if _, err := live.Send(0, 2, "post-close"); err != ssmfp.ErrClosed {
+		t.Fatalf("Send after Close: err = %v, want ErrClosed", err)
+	}
+	start := time.Now()
+	if live.WaitDelivered(2, 30*time.Second) {
+		t.Fatal("WaitDelivered reported an impossible delivery after Close")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("WaitDelivered blocked %v on a closed network", elapsed)
+	}
+	if !live.DeliveredExactlyOnce(uid) {
+		t.Fatal("closed network lost its delivery records")
 	}
 }
 

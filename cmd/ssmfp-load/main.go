@@ -165,6 +165,10 @@ func run(cfg config) error {
 			BandwidthBps: cfg.bandwidth,
 			Bus:          bus,
 			OnDeliver:    hook.OnDeliver,
+			// The collector is the only consumer of deliveries; skipping
+			// the network's own delivery log keeps the measured path free
+			// of per-delivery allocations.
+			DiscardDeliveries: true,
 		})
 		nw.Start()
 		return nw, hook, func() { nw.Stop() }, nil

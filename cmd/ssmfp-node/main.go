@@ -75,6 +75,9 @@ type config struct {
 	latency    time.Duration
 	jitter     time.Duration
 	partitions string
+
+	legacyTags  bool
+	legacyNodes string
 }
 
 func main() {
@@ -97,6 +100,8 @@ func main() {
 	flag.DurationVar(&cfg.latency, "latency", 0, "chaos: base one-way frame delay")
 	flag.DurationVar(&cfg.jitter, "jitter", 0, "chaos: extra uniform per-frame delay (reorders the wire)")
 	flag.StringVar(&cfg.partitions, "partition", "", "chaos: partition windows \"start:dur:u-v[;u-v]\" (comma-separated)")
+	flag.BoolVar(&cfg.legacyTags, "legacy-tags", false, "emit v1 payload tags in -rate mode (simulates a pre-v2 binary; cross-version tests only)")
+	flag.StringVar(&cfg.legacyNodes, "legacy-nodes", "", "spawn mode: comma-separated node IDs forked with -legacy-tags (cross-version tests only)")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -269,6 +274,15 @@ type report struct {
 	// merges all nodes' shards into cluster-wide quantiles.
 	Latency *load.LatencySummary `json:"latency,omitempty"`
 	Hist    *metrics.LatencyHist `json:"hist,omitempty"`
+
+	// TagVersion is the payload-tag codec this node speaks in -rate mode
+	// (0 outside rate mode); TagMismatches counts valid deliveries whose
+	// payload carried a recognizable tag of a *different* version. The
+	// judge turns any nonzero count — and any version disagreement across
+	// the cluster — into exactly-once violations, so a mixed-binary
+	// deployment fails loudly instead of silently mis-measuring.
+	TagVersion    int `json:"tagVersion,omitempty"`
+	TagMismatches int `json:"tagMismatches,omitempty"`
 }
 
 type sentRec struct {
@@ -397,7 +411,11 @@ func runNode(cfg config) error {
 			if d := time.Until(at); d > 0 {
 				time.Sleep(d)
 			}
-			payload = load.EncodeTag(i, e.Src, e.Dst, at.UnixNano())
+			if cfg.legacyTags {
+				payload = load.EncodeTagV1(i, e.Src, e.Dst, at.UnixNano())
+			} else {
+				payload = load.EncodeTag(i, e.Src, e.Dst, at.UnixNano())
+			}
 		case cfg.spread > 0 && len(plan) > 0:
 			// Entry i of the global plan goes out at its slot of the
 			// spread window, so sends straddle any partition cuts
@@ -417,10 +435,18 @@ func runNode(cfg config) error {
 
 	nw.WaitDelivered(expected, cfg.timeout)
 
+	// The tag codec this node speaks; a recognizable tag of any other
+	// version is counted as a mismatch for the judge.
+	speaks := load.TagVersionCurrent
+	parseTag := load.ParseTag
+	if cfg.legacyTags {
+		speaks = 1
+		parseTag = load.ParseTagV1
+	}
 	var delivered []delivRec
 	var hist metrics.LatencyHist
 	var lastDelivery time.Time
-	validDeliveries := 0
+	validDeliveries, tagMismatches := 0, 0
 	for _, d := range nw.Deliveries() {
 		delivered = append(delivered, delivRec{UID: d.Msg.UID, Src: int(d.Msg.Src), Valid: d.Msg.Valid})
 		if !d.Msg.Valid {
@@ -430,8 +456,10 @@ func runNode(cfg config) error {
 		if d.Time.After(lastDelivery) {
 			lastDelivery = d.Time
 		}
-		if _, _, _, schedNanos, ok := load.ParseTag(d.Msg.Payload); ok {
+		if _, _, _, schedNanos, ok := parseTag(d.Msg.Payload); ok {
 			hist.Add(d.Time.UnixNano() - schedNanos)
+		} else if v := load.TagVersion(d.Msg.Payload); v != 0 && v != speaks {
+			tagMismatches++
 		}
 	}
 	rep := report{
@@ -441,6 +469,10 @@ func runNode(cfg config) error {
 		Expected:  expected,
 		Stats:     summarize(nw.Stats()),
 	}
+	if cfg.rate > 0 {
+		rep.TagVersion = speaks
+	}
+	rep.TagMismatches = tagMismatches
 	if len(sent) > 0 && sendWindow > 0 {
 		rep.SendRate = float64(len(sent)) / sendWindow.Seconds()
 	}

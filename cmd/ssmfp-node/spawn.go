@@ -9,6 +9,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"time"
 
 	"ssmfp/internal/graph"
@@ -31,6 +32,16 @@ func runSpawn(cfg config) error {
 	}
 	if _, _, err := chaosOpts(cfg); err != nil {
 		return err // reject bad -partition here, not in N children
+	}
+	legacy := make(map[graph.ProcessID]bool)
+	if cfg.legacyNodes != "" {
+		for _, part := range strings.Split(cfg.legacyNodes, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || id < 0 || id >= g.N() {
+				return fmt.Errorf("-legacy-nodes %q: bad node id %q", cfg.legacyNodes, part)
+			}
+			legacy[graph.ProcessID(id)] = true
+		}
 	}
 
 	// Reserve one loopback port per node by binding and closing; the
@@ -107,6 +118,9 @@ func runSpawn(cfg config) error {
 			"-latency", cfg.latency.String(),
 			"-jitter", cfg.jitter.String(),
 			"-partition", cfg.partitions,
+		}
+		if legacy[p] {
+			args = append(args, "-legacy-tags")
 		}
 		cmd := exec.Command(self, args...)
 		cmd.Stderr = os.Stderr
@@ -203,6 +217,26 @@ func judge(g *graph.Graph, reports []report, plan []workloadEntry) []string {
 	var violations []string
 	badf := func(format string, a ...any) {
 		violations = append(violations, fmt.Sprintf(format, a...))
+	}
+
+	// Tag-codec coherence: every node must speak the same payload-tag
+	// version, and none may have seen a foreign-version tag — a cluster
+	// mixing old and new binaries cannot measure latency honestly, so it
+	// fails here even when every message arrived exactly once.
+	tagVersion := 0
+	for _, r := range reports {
+		if r.TagMismatches > 0 {
+			badf("node %d saw %d deliveries with a foreign tag version", r.ID, r.TagMismatches)
+		}
+		if r.TagVersion == 0 {
+			continue
+		}
+		if tagVersion == 0 {
+			tagVersion = r.TagVersion
+		} else if r.TagVersion != tagVersion {
+			badf("mixed tag codecs on the cluster: node %d speaks v%d, earlier nodes v%d",
+				r.ID, r.TagVersion, tagVersion)
+		}
 	}
 
 	expectDst := make(map[uint64]int) // uid -> destination

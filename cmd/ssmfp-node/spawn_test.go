@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMain lets the spawn tests fork this test binary as the node
+// executable: runSpawn re-execs os.Executable(), and with the child
+// marker set in the environment the fork runs main() (the node CLI,
+// whose flags runSpawn itself constructs) instead of the test harness.
+func TestMain(m *testing.M) {
+	if os.Getenv("SSMFP_NODE_CHILD") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// clusterConfig is a small, fast loopback cluster in rate mode.
+func clusterConfig() config {
+	return config{
+		spawn:    3,
+		topology: "ring",
+		messages: 12,
+		rate:     200,
+		arrival:  "constant",
+		seed:     7,
+		tick:     2 * time.Millisecond,
+		timeout:  30 * time.Second,
+	}
+}
+
+// TestSpawnClusterExactlyOnce is the baseline: a uniform-version cluster
+// passes the judge.
+func TestSpawnClusterExactlyOnce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process cluster test skipped in -short mode")
+	}
+	t.Setenv("SSMFP_NODE_CHILD", "1")
+	if err := run(clusterConfig()); err != nil {
+		t.Fatalf("uniform cluster failed: %v", err)
+	}
+}
+
+// TestSpawnMixedTagVersionsFailLoudly is the cross-version regression
+// test: a cluster where one node still speaks the v1 text tags (an old
+// binary that was never redeployed) must fail the judge loudly — via the
+// per-node mismatch counters and the cluster-wide version-coherence
+// check — even though every message is delivered exactly once.
+func TestSpawnMixedTagVersionsFailLoudly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process cluster test skipped in -short mode")
+	}
+	t.Setenv("SSMFP_NODE_CHILD", "1")
+	cfg := clusterConfig()
+	cfg.legacyNodes = "1"
+	err := run(cfg)
+	if err == nil {
+		t.Fatal("mixed v1/v2 cluster passed the judge — version skew must fail loudly")
+	}
+	if !strings.Contains(err.Error(), "violation") {
+		t.Fatalf("mixed cluster failed for the wrong reason: %v", err)
+	}
+}

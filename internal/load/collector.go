@@ -2,67 +2,15 @@ package load
 
 import (
 	"fmt"
-	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ssmfp/internal/graph"
 	"ssmfp/internal/metrics"
 	"ssmfp/internal/msgpass"
 )
-
-// tagPrefix versions the payload tag format. Every load-generated message
-// carries "lt1:<seq>:<src>:<dst>:<schedNanos>" as its payload, so the
-// latency of a delivery is computable from the delivery stream alone — no
-// side table has to cross process boundaries, which is what lets the same
-// collector serve the in-process LiveNetwork and the TCP cluster (whose
-// nodes share the host clock via loopback).
-const tagPrefix = "lt1:"
-
-// warmupPrefix tags warmup traffic: counted on arrival so the driver can
-// wait for the deployment to be hot, but excluded from the histogram and
-// the exactly-once verdict.
-const warmupPrefix = "lw1:"
-
-// EncodeTag renders the load payload for plan entry seq: source, intended
-// destination, and the scheduled injection instant in Unix nanoseconds.
-// The scheduled (not actual) instant is the open-loop anti-coordinated-
-// omission guarantee: a send delayed by backpressure counts that delay as
-// latency instead of silently shifting the schedule.
-func EncodeTag(seq int, src, dst graph.ProcessID, schedNanos int64) string {
-	return fmt.Sprintf("%s%d:%d:%d:%d", tagPrefix, seq, src, dst, schedNanos)
-}
-
-// ParseTag decodes a payload written by EncodeTag; ok is false for
-// foreign payloads (untagged traffic sharing the network).
-func ParseTag(payload string) (seq int, src, dst graph.ProcessID, schedNanos int64, ok bool) {
-	rest, found := strings.CutPrefix(payload, tagPrefix)
-	if !found {
-		return 0, 0, 0, 0, false
-	}
-	parts := strings.Split(rest, ":")
-	if len(parts) != 4 {
-		return 0, 0, 0, 0, false
-	}
-	seq, err := strconv.Atoi(parts[0])
-	if err != nil {
-		return 0, 0, 0, 0, false
-	}
-	s, err := strconv.Atoi(parts[1])
-	if err != nil {
-		return 0, 0, 0, 0, false
-	}
-	d, err := strconv.Atoi(parts[2])
-	if err != nil {
-		return 0, 0, 0, 0, false
-	}
-	schedNanos, err = strconv.ParseInt(parts[3], 10, 64)
-	if err != nil {
-		return 0, 0, 0, 0, false
-	}
-	return seq, graph.ProcessID(s), graph.ProcessID(d), schedNanos, true
-}
 
 // maxViolationDetails caps the per-violation detail strings kept in a
 // report; beyond it only counters grow.
@@ -79,8 +27,9 @@ type expectRec struct {
 // exactly-once accounting. It is pre-seeded with the full injection plan,
 // marks entries as the driver sends them, and continuously cross-checks
 // every tagged delivery: unknown sequence numbers, deliveries at the
-// wrong destination, duplicates, and deliveries of never-sent entries are
-// all violations the moment they happen, not at the end of the run.
+// wrong destination, duplicates, deliveries of never-sent entries, and
+// tags of a foreign codec version are all violations the moment they
+// happen, not at the end of the run.
 type Collector struct {
 	mu        sync.Mutex
 	expect    []expectRec
@@ -89,8 +38,14 @@ type Collector struct {
 	dupes     int
 	misrouted int
 	unsent    int
+	badver    int
 	details   []string
 	hist      metrics.LatencyHist
+
+	// progress is the drain wake-up: observe pulses it (non-blocking,
+	// capacity 1) whenever a counter the driver may be waiting on moves,
+	// so Run's drain and warmUp block on deliveries instead of polling.
+	progress chan struct{}
 
 	// onComplete, when non-nil, is called once per first delivery with the
 	// source of the completed message — the closed-loop driver's token
@@ -101,7 +56,10 @@ type Collector struct {
 
 // newCollector seeds a collector with the plan's (src, dst) pairs.
 func newCollector(plan []planEntry) *Collector {
-	c := &Collector{expect: make([]expectRec, len(plan))}
+	c := &Collector{
+		expect:   make([]expectRec, len(plan)),
+		progress: make(chan struct{}, 1),
+	}
 	for i, e := range plan {
 		c.expect[i] = expectRec{src: e.Src, dst: e.Dst}
 	}
@@ -123,19 +81,61 @@ func (c *Collector) unmarkSent(seq int) {
 	c.mu.Unlock()
 }
 
+// signal pulses the progress channel; capacity 1 and a non-blocking send
+// make it a level trigger, never a queue.
+func (c *Collector) signal() {
+	select {
+	case c.progress <- struct{}{}:
+	default:
+	}
+}
+
+// waitUntil blocks until cond holds or the deadline passes, waking on
+// each progress pulse. The pulse is buffered, so a delivery landing
+// between the cond check and the receive is never lost; the short timer
+// cap only bounds deadline resolution, it is not the wake mechanism.
+func (c *Collector) waitUntil(cond func() bool, deadline time.Time) bool {
+	for {
+		if cond() {
+			return true
+		}
+		d := time.Until(deadline)
+		if d <= 0 {
+			return cond()
+		}
+		if d > 50*time.Millisecond {
+			d = 50 * time.Millisecond
+		}
+		t := time.NewTimer(d)
+		select {
+		case <-c.progress:
+		case <-t.C:
+		}
+		t.Stop()
+	}
+}
+
 // observe folds one delivery. Invalid messages (planted junk from
 // corrupted starts) and untagged payloads are not load traffic and are
-// ignored.
+// ignored; tags of a recognizable but foreign version are a violation —
+// a mixed-version cluster must fail its verdict loudly, not mis-parse.
 func (c *Collector) observe(d msgpass.Delivery) {
-	if d.Msg == nil || !d.Msg.Valid {
+	if !d.Msg.Valid {
 		return
 	}
 	if strings.HasPrefix(d.Msg.Payload, warmupPrefix) {
 		c.warm.Add(1)
+		c.signal()
 		return
 	}
 	seq, src, dst, sched, ok := ParseTag(d.Msg.Payload)
 	if !ok {
+		if v := TagVersion(d.Msg.Payload); v != 0 && v != TagVersionCurrent {
+			c.mu.Lock()
+			c.badver++
+			c.detail("tag version %d delivery at %d (this build speaks v%d)", v, d.At, TagVersionCurrent)
+			c.mu.Unlock()
+		}
 		return
 	}
 	var complete func(graph.ProcessID)
@@ -164,6 +164,7 @@ func (c *Collector) observe(d msgpass.Delivery) {
 		}
 	}
 	c.mu.Unlock()
+	c.signal()
 	if complete != nil {
 		complete(src)
 	}
@@ -192,7 +193,7 @@ func (c *Collector) finish(sent int) (exactlyOnce bool, violations []string) {
 			c.detail("seq %d sent but never delivered", seq)
 		}
 	}
-	total := c.dupes + c.misrouted + c.unsent + missing
+	total := c.dupes + c.misrouted + c.unsent + c.badver + missing
 	if total > len(c.details) {
 		c.details = append(c.details, fmt.Sprintf("... and %d more violations", total-len(c.details)))
 	}

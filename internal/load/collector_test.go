@@ -1,0 +1,100 @@
+package load
+
+import (
+	"testing"
+	"time"
+
+	"ssmfp/internal/msgpass"
+)
+
+// TestDrainWakesPromptlyOnDelivery pins the event-driven drain contract
+// of satellite work on the busy-poll removal: waitUntil must return on
+// the delivery's progress pulse, not on the next poll interval or the
+// 50ms deadline-resolution timer. The delivery lands ~5ms in; returning
+// well before the first 50ms timer tick proves the pulse did the waking.
+func TestDrainWakesPromptlyOnDelivery(t *testing.T) {
+	plan := []planEntry{{Src: 0, Dst: 1}}
+	col := newCollector(plan)
+	col.markSent(0)
+
+	start := time.Now()
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		col.observe(msgpass.Delivery{
+			Msg: msgpass.Message{Payload: EncodeTag(0, 0, 1, start.UnixNano()), Src: 0, Dest: 1, Valid: true},
+			At:  1, Time: time.Now(),
+		})
+	}()
+	deadline := start.Add(10 * time.Second)
+	if !col.waitUntil(func() bool { return col.Delivered() >= 1 }, deadline) {
+		t.Fatal("waitUntil gave up before the delivery")
+	}
+	if elapsed := time.Since(start); elapsed >= 45*time.Millisecond {
+		t.Fatalf("drain woke after %v — the delivery pulse at ~5ms should have woken it "+
+			"before the 50ms fallback timer", elapsed)
+	}
+}
+
+// TestWaitUntilDeadline pins the timeout half of the contract: a condition
+// that never becomes true returns false once the deadline passes.
+func TestWaitUntilDeadline(t *testing.T) {
+	col := newCollector([]planEntry{{Src: 0, Dst: 1}})
+	start := time.Now()
+	if col.waitUntil(func() bool { return false }, start.Add(60*time.Millisecond)) {
+		t.Fatal("waitUntil reported success for an impossible condition")
+	}
+	if elapsed := time.Since(start); elapsed < 55*time.Millisecond {
+		t.Fatalf("waitUntil gave up after %v, before the deadline", elapsed)
+	}
+}
+
+// TestWarmupDeliveryPulsesProgress holds the warmup path to the same
+// event-driven discipline as the measured drain.
+func TestWarmupDeliveryPulsesProgress(t *testing.T) {
+	col := newCollector(nil)
+	start := time.Now()
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		col.observe(msgpass.Delivery{
+			Msg: msgpass.Message{Payload: warmupPrefix + "w0", Valid: true},
+			At:  0, Time: time.Now(),
+		})
+	}()
+	if !col.waitUntil(func() bool { return col.warm.Load() >= 1 }, start.Add(10*time.Second)) {
+		t.Fatal("warmup wait gave up")
+	}
+	if elapsed := time.Since(start); elapsed >= 45*time.Millisecond {
+		t.Fatalf("warmup wait woke after %v, want the ~5ms pulse", elapsed)
+	}
+}
+
+// TestCollectorFlagsForeignTagVersion pins the loud-failure contract for
+// mixed-version deployments: a delivery carrying a recognizable tag of
+// another version is a verdict-breaking violation, while untagged traffic
+// stays invisible.
+func TestCollectorFlagsForeignTagVersion(t *testing.T) {
+	col := newCollector([]planEntry{{Src: 0, Dst: 1}})
+	col.markSent(0)
+	deliver := func(payload string) {
+		col.observe(msgpass.Delivery{
+			Msg: msgpass.Message{Payload: payload, Src: 0, Dest: 1, Valid: true},
+			At:  1, Time: time.Now(),
+		})
+	}
+	deliver("unrelated traffic")                       // ignored
+	deliver(EncodeTagV1(0, 0, 1, 1))                   // old binary on the cluster: violation
+	deliver(EncodeTag(0, 0, 1, time.Now().UnixNano())) // the real delivery
+	ok, violations := col.finish(1)
+	if ok {
+		t.Fatalf("verdict passed despite a v1-tagged delivery: %v", violations)
+	}
+	found := false
+	for _, v := range violations {
+		if v == "tag version 1 delivery at 1 (this build speaks v2)" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no version-mismatch violation recorded: %v", violations)
+	}
+}

@@ -231,11 +231,11 @@ func Run(nw Network, g *graph.Graph, hook *Hook, cfg Config) (StepReport, error)
 
 	// Drain: wait for every sent message to land (the protocol guarantees
 	// it will; the timeout bounds a broken deployment, and expiring here
-	// surfaces as missing-delivery violations in the verdict).
-	deadline := time.Now().Add(cfg.DrainTimeout)
-	for col.Delivered() < int(sent.Load()) && time.Now().Before(deadline) {
-		time.Sleep(2 * time.Millisecond)
-	}
+	// surfaces as missing-delivery violations in the verdict). The wait is
+	// event-driven off the delivery hook — the driver wakes on the final
+	// delivery, not on the next poll tick.
+	col.waitUntil(func() bool { return col.Delivered() >= int(sent.Load()) },
+		time.Now().Add(cfg.DrainTimeout))
 	spanNS := time.Since(start).Nanoseconds()
 	close(stopTick)
 	tickWG.Wait()
@@ -283,10 +283,8 @@ func warmUp(nw Network, g *graph.Graph, col *Collector, cfg Config) {
 			sent++
 		}
 	}
-	deadline := time.Now().Add(5 * time.Second)
-	for int(col.warm.Load()) < sent && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
-	}
+	col.waitUntil(func() bool { return int(col.warm.Load()) >= sent },
+		time.Now().Add(5*time.Second))
 }
 
 // injectOpen replays the arrival schedule: sleep until each entry's

@@ -1,0 +1,156 @@
+package load
+
+import (
+	"encoding/binary"
+	"strconv"
+	"strings"
+
+	"ssmfp/internal/graph"
+)
+
+// Payload tag codec.
+//
+// Every load-generated message carries its plan coordinates in the
+// payload — sequence number, source, intended destination, and the
+// scheduled injection instant in Unix nanoseconds — so the latency and
+// exactly-once verdict of a delivery are computable from the delivery
+// stream alone. No side table has to cross process boundaries, which is
+// what lets the same collector serve the in-process LiveNetwork and the
+// TCP cluster (whose nodes share the host clock via loopback).
+//
+// Version 2 (current) is a fixed-width binary layout:
+//
+//	tag := "lt2:" u32be(seq) u32be(src) u32be(dst) u64be(schedNanos)
+//
+// Encoding is one string conversion; parsing is fixed-offset reads with
+// zero allocations — the per-delivery cost that used to dominate the
+// collector (fmt.Sprintf / strings.Split in the v1 text format) is gone
+// from the hot path. Version 1 ("lt1:<seq>:<src>:<dst>:<sched>", colon-
+// separated decimal) remains decodable via ParseTagV1 so mixed-version
+// deployments are *detected* (TagVersion) and failed loudly instead of
+// silently mis-parsed; it is never emitted by this build outside tests.
+//
+// Both parsers reject negative and out-of-range fields: a corrupted or
+// hostile payload must not cast into a bogus graph.ProcessID and
+// misattribute a delivery.
+
+// Tag version prefixes. All versions are 4 bytes, "lt" + digit + ':'.
+const (
+	tagPrefixV1 = "lt1:"
+	tagPrefixV2 = "lt2:"
+
+	// TagVersionCurrent is the version EncodeTag writes.
+	TagVersionCurrent = 2
+)
+
+// warmupPrefix tags warmup traffic: counted on arrival so the driver can
+// wait for the deployment to be hot, but excluded from the histogram and
+// the exactly-once verdict.
+const warmupPrefix = "lw1:"
+
+// tagV2Len is the exact length of a v2 tag: prefix + three u32 + one u64.
+const tagV2Len = 4 + 4 + 4 + 4 + 8
+
+// maxTagField bounds seq/src/dst in either version: values beyond int32
+// (or negative ones, in the v1 text form) are rejected, not cast.
+const maxTagField = 1<<31 - 1
+
+// EncodeTag renders the load payload for plan entry seq: source, intended
+// destination, and the scheduled injection instant in Unix nanoseconds.
+// The scheduled (not actual) instant is the open-loop anti-coordinated-
+// omission guarantee: a send delayed by backpressure counts that delay as
+// latency instead of silently shifting the schedule. Fields outside
+// [0, 2³¹) panic — plan indices and processor IDs never get there.
+func EncodeTag(seq int, src, dst graph.ProcessID, schedNanos int64) string {
+	if seq < 0 || seq > maxTagField || src < 0 || int(src) > maxTagField ||
+		dst < 0 || int(dst) > maxTagField || schedNanos < 0 {
+		panic("load: tag field out of range")
+	}
+	var b [tagV2Len]byte
+	copy(b[:4], tagPrefixV2)
+	binary.BigEndian.PutUint32(b[4:8], uint32(seq))
+	binary.BigEndian.PutUint32(b[8:12], uint32(src))
+	binary.BigEndian.PutUint32(b[12:16], uint32(dst))
+	binary.BigEndian.PutUint64(b[16:24], uint64(schedNanos))
+	return string(b[:])
+}
+
+// ParseTag decodes a payload written by EncodeTag; ok is false for
+// foreign payloads (untagged traffic sharing the network, or a tag of a
+// different version — use TagVersion to tell the two apart). It performs
+// no allocation.
+func ParseTag(payload string) (seq int, src, dst graph.ProcessID, schedNanos int64, ok bool) {
+	if len(payload) != tagV2Len || payload[:4] != tagPrefixV2 {
+		return 0, 0, 0, 0, false
+	}
+	s := binary.BigEndian.Uint32([]byte(payload[4:8]))
+	sr := binary.BigEndian.Uint32([]byte(payload[8:12]))
+	ds := binary.BigEndian.Uint32([]byte(payload[12:16]))
+	sch := binary.BigEndian.Uint64([]byte(payload[16:24]))
+	if s > maxTagField || sr > maxTagField || ds > maxTagField || sch > 1<<63-1 {
+		return 0, 0, 0, 0, false
+	}
+	return int(s), graph.ProcessID(sr), graph.ProcessID(ds), int64(sch), true
+}
+
+// TagVersion identifies which tag version a payload carries: 1 or 2 for
+// the known formats (matched on prefix alone, so a malformed or truncated
+// body still reports its claimed version) and 0 for untagged traffic.
+// Collectors use it to fail loudly on version-mismatched load traffic —
+// the cross-version cluster test pins that behavior.
+func TagVersion(payload string) int {
+	if len(payload) < 4 || payload[:2] != "lt" || payload[3] != ':' {
+		return 0
+	}
+	switch payload[2] {
+	case '1':
+		return 1
+	case '2':
+		return 2
+	}
+	return 0
+}
+
+// EncodeTagV1 renders the legacy colon-separated text tag. It exists for
+// the cross-version tests (simulating an old binary on a mixed cluster)
+// and is not used on any current path.
+func EncodeTagV1(seq int, src, dst graph.ProcessID, schedNanos int64) string {
+	return tagPrefixV1 +
+		strconv.Itoa(seq) + ":" +
+		strconv.Itoa(int(src)) + ":" +
+		strconv.Itoa(int(dst)) + ":" +
+		strconv.FormatInt(schedNanos, 10)
+}
+
+// ParseTagV1 decodes the legacy text tag. Unlike the pre-v2 parser it
+// rejects negative and overflowing seq/src/dst instead of silently
+// casting them into graph.ProcessID — a hostile payload like
+// "lt1:-1:-7:2:0" is foreign traffic, not a delivery record.
+func ParseTagV1(payload string) (seq int, src, dst graph.ProcessID, schedNanos int64, ok bool) {
+	rest, found := strings.CutPrefix(payload, tagPrefixV1)
+	if !found {
+		return 0, 0, 0, 0, false
+	}
+	parts := strings.Split(rest, ":")
+	if len(parts) != 4 {
+		return 0, 0, 0, 0, false
+	}
+	// ParseUint with a 31-bit size refuses signs and overflow in one shot.
+	s, err := strconv.ParseUint(parts[0], 10, 31)
+	if err != nil {
+		return 0, 0, 0, 0, false
+	}
+	sr, err := strconv.ParseUint(parts[1], 10, 31)
+	if err != nil {
+		return 0, 0, 0, 0, false
+	}
+	ds, err := strconv.ParseUint(parts[2], 10, 31)
+	if err != nil {
+		return 0, 0, 0, 0, false
+	}
+	sch, err := strconv.ParseInt(parts[3], 10, 64)
+	if err != nil || sch < 0 {
+		return 0, 0, 0, 0, false
+	}
+	return int(s), graph.ProcessID(sr), graph.ProcessID(ds), sch, true
+}

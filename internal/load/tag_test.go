@@ -1,0 +1,182 @@
+package load
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ssmfp/internal/graph"
+)
+
+// TestTagRoundTripProperty drives the v2 codec across a seeded sample of
+// the field space: every encodable tuple decodes to itself, and the
+// encoding is the documented fixed width.
+func TestTagRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := [][4]int64{
+		{0, 0, 1, 0},
+		{maxTagField, maxTagField, maxTagField, 1<<63 - 1},
+		{1, 2, 3, 4},
+	}
+	for i := 0; i < 500; i++ {
+		cases = append(cases, [4]int64{
+			rng.Int63n(maxTagField + 1),
+			rng.Int63n(maxTagField + 1),
+			rng.Int63n(maxTagField + 1),
+			rng.Int63(),
+		})
+	}
+	for _, c := range cases {
+		tag := EncodeTag(int(c[0]), graph.ProcessID(c[1]), graph.ProcessID(c[2]), c[3])
+		if len(tag) != tagV2Len {
+			t.Fatalf("EncodeTag%v produced %d bytes, want %d", c, len(tag), tagV2Len)
+		}
+		seq, src, dst, sched, ok := ParseTag(tag)
+		if !ok || int64(seq) != c[0] || int64(src) != c[1] || int64(dst) != c[2] || sched != c[3] {
+			t.Fatalf("round trip of %v gave (%d,%d,%d,%d,%v)", c, seq, src, dst, sched, ok)
+		}
+		if v := TagVersion(tag); v != TagVersionCurrent {
+			t.Fatalf("TagVersion(%q) = %d", tag, v)
+		}
+	}
+}
+
+func TestEncodeTagRejectsOutOfRange(t *testing.T) {
+	cases := [][4]int64{
+		{-1, 0, 1, 0},
+		{0, -1, 1, 0},
+		{0, 0, -1, 0},
+		{0, 0, 1, -1},
+		{maxTagField + 1, 0, 1, 0},
+		{0, maxTagField + 1, 1, 0},
+		{0, 0, maxTagField + 1, 0},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("EncodeTag%v did not panic", c)
+				}
+			}()
+			EncodeTag(int(c[0]), graph.ProcessID(c[1]), graph.ProcessID(c[2]), c[3])
+		}()
+	}
+}
+
+func TestParseTagRejectsMalformed(t *testing.T) {
+	good := EncodeTag(1, 2, 3, 4)
+	bad := []string{
+		"",
+		"lt2:",
+		good[:tagV2Len-1], // truncated
+		good + "x",        // trailing byte
+		"lt1:" + good[4:], // right width, wrong version
+		"xx2:" + good[4:], // right width, wrong magic
+		strings.Repeat("z", tagV2Len),
+	}
+	for _, b := range bad {
+		if _, _, _, _, ok := ParseTag(b); ok {
+			t.Errorf("ParseTag(%q) accepted a malformed payload", b)
+		}
+	}
+}
+
+// TestParseTagAllocFree pins the hot-path contract: decoding a delivery
+// tag performs zero allocations.
+func TestParseTagAllocFree(t *testing.T) {
+	tag := EncodeTag(7, 1, 2, 123456789)
+	if allocs := testing.AllocsPerRun(200, func() {
+		if _, _, _, _, ok := ParseTag(tag); !ok {
+			t.Fatal("parse failed")
+		}
+	}); allocs > 0 {
+		t.Fatalf("ParseTag allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+// TestParseTagV1RejectsNegativeAndOverflow is the regression test for the
+// latent v1 parser bug: strconv.Atoi accepted negative seq/src/dst (and
+// 64-bit overflow of int32 process IDs), casting them straight into
+// graph.ProcessID. The hardened parser refuses them.
+func TestParseTagV1RejectsNegativeAndOverflow(t *testing.T) {
+	bad := []string{
+		"lt1:-1:0:1:0",
+		"lt1:0:-7:1:0",
+		"lt1:0:0:-2:0",
+		"lt1:0:0:1:-5",                  // negative schedule instant
+		"lt1:2147483648:0:1:0",          // seq beyond int32
+		"lt1:0:2147483648:1:0",          // src beyond int32
+		"lt1:0:0:2147483648:0",          // dst beyond int32
+		"lt1:9223372036854775808:0:1:0", // beyond int64
+		"lt1:1:2:3",                     // missing field
+		"lt1:1:2:3:4:5",                 // extra field
+		"lt1:x:2:3:4",
+		"lt1:1:2:3:y",
+		"lt2:1:2:3:4", // foreign version
+	}
+	for _, b := range bad {
+		if seq, src, dst, _, ok := ParseTagV1(b); ok {
+			t.Errorf("ParseTagV1(%q) accepted (%d,%d,%d)", b, seq, src, dst)
+		}
+	}
+	tag := EncodeTagV1(42, 3, 7, 1234567890123)
+	seq, src, dst, sched, ok := ParseTagV1(tag)
+	if !ok || seq != 42 || src != 3 || dst != 7 || sched != 1234567890123 {
+		t.Fatalf("v1 round trip gave (%d,%d,%d,%d,%v)", seq, src, dst, sched, ok)
+	}
+}
+
+func TestTagVersion(t *testing.T) {
+	cases := map[string]int{
+		EncodeTag(1, 2, 3, 4):   2,
+		EncodeTagV1(1, 2, 3, 4): 1,
+		"lt1:":                  1, // truncated body still claims v1
+		"lt2:garbage":           2,
+		"lt9:1:2:3:4":           0, // unknown version digit
+		"lw1:w0":                0, // warmup is not a load tag
+		"":                      0,
+		"hello":                 0,
+		"lt":                    0,
+	}
+	for payload, want := range cases {
+		if got := TagVersion(payload); got != want {
+			t.Errorf("TagVersion(%q) = %d, want %d", payload, got, want)
+		}
+	}
+}
+
+// FuzzParseTag holds both parsers to totality and round-trip identity:
+// arbitrary payloads either fail to parse or parse into fields that
+// re-encode to the identical payload.
+func FuzzParseTag(f *testing.F) {
+	f.Add(EncodeTag(0, 0, 1, 0))
+	f.Add(EncodeTag(maxTagField, maxTagField, maxTagField, 1<<63-1))
+	f.Add(EncodeTag(42, 3, 7, 1234567890123))
+	f.Add(EncodeTagV1(42, 3, 7, 1234567890123))
+	f.Add("lt1:-1:-7:2:0")
+	f.Add("lt2:1:2:3:4")
+	f.Add("lw1:w17")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, payload string) {
+		if seq, src, dst, sched, ok := ParseTag(payload); ok {
+			if back := EncodeTag(seq, src, dst, sched); back != payload {
+				t.Fatalf("v2 re-encode mismatch: %q -> %q", payload, back)
+			}
+			if TagVersion(payload) != 2 {
+				t.Fatalf("parseable v2 tag %q claims version %d", payload, TagVersion(payload))
+			}
+		}
+		if seq, src, dst, sched, ok := ParseTagV1(payload); ok {
+			if seq < 0 || src < 0 || dst < 0 || sched < 0 {
+				t.Fatalf("v1 parser leaked a negative field from %q", payload)
+			}
+			// The text form is not bijective (leading zeros, "+" signs), so
+			// the property is semantic: re-encoding re-parses identically.
+			back := EncodeTagV1(seq, src, dst, sched)
+			s2, sr2, d2, sc2, ok2 := ParseTagV1(back)
+			if !ok2 || s2 != seq || sr2 != src || d2 != dst || sc2 != sched {
+				t.Fatalf("v1 semantic round trip broke: %q -> %q", payload, back)
+			}
+		}
+	})
+}

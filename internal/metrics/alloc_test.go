@@ -1,0 +1,17 @@
+package metrics
+
+import "testing"
+
+// TestLatencyHistAddAllocFree pins the per-delivery accounting cost: the
+// collector calls Add once per measured delivery on the hot path, so it
+// must never allocate (the buckets are a fixed array, not a map).
+func TestLatencyHistAddAllocFree(t *testing.T) {
+	var h LatencyHist
+	v := int64(1)
+	if allocs := testing.AllocsPerRun(500, func() {
+		h.Add(v)
+		v = v*31 + 7
+	}); allocs > 0 {
+		t.Fatalf("LatencyHist.Add allocates %.1f times per call, want 0", allocs)
+	}
+}

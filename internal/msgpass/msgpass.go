@@ -56,9 +56,10 @@ type Message = transport.Message
 
 // Delivery records a consumption at a destination. Time is the wall-clock
 // instant the destination handed the message up — the load subsystem's
-// latency measurements end here.
+// latency measurements end here. Msg is a value: a delivery crosses the
+// OnDeliver hook by copy, so observing it allocates nothing.
 type Delivery struct {
-	Msg  *Message
+	Msg  Message
 	At   graph.ProcessID
 	Time time.Time
 }
@@ -126,6 +127,12 @@ type Options struct {
 	// Invocation order across destinations may differ from the order of
 	// the Deliveries slice.
 	OnDeliver func(Delivery)
+	// DiscardDeliveries disables the in-memory delivery log: Deliveries
+	// returns nil and each delivery costs an atomic increment instead of
+	// an append under the network lock. Sustained load runs set it — their
+	// accounting lives in the OnDeliver hook — so a long run's memory and
+	// hot path stay flat. WaitDelivered keeps working off the counter.
+	DiscardDeliveries bool
 }
 
 func (o Options) withDefaults() Options {
@@ -162,9 +169,12 @@ type Network struct {
 
 	nextUID atomic.Uint64
 
+	deliveredCount atomic.Int64
+	waiters        atomic.Int32 // WaitDelivered callers; deliver only signals when > 0
+
 	mu         sync.Mutex
 	deliveries []Delivery
-	delivered  chan struct{} // closed and replaced on every delivery
+	delivered  chan struct{} // closed and replaced on a delivery while waiters > 0
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -277,19 +287,29 @@ func (nw *Network) Send(src graph.ProcessID, payload string, dst graph.ProcessID
 		// all processes' UIDs stays collision-free for the oracle.
 		uid |= (uint64(src) + 1) << 40
 	}
+	if int(dst) < 0 || int(dst) >= nw.g.N() {
+		panic(fmt.Sprintf("msgpass: Send to processor %d, outside this deployment", dst))
+	}
 	m := Message{Payload: payload, UID: uid, Src: src, Dest: dst, Valid: true}
 	n.mu.Lock()
-	n.pending = append(n.pending, m)
+	pq := &n.pendingByDest[dst]
+	pq.q = append(pq.q, m)
 	n.mu.Unlock()
+	n.pendingTotal.Add(1)
 	return uid, nil
 }
 
-// Deliveries returns a snapshot of all (local) deliveries so far.
+// Deliveries returns a snapshot of all (local) deliveries so far. With
+// Options.DiscardDeliveries it returns nil — use the OnDeliver hook.
 func (nw *Network) Deliveries() []Delivery {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
 	return append([]Delivery(nil), nw.deliveries...)
 }
+
+// Delivered returns the count of local deliveries so far; unlike
+// Deliveries it works under DiscardDeliveries and takes no lock.
+func (nw *Network) Delivered() int { return int(nw.deliveredCount.Load()) }
 
 // WaitDelivered blocks until at least k deliveries happened or the timeout
 // elapsed; it reports whether the threshold was reached. It is signalled
@@ -299,12 +319,16 @@ func (nw *Network) Deliveries() []Delivery {
 func (nw *Network) WaitDelivered(k int, timeout time.Duration) bool {
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
+	nw.waiters.Add(1)
+	defer nw.waiters.Add(-1)
 	for {
+		// Grab the signal channel before checking the count: a delivery
+		// that lands in between will have closed this channel (it sees our
+		// registered waiter), so the select below cannot sleep through it.
 		nw.mu.Lock()
-		got := len(nw.deliveries)
 		sig := nw.delivered
 		nw.mu.Unlock()
-		if got >= k {
+		if int(nw.deliveredCount.Load()) >= k {
 			return true
 		}
 		if nw.stopped.Load() {
@@ -314,21 +338,27 @@ func (nw *Network) WaitDelivered(k int, timeout time.Duration) bool {
 		case <-sig:
 		case <-nw.stop:
 		case <-timer.C:
-			nw.mu.Lock()
-			got = len(nw.deliveries)
-			nw.mu.Unlock()
-			return got >= k
+			return int(nw.deliveredCount.Load()) >= k
 		}
 	}
 }
 
 func (nw *Network) deliver(d Delivery) {
 	d.Time = time.Now()
-	nw.mu.Lock()
-	nw.deliveries = append(nw.deliveries, d)
-	close(nw.delivered) // wake every WaitDelivered
-	nw.delivered = make(chan struct{})
-	nw.mu.Unlock()
+	if !nw.opts.DiscardDeliveries {
+		nw.mu.Lock()
+		nw.deliveries = append(nw.deliveries, d)
+		nw.mu.Unlock()
+	}
+	nw.deliveredCount.Add(1)
+	if nw.waiters.Load() > 0 {
+		// Wake every WaitDelivered. Skipped entirely when nobody waits, so
+		// the steady-state delivery path churns no channels.
+		nw.mu.Lock()
+		close(nw.delivered)
+		nw.delivered = make(chan struct{})
+		nw.mu.Unlock()
+	}
 	// Outside the lock: the hook may take its own locks (the latency
 	// collector does) and must not be able to deadlock against Deliveries.
 	if fn := nw.opts.OnDeliver; fn != nil {
@@ -372,9 +402,7 @@ func (nw *Network) QueueDepths() []QueueDepth {
 	out := make([]QueueDepth, 0, len(nw.local))
 	for _, p := range nw.local {
 		n := nw.nodes[p]
-		n.mu.Lock()
-		pending := len(n.pending)
-		n.mu.Unlock()
+		pending := int(n.pendingTotal.Load())
 		wireOut := 0
 		for _, l := range n.out {
 			wireOut += l.Stats().Queued
@@ -391,15 +419,10 @@ func (nw *Network) QueueDepths() []QueueDepth {
 	return out
 }
 
-// observe publishes a wall-clock-domain event when a bus with subscribers
-// is attached; Step and Round are forced to -1 (there is no engine clock
-// in this model).
-func (nw *Network) observe(ev obs.Event) {
-	if b := nw.opts.Bus; b.Active() {
-		ev.Step, ev.Round = -1, -1
-		b.Publish(ev)
-	}
-}
+// busActive reports whether observability events should be constructed at
+// all — nodes guard every event site with it, so a run without a
+// subscriber builds no Event and no MsgRecord (one atomic load per site).
+func (nw *Network) busActive() bool { return nw.opts.Bus.Active() }
 
 // record converts a port message into its observability image; lastHop is
 // the hop identity the state model would have stored alongside it.

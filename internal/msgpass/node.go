@@ -11,18 +11,43 @@ import (
 	"ssmfp/internal/transport"
 )
 
+// Cadence constants, in ticks. The distance vector is gossiped whenever it
+// changed and at least every dvHeartbeatTicks regardless (the heartbeat is
+// what lets a node with arbitrarily corrupted routing state recover — the
+// snap-stabilization requirement); an outstanding offer or cancel is
+// retransmitted after offerRetransmitTicks of silence instead of every
+// tick, so a healthy handshake in flight is not amplified into an offer
+// storm under load.
+const (
+	dvHeartbeatTicks     = 8
+	offerRetransmitTicks = 2
+)
+
 // destState is the per-destination forwarding state of a node: the bufR /
 // bufE pair of the protocol plus the handshake bookkeeping that replaces
-// the shared-memory R3/R4 reasoning.
+// the shared-memory R3/R4 reasoning. Buffers are values guarded by
+// occupancy flags — the steady-state hop path never heap-allocates.
 type destState struct {
-	bufR *Message
-	bufE *Message
+	bufR, bufE Message
+	hasR, hasE bool
 
 	// Sender side: the occupancy's outstanding offer. offerSeq == 0 means
 	// no offer issued yet; offerTarget is the single neighbor the sequence
 	// was offered to (retargeting requires the cancel round trip).
+	// lastDrive is the tick the offer/cancel was last put on the wire.
 	offerSeq    uint64
 	offerTarget graph.ProcessID
+	lastDrive   uint64
+
+	// Receiver side: an offer that arrived while bufR was occupied is
+	// parked here and accepted the instant R2 frees the buffer — the
+	// congested-hop handoff is event-driven, not retransmit-paced.
+	// Accepting a parked offer is indistinguishable from accepting a
+	// retransmitted copy of the same frame, so the handshake's safety
+	// argument is untouched; a cancel for the parked sequence evicts it.
+	parked     transport.Offer
+	parkedFrom graph.ProcessID
+	hasParked  bool
 
 	// Receiver side, per neighbor sender: the highest sequence accepted
 	// here and the highest sequence killed by a cancel. Sequences per
@@ -35,20 +60,34 @@ type destState struct {
 	killed   map[graph.ProcessID]uint64
 }
 
+// pendQueue is one destination's FIFO of higher-layer sends not yet
+// accepted by R1. head indexes the next message; when the queue drains the
+// backing array is reused, so sustained load reaches a steady state with
+// no append growth.
+type pendQueue struct {
+	q    []Message
+	head int
+}
+
 // node is one processor goroutine.
 type node struct {
 	nw  *Network
 	id  graph.ProcessID
 	rng *rand.Rand
 
-	// routing: self-stabilizing distance vector.
-	dist   []int
-	parent []graph.ProcessID
-	nbrDV  map[graph.ProcessID][]int
+	// routing: self-stabilizing distance vector. nbrDV is indexed like
+	// nbrs; an entry is nil until the first DV from that neighbor arrives,
+	// then a fixed N-length slice updated in place.
+	nbrs    []graph.ProcessID
+	dist    []int
+	parent  []graph.ProcessID
+	nbrDV   [][]int
+	dvDirty bool
 
 	// forwarding.
-	dests   []destState
-	nextSeq uint64
+	dests     []destState
+	nextSeq   uint64
+	tickCount uint64
 
 	// out caches this node's outgoing wire links, one per neighbor; the
 	// send hot path is a map read plus the link's own handoff.
@@ -63,26 +102,37 @@ type node struct {
 	gaugeBufR atomic.Int32
 	gaugeBufE atomic.Int32
 
-	// higher layer; written by Network.Send concurrently.
-	mu      sync.Mutex
-	pending []Message
+	// evs batches this node's observability events; the main loop flushes
+	// it once per iteration (obs.Bus.PublishBatch), so a burst of rule
+	// firings costs one sequence reservation instead of one per event.
+	// Touched only from the node goroutine.
+	evs []obs.Event
+
+	// higher layer; written by Network.Send concurrently. pendingTotal is
+	// read lock-free on the hot path so an idle R1 costs one atomic load.
+	mu            sync.Mutex
+	pendingByDest []pendQueue
+	pendingTotal  atomic.Int64
 }
 
 func newNode(nw *Network, id graph.ProcessID, rng *rand.Rand) *node {
 	g := nw.g
-	n := &node{
-		nw:      nw,
-		id:      id,
-		rng:     rng,
-		dist:    make([]int, g.N()),
-		parent:  make([]graph.ProcessID, g.N()),
-		nbrDV:   make(map[graph.ProcessID][]int),
-		dests:   make([]destState, g.N()),
-		nextSeq: 1,
-		out:     make(map[graph.ProcessID]transport.Link),
-		inbox:   make(chan transport.Frame, nw.opts.ChannelDepth*len(g.Neighbors(id))),
-	}
 	nbrs := g.Neighbors(id)
+	n := &node{
+		nw:            nw,
+		id:            id,
+		rng:           rng,
+		nbrs:          nbrs,
+		dist:          make([]int, g.N()),
+		parent:        make([]graph.ProcessID, g.N()),
+		nbrDV:         make([][]int, len(nbrs)),
+		dests:         make([]destState, g.N()),
+		nextSeq:       1,
+		out:           make(map[graph.ProcessID]transport.Link),
+		inbox:         make(chan transport.Frame, nw.opts.ChannelDepth*len(nbrs)),
+		pendingByDest: make([]pendQueue, g.N()),
+		dvDirty:       true, // gossip the initial vector on the first tick
+	}
 	for _, q := range nbrs {
 		n.out[q] = nw.tr.Link(id, q)
 	}
@@ -105,11 +155,11 @@ func newNode(nw *Network, id graph.ProcessID, rng *rand.Rand) *node {
 		// Plant an invalid message in a random buffer of a random
 		// destination, as the state-model experiments do.
 		d := graph.ProcessID(n.rng.Intn(g.N()))
-		inv := &Message{Payload: "junk", UID: 1<<60 + uint64(id), Src: id, Dest: d, Valid: false}
+		inv := Message{Payload: "junk", UID: 1<<60 + uint64(id), Src: id, Dest: d, Valid: false}
 		if n.rng.Intn(2) == 0 {
-			n.dests[d].bufR = inv
+			n.dests[d].bufR, n.dests[d].hasR = inv, true
 		} else {
-			n.dests[d].bufE = inv
+			n.dests[d].bufE, n.dests[d].hasE = inv, true
 		}
 	}
 	n.updateGauges()
@@ -118,18 +168,34 @@ func newNode(nw *Network, id graph.ProcessID, rng *rand.Rand) *node {
 
 // send counts and ships one frame on the cached link to q.
 func (n *node) send(q graph.ProcessID, f transport.Frame) {
-	n.nw.countFrame(f.Kind())
+	n.nw.countFrame(f.Kind)
 	n.out[q].Send(f)
+}
+
+// observe queues one event on the node's batch; callers must guard with
+// nw.busActive() so the inactive path constructs nothing.
+func (n *node) observe(ev obs.Event) {
+	ev.Step, ev.Round = -1, -1
+	n.evs = append(n.evs, ev)
+}
+
+// flushObs publishes the batched events of one loop iteration.
+func (n *node) flushObs() {
+	if len(n.evs) == 0 {
+		return
+	}
+	n.nw.opts.Bus.PublishBatch(n.evs)
+	n.evs = n.evs[:0]
 }
 
 // updateGauges refreshes the buffer-occupancy gauges QueueDepths reads.
 func (n *node) updateGauges() {
 	var r, e int32
 	for i := range n.dests {
-		if n.dests[i].bufR != nil {
+		if n.dests[i].hasR {
 			r++
 		}
-		if n.dests[i].bufE != nil {
+		if n.dests[i].hasE {
 			e++
 		}
 	}
@@ -141,11 +207,10 @@ func (n *node) updateGauges() {
 // into the node's inbox; the loop reacts to frames and ticks.
 func (n *node) run() {
 	defer n.nw.wg.Done()
-	g := n.nw.g
 	ticker := time.NewTicker(n.nw.opts.Tick)
 	defer ticker.Stop()
 
-	for _, q := range g.Neighbors(n.id) {
+	for _, q := range n.nbrs {
 		ch := n.nw.tr.Link(q, n.id).Recv()
 		n.nw.wg.Add(1)
 		go func(ch <-chan transport.Frame) {
@@ -175,23 +240,56 @@ func (n *node) run() {
 			n.tick()
 		}
 		n.localMoves()
+		n.flushObs()
 	}
 }
 
 // handle processes one incoming frame.
 func (n *node) handle(f transport.Frame) {
-	switch {
-	case len(f.DV) > 0:
-		n.nbrDV[f.From] = f.DV
+	switch f.Kind {
+	case transport.KindDV:
+		n.handleDV(f.From, f.DV)
+	case transport.KindOffer:
+		n.handleOffer(f.From, f.Offer)
+	case transport.KindAccept:
+		n.handleAccept(f.From, f.Ack)
+	case transport.KindCancel:
+		n.handleCancel(f.From, f.Ack)
+	case transport.KindCancelAck:
+		n.handleCancelAck(f.From, f.Ack)
+	}
+}
+
+// handleDV folds a neighbor's gossiped vector into the fixed per-neighbor
+// store and recomputes routes only when something actually changed — in
+// steady state every gossip heartbeat is a no-op comparison, not a full
+// Bellman-Ford pass.
+func (n *node) handleDV(from graph.ProcessID, dv []int) {
+	idx := -1
+	for i, q := range n.nbrs {
+		if q == from {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 || len(dv) != n.nw.g.N() {
+		return // not a neighbor, or a corrupt frame from an untrusted wire
+	}
+	stored := n.nbrDV[idx]
+	if stored == nil {
+		n.nbrDV[idx] = append([]int(nil), dv...)
 		n.recomputeRoutes()
-	case f.Offer != nil:
-		n.handleOffer(f.From, *f.Offer)
-	case f.Accept != nil:
-		n.handleAccept(f.From, *f.Accept)
-	case f.Cancel != nil:
-		n.handleCancel(f.From, *f.Cancel)
-	case f.CancelAck != nil:
-		n.handleCancelAck(f.From, *f.CancelAck)
+		return
+	}
+	changed := false
+	for i, v := range dv {
+		if stored[i] != v {
+			stored[i] = v
+			changed = true
+		}
+	}
+	if changed {
+		n.recomputeRoutes()
 	}
 }
 
@@ -206,10 +304,10 @@ func (n *node) recomputeRoutes() {
 			continue
 		}
 		best := g.N()
-		bestQ := g.Neighbors(n.id)[0]
-		for _, q := range g.Neighbors(n.id) {
-			dv, ok := n.nbrDV[q]
-			if !ok || len(dv) <= d {
+		bestQ := n.nbrs[0]
+		for i, q := range n.nbrs {
+			dv := n.nbrDV[i]
+			if dv == nil {
 				continue
 			}
 			if cand := dv[d] + 1; cand < best {
@@ -217,14 +315,19 @@ func (n *node) recomputeRoutes() {
 				bestQ = q
 			}
 		}
-		n.dist[d] = best
+		if n.dist[d] != best {
+			n.dist[d] = best
+			n.dvDirty = true
+		}
 		n.parent[d] = bestQ
 	}
 }
 
 // handleOffer is the receiver half of the hop transfer: store into an
 // empty bufR exactly once per sequence, acknowledge idempotently at or
-// below the watermark, stay silent while busy (the sender retransmits).
+// below the watermark, and park the offer while busy so the handoff
+// completes the moment R2 frees the buffer instead of waiting out the
+// sender's retransmit interval.
 func (n *node) handleOffer(from graph.ProcessID, o transport.Offer) {
 	if int(o.Dest) >= len(n.dests) {
 		return // corrupt frame from an untrusted wire
@@ -234,18 +337,28 @@ func (n *node) handleOffer(from graph.ProcessID, o transport.Offer) {
 	case o.Seq <= ds.accepted[from]:
 		n.ack(from, o.Dest, o.Seq)
 	case o.Seq <= ds.killed[from]:
-		n.send(from, transport.Frame{From: n.id, CancelAck: &transport.Ack{Dest: o.Dest, Seq: o.Seq}})
-	case ds.bufR == nil:
-		m := o.Msg
-		ds.bufR = &m
+		n.send(from, transport.Frame{Kind: transport.KindCancelAck, From: n.id, Ack: transport.Ack{Dest: o.Dest, Seq: o.Seq}})
+	case !ds.hasR:
+		ds.bufR = o.Msg
+		ds.hasR = true
 		ds.accepted[from] = o.Seq
-		n.nw.observe(obs.Event{Kind: obs.KindForward, Proc: n.id, Dest: o.Dest, From: from, Msg: record(&m, from)})
+		if n.nw.busActive() {
+			n.observe(obs.Event{Kind: obs.KindForward, Proc: n.id, Dest: o.Dest, From: from, Msg: record(&ds.bufR, from)})
+		}
 		n.ack(from, o.Dest, o.Seq)
+	case !ds.hasParked || ds.parkedFrom == from:
+		// Buffer occupied: park the offer (a retransmit from the same
+		// sender just refreshes the slot). A second sender keeps
+		// retransmitting; one parked offer per destination is enough to
+		// make the common single-chain pipeline event-driven.
+		ds.parked = o
+		ds.parkedFrom = from
+		ds.hasParked = true
 	}
 }
 
 func (n *node) ack(to graph.ProcessID, dest graph.ProcessID, seq uint64) {
-	n.send(to, transport.Frame{From: n.id, Accept: &transport.Ack{Dest: dest, Seq: seq}})
+	n.send(to, transport.Frame{Kind: transport.KindAccept, From: n.id, Ack: transport.Ack{Dest: dest, Seq: seq}})
 }
 
 // handleAccept is the sender half: the offered copy is stored at its
@@ -257,9 +370,12 @@ func (n *node) handleAccept(from graph.ProcessID, a transport.Ack) {
 		return
 	}
 	ds := &n.dests[a.Dest]
-	if ds.bufE != nil && ds.offerSeq == a.Seq {
-		n.nw.observe(obs.Event{Kind: obs.KindErase, Proc: n.id, Dest: a.Dest, Buf: obs.BufEmission, Msg: record(ds.bufE, n.id)})
-		ds.bufE = nil
+	if ds.hasE && ds.offerSeq == a.Seq {
+		if n.nw.busActive() {
+			n.observe(obs.Event{Kind: obs.KindErase, Proc: n.id, Dest: a.Dest, Buf: obs.BufEmission, Msg: record(&ds.bufE, n.id)})
+		}
+		ds.bufE = Message{}
+		ds.hasE = false
 		ds.offerSeq = 0
 	}
 }
@@ -278,10 +394,17 @@ func (n *node) handleCancel(from graph.ProcessID, c transport.Ack) {
 		n.ack(from, c.Dest, c.Seq)
 		return
 	}
+	if ds.hasParked && ds.parkedFrom == from && ds.parked.Seq <= c.Seq {
+		// The parked offer is withdrawn; evicting it here keeps the
+		// invariant that a cancelAck'd sequence can never be accepted
+		// later from the parking slot.
+		ds.parked = transport.Offer{}
+		ds.hasParked = false
+	}
 	if c.Seq > ds.killed[from] {
 		ds.killed[from] = c.Seq
 	}
-	n.send(from, transport.Frame{From: n.id, CancelAck: &transport.Ack{Dest: c.Dest, Seq: c.Seq}})
+	n.send(from, transport.Frame{Kind: transport.KindCancelAck, From: n.id, Ack: transport.Ack{Dest: c.Dest, Seq: c.Seq}})
 }
 
 // handleCancelAck lets the sender retarget: the old sequence is dead at
@@ -291,17 +414,26 @@ func (n *node) handleCancelAck(from graph.ProcessID, c transport.Ack) {
 		return
 	}
 	ds := &n.dests[c.Dest]
-	if ds.bufE != nil && ds.offerSeq == c.Seq && ds.offerTarget == from {
-		ds.offerSeq = 0 // re-offered to the current parent on the next tick
+	if ds.hasE && ds.offerSeq == c.Seq && ds.offerTarget == from {
+		ds.offerSeq = 0
+		n.driveTransfer(c.Dest) // re-offer to the current parent immediately
 	}
 }
 
-// tick gossips the distance vector and drives outstanding transfers.
+// tick gossips the distance vector (when changed, or on the heartbeat)
+// and drives outstanding transfers.
 func (n *node) tick() {
+	n.tickCount++
 	n.updateGauges()
-	dv := append([]int(nil), n.dist...)
-	for _, q := range n.nw.g.Neighbors(n.id) {
-		n.send(q, transport.Frame{From: n.id, DV: dv})
+	if n.dvDirty || n.tickCount%dvHeartbeatTicks == 1 {
+		// One copy shared by all neighbor sends: receivers only read a DV
+		// slice (handleDV copies it into the per-neighbor store), and the
+		// sender never mutates a vector after gossiping it.
+		dv := append([]int(nil), n.dist...)
+		for _, q := range n.nbrs {
+			n.send(q, transport.Frame{Kind: transport.KindDV, From: n.id, DV: dv})
+		}
+		n.dvDirty = false
 	}
 	for d := range n.dests {
 		n.driveTransfer(graph.ProcessID(d))
@@ -309,26 +441,32 @@ func (n *node) tick() {
 }
 
 // driveTransfer (re)transmits the offer for an occupied emission buffer,
-// or cancels it when routing has moved away from the offered target.
+// or cancels it when routing has moved away from the offered target. A
+// fresh occupancy (offerSeq == 0) goes on the wire immediately; an
+// outstanding one is retransmitted only after offerRetransmitTicks of
+// silence, giving the accept a chance to arrive first.
 func (n *node) driveTransfer(d graph.ProcessID) {
 	ds := &n.dests[d]
-	if ds.bufE == nil || d == n.id {
+	if !ds.hasE || d == n.id {
 		return
 	}
 	if ds.offerSeq == 0 {
 		ds.offerSeq = n.nextSeq
 		n.nextSeq++
 		ds.offerTarget = n.parent[d]
+	} else if n.tickCount-ds.lastDrive < offerRetransmitTicks {
+		return
 	}
+	ds.lastDrive = n.tickCount
 	if ds.offerTarget == n.parent[d] {
 		n.send(ds.offerTarget,
-			transport.Frame{From: n.id, Offer: &transport.Offer{Dest: d, Seq: ds.offerSeq, Msg: *ds.bufE}})
+			transport.Frame{Kind: transport.KindOffer, From: n.id, Offer: transport.Offer{Dest: d, Seq: ds.offerSeq, Msg: ds.bufE}})
 		return
 	}
 	// Routing changed under the outstanding offer: withdraw it before
 	// offering elsewhere, so the sequence has exactly one possible owner.
 	n.send(ds.offerTarget,
-		transport.Frame{From: n.id, Cancel: &transport.Ack{Dest: d, Seq: ds.offerSeq}})
+		transport.Frame{Kind: transport.KindCancel, From: n.id, Ack: transport.Ack{Dest: d, Seq: ds.offerSeq}})
 }
 
 // localMoves performs the purely local rules: generation (R1), the
@@ -336,42 +474,72 @@ func (n *node) driveTransfer(d graph.ProcessID) {
 func (n *node) localMoves() {
 	// R6: consume at the destination.
 	self := &n.dests[n.id]
-	if self.bufE != nil {
-		n.nw.observe(obs.Event{Kind: obs.KindDeliver, Proc: n.id, Dest: n.id, Msg: record(self.bufE, n.id)})
+	if self.hasE {
+		if n.nw.busActive() {
+			n.observe(obs.Event{Kind: obs.KindDeliver, Proc: n.id, Dest: n.id, Msg: record(&self.bufE, n.id)})
+		}
 		n.nw.deliver(Delivery{Msg: self.bufE, At: n.id})
-		self.bufE = nil
+		self.bufE = Message{}
+		self.hasE = false
 	}
 	// R2: internal move wherever possible. Hop-level exactly-once is
 	// carried by the handshake sequences in this port; the color field is
 	// kept populated for observability only.
 	for d := range n.dests {
 		ds := &n.dests[d]
-		if ds.bufR != nil && ds.bufE == nil {
-			m := *ds.bufR
+		if ds.hasR && !ds.hasE {
+			m := ds.bufR
 			m.Color = n.rng.Intn(n.nw.g.MaxDegree() + 1)
-			ds.bufE = &m
-			ds.bufR = nil
+			ds.bufE = m
+			ds.hasE = true
+			ds.bufR = Message{}
+			ds.hasR = false
 			ds.offerSeq = 0 // fresh occupancy, fresh handshake
-			n.nw.observe(obs.Event{Kind: obs.KindInternal, Proc: n.id, Dest: graph.ProcessID(d), Msg: record(&m, n.id)})
+			if n.nw.busActive() {
+				n.observe(obs.Event{Kind: obs.KindInternal, Proc: n.id, Dest: graph.ProcessID(d), Msg: record(&ds.bufE, n.id)})
+			}
 			if graph.ProcessID(d) != n.id {
 				n.driveTransfer(graph.ProcessID(d))
 			}
+			if ds.hasParked {
+				// bufR just freed: accept the parked offer now. Re-running
+				// handleOffer keeps every watermark check in one place (a
+				// cancel may have raised killed since the offer parked).
+				o, from := ds.parked, ds.parkedFrom
+				ds.parked, ds.hasParked = transport.Offer{}, false
+				n.handleOffer(from, o)
+			}
 		}
 	}
-	// R1: accept one pending higher-layer message if its bufR is free.
-	var generated *Message
+	// R1: accept pending higher-layer messages wherever the destination's
+	// bufR is free. The lock-free occupancy check keeps an idle R1 at one
+	// atomic load per loop iteration.
+	if n.pendingTotal.Load() == 0 {
+		return
+	}
+	active := n.nw.busActive()
 	n.mu.Lock()
-	if len(n.pending) > 0 {
-		m := n.pending[0]
-		if ds := &n.dests[m.Dest]; ds.bufR == nil {
-			n.pending = n.pending[1:]
-			mm := m
-			ds.bufR = &mm
-			generated = &mm
+	for d := range n.pendingByDest {
+		pq := &n.pendingByDest[d]
+		if pq.head >= len(pq.q) {
+			continue
+		}
+		ds := &n.dests[d]
+		if ds.hasR {
+			continue
+		}
+		ds.bufR = pq.q[pq.head]
+		ds.hasR = true
+		pq.q[pq.head] = Message{} // release the payload reference
+		pq.head++
+		if pq.head == len(pq.q) {
+			pq.q = pq.q[:0] // drained: reuse the backing array
+			pq.head = 0
+		}
+		n.pendingTotal.Add(-1)
+		if active {
+			n.observe(obs.Event{Kind: obs.KindGenerate, Proc: n.id, Dest: ds.bufR.Dest, Msg: record(&ds.bufR, n.id)})
 		}
 	}
 	n.mu.Unlock()
-	if generated != nil {
-		n.nw.observe(obs.Event{Kind: obs.KindGenerate, Proc: n.id, Dest: generated.Dest, Msg: record(generated, n.id)})
-	}
 }

@@ -1,0 +1,107 @@
+package msgpass
+
+import (
+	"testing"
+
+	"ssmfp/internal/graph"
+	"ssmfp/internal/transport"
+)
+
+// relayNode builds an unstarted 3-node line and returns the middle node,
+// the unit under test for the receiver-side offer parking: offers from
+// node 0 addressed to node 2 relay through it.
+func relayNode(t *testing.T) *node {
+	t.Helper()
+	nw := New(graph.Line(3), Options{Seed: 1, DiscardDeliveries: true})
+	t.Cleanup(func() { nw.tr.Close() })
+	return nw.nodes[1]
+}
+
+func offer(seq uint64, payload string) transport.Offer {
+	return transport.Offer{
+		Dest: 2,
+		Seq:  seq,
+		Msg:  transport.Message{Payload: payload, UID: seq, Src: 0, Dest: 2, Valid: true},
+	}
+}
+
+// TestBlockedOfferAcceptedOnBufferFree is the congested-hop regression
+// test: an offer arriving while bufR is occupied must be parked and
+// accepted the moment R2 frees the buffer — not dropped on the floor to
+// wait out the sender's retransmit interval. (Dropping it halves a
+// saturated pipeline's hop rate; the line-8 knee measures the difference.)
+func TestBlockedOfferAcceptedOnBufferFree(t *testing.T) {
+	n := relayNode(t)
+	ds := &n.dests[2]
+
+	n.handleOffer(0, offer(1, "first"))
+	if !ds.hasR || ds.accepted[0] != 1 {
+		t.Fatalf("first offer not accepted: hasR=%v accepted=%d", ds.hasR, ds.accepted[0])
+	}
+	n.handleOffer(0, offer(2, "second")) // bufR occupied: must park
+	if !ds.hasParked || ds.parked.Seq != 2 {
+		t.Fatalf("blocked offer not parked: hasParked=%v seq=%d", ds.hasParked, ds.parked.Seq)
+	}
+	if ds.accepted[0] != 1 {
+		t.Fatalf("blocked offer accepted while bufR occupied (accepted=%d)", ds.accepted[0])
+	}
+
+	// R2 moves first into bufE and frees bufR; the parked offer must be
+	// accepted in the same pass.
+	n.localMoves()
+	if ds.hasParked {
+		t.Fatal("parked offer still parked after bufR freed")
+	}
+	if !ds.hasR || ds.bufR.Payload != "second" || ds.accepted[0] != 2 {
+		t.Fatalf("parked offer not accepted on free: hasR=%v payload=%q accepted=%d",
+			ds.hasR, ds.bufR.Payload, ds.accepted[0])
+	}
+}
+
+// TestCancelEvictsParkedOffer: a cancel for the parked sequence must evict
+// it, so a sequence the receiver cancelAck'd can never be accepted later
+// from the parking slot (the sender may have re-offered it elsewhere).
+func TestCancelEvictsParkedOffer(t *testing.T) {
+	n := relayNode(t)
+	ds := &n.dests[2]
+
+	n.handleOffer(0, offer(1, "first"))
+	n.handleOffer(0, offer(2, "second"))
+	if !ds.hasParked {
+		t.Fatal("blocked offer not parked")
+	}
+	n.handleCancel(0, transport.Ack{Dest: 2, Seq: 2})
+	if ds.hasParked {
+		t.Fatal("cancel did not evict the parked offer")
+	}
+	if ds.killed[0] != 2 {
+		t.Fatalf("cancel did not raise the kill watermark: killed=%d", ds.killed[0])
+	}
+	n.localMoves() // frees bufR; nothing may be accepted
+	if ds.accepted[0] != 1 {
+		t.Fatalf("killed sequence accepted from the parking slot: accepted=%d", ds.accepted[0])
+	}
+}
+
+// TestParkedOfferRespectsKillWatermark: even if the eviction were missed,
+// unparking re-runs handleOffer, whose watermark checks refuse a killed
+// sequence. Simulate a corrupt parking slot (arbitrary initial state) and
+// check the unpark path cancelAcks instead of accepting.
+func TestParkedOfferRespectsKillWatermark(t *testing.T) {
+	n := relayNode(t)
+	ds := &n.dests[2]
+
+	n.handleOffer(0, offer(1, "first"))
+	ds.killed[0] = 5
+	ds.parked, ds.parkedFrom, ds.hasParked = offer(3, "stale"), 0, true
+	n.localMoves()
+	if ds.hasParked {
+		t.Fatal("stale parked offer still parked")
+	}
+	if ds.accepted[0] != 1 {
+		t.Fatalf("killed sequence accepted: accepted=%d", ds.accepted[0])
+	}
+	if ds.hasR {
+		t.Fatal("bufR refilled from a killed sequence")
+	}
+}

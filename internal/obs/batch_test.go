@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestPublishBatchContiguousSeq pins the batch contract: one sequence
+// reservation, events stamped in order with no gaps, interleaved cleanly
+// with single Publish calls.
+func TestPublishBatchContiguousSeq(t *testing.T) {
+	b := NewBus()
+	var got []uint64
+	b.Subscribe(func(ev Event) { got = append(got, ev.Seq) })
+
+	b.Publish(Event{Kind: KindStep})
+	batch := []Event{{Kind: KindDeliver}, {Kind: KindErase}, {Kind: KindFire}}
+	b.PublishBatch(batch)
+	b.Publish(Event{Kind: KindStep})
+
+	want := []uint64{1, 2, 3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("subscriber saw %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("seq stream %v, want %v", got, want)
+		}
+	}
+	// The caller's slice is stamped in place and reusable afterwards.
+	if batch[0].Seq != 2 || batch[2].Seq != 4 {
+		t.Fatalf("batch not stamped in place: %+v", batch)
+	}
+}
+
+// TestPublishBatchInactive pins the zero-subscriber fast path: no
+// sequence numbers are consumed, so recorded streams stay gapless.
+func TestPublishBatchInactive(t *testing.T) {
+	b := NewBus()
+	b.PublishBatch([]Event{{Kind: KindStep}, {Kind: KindFire}})
+	var nilBus *Bus
+	nilBus.PublishBatch([]Event{{Kind: KindStep}}) // nil bus: no-op, no panic
+	b.PublishBatch(nil)
+
+	var first uint64
+	b.Subscribe(func(ev Event) { first = ev.Seq })
+	b.Publish(Event{Kind: KindStep})
+	if first != 1 {
+		t.Fatalf("inactive batches consumed sequence numbers: first live seq %d", first)
+	}
+}
+
+// TestPublishBatchConcurrent holds batches atomic under concurrency: each
+// batch occupies a contiguous seq range even when many goroutines publish
+// at once.
+func TestPublishBatchConcurrent(t *testing.T) {
+	b := NewBus()
+	var mu sync.Mutex
+	seen := make(map[uint64]int) // seq -> publisher id
+	b.Subscribe(func(ev Event) {
+		mu.Lock()
+		seen[ev.Seq] = ev.Count
+		mu.Unlock()
+	})
+	const publishers, batchLen = 8, 5
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			evs := make([]Event, batchLen)
+			for i := range evs {
+				evs[i] = Event{Kind: KindStep, Count: p}
+			}
+			b.PublishBatch(evs)
+		}(p)
+	}
+	wg.Wait()
+	if len(seen) != publishers*batchLen {
+		t.Fatalf("%d distinct seqs, want %d", len(seen), publishers*batchLen)
+	}
+	// Contiguity: each publisher's batch occupies seqs [base, base+len).
+	byPublisher := make(map[int][]uint64)
+	for seq, p := range seen {
+		byPublisher[p] = append(byPublisher[p], seq)
+	}
+	for p, seqs := range byPublisher {
+		lo, hi := seqs[0], seqs[0]
+		for _, s := range seqs {
+			if s < lo {
+				lo = s
+			}
+			if s > hi {
+				hi = s
+			}
+		}
+		if hi-lo != batchLen-1 {
+			t.Fatalf("publisher %d batch spans [%d,%d], not contiguous", p, lo, hi)
+		}
+	}
+}

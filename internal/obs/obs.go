@@ -197,3 +197,28 @@ func (b *Bus) Publish(ev Event) {
 		fn(ev)
 	}
 }
+
+// PublishBatch stamps and delivers a burst of events with one sequence
+// reservation: the batch occupies a contiguous, gapless seq range in
+// publication order, and concurrent batches interleave without tearing a
+// batch's internal order. Publishers that emit several events per action
+// (the message-passing port's rule firings) use it to amortize the
+// per-event atomic to one per burst. evs is modified in place (Seq is
+// stamped); events are handed to subscribers by value, so the caller may
+// reuse the backing slice as soon as PublishBatch returns.
+func (b *Bus) PublishBatch(evs []Event) {
+	if b == nil || len(evs) == 0 {
+		return
+	}
+	p := b.subs.Load()
+	if p == nil {
+		return
+	}
+	base := b.seq.Add(uint64(len(evs))) - uint64(len(evs))
+	for i := range evs {
+		evs[i].Seq = base + uint64(i) + 1
+		for _, fn := range *p {
+			fn(evs[i])
+		}
+	}
+}

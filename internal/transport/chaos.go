@@ -82,6 +82,7 @@ type Chaos struct {
 	inner Transport
 	opts  ChaosOptions
 	start time.Time
+	done  chan struct{}
 
 	mu     sync.Mutex
 	links  map[[2]graph.ProcessID]*chaosLink
@@ -95,6 +96,7 @@ func NewChaos(inner Transport, opts ChaosOptions) *Chaos {
 		inner:  inner,
 		opts:   opts.withDefaults(),
 		start:  time.Now(),
+		done:   make(chan struct{}),
 		links:  make(map[[2]graph.ProcessID]*chaosLink),
 		timers: make(map[*time.Timer]struct{}),
 	}
@@ -171,6 +173,7 @@ func (c *Chaos) Link(from, to graph.ProcessID) Link {
 		inner:   inner,
 		windows: windows,
 		rng:     rand.New(rand.NewSource(c.opts.Seed ^ (int64(from)*2654435761 + int64(to) + 1))),
+		wake:    make(chan struct{}, 1),
 	}
 	c.links[key] = l
 	return l
@@ -192,10 +195,14 @@ func (c *Chaos) Stats() Stats {
 	return s
 }
 
-// Close cancels pending delivery timers and closes the inner transport.
+// Close stops the link dispatchers, cancels pending announcement timers
+// and closes the inner transport.
 func (c *Chaos) Close() error {
 	c.mu.Lock()
-	c.closed = true
+	if !c.closed {
+		c.closed = true
+		close(c.done)
+	}
 	for t := range c.timers {
 		t.Stop()
 	}
@@ -204,7 +211,13 @@ func (c *Chaos) Close() error {
 	return c.inner.Close()
 }
 
-// chaosLink impairs the send side of one directed link.
+// chaosLink impairs the send side of one directed link. Delayed frames go
+// through a per-link dispatcher that releases them in due-time order
+// (FIFO among equal dues): reordering happens exactly when the delay
+// model says it does (unequal jitter or a reorder holdback), never from
+// the race of one-goroutine-per-frame timer callbacks — under a bandwidth
+// cap the cumulative serialization delays are non-decreasing, so the line
+// stays strictly FIFO the way a real line does.
 type chaosLink struct {
 	tr      *Chaos
 	inner   Link
@@ -215,6 +228,18 @@ type chaosLink struct {
 	nextFree   time.Duration // bandwidth cap: when the line is free again
 	dropImpair uint64
 	duplicated uint64
+
+	heap    []timedFrame // min-heap on (due, seq)
+	seq     uint64       // enqueue order, the tie-break for equal dues
+	wake    chan struct{}
+	started bool // dispatcher goroutine running
+}
+
+// timedFrame is one frame scheduled for release on the chaos clock.
+type timedFrame struct {
+	due time.Duration
+	seq uint64
+	f   Frame
 }
 
 func (l *chaosLink) Recv() <-chan Frame { return l.inner.Recv() }
@@ -256,7 +281,8 @@ func (l *chaosLink) Send(f Frame) bool {
 		copies = 2
 		l.duplicated++
 	}
-	delays := make([]time.Duration, copies)
+	var delayBuf [2]time.Duration // copies ≤ 2: no per-send allocation
+	delays := delayBuf[:copies]
 	for i := range delays {
 		d := o.Latency
 		if o.Jitter > 0 {
@@ -275,15 +301,116 @@ func (l *chaosLink) Send(f Frame) bool {
 		}
 		delays[i] = d
 	}
-	l.mu.Unlock()
-
+	// Release immediately only when nothing is queued ahead; otherwise the
+	// frame joins the line behind its predecessors.
+	inline := 0
+	startWorker := false
 	for _, d := range delays {
-		if d <= 0 {
-			l.inner.Send(f)
+		if d <= 0 && len(l.heap) == 0 {
+			inline++
 			continue
 		}
-		frame := f
-		l.tr.after(d, func() { l.inner.Send(frame) })
+		l.seq++
+		l.push(timedFrame{due: elapsed + d, seq: l.seq, f: f})
+		if !l.started {
+			l.started, startWorker = true, true
+		}
+	}
+	l.mu.Unlock()
+
+	if startWorker {
+		go l.dispatch()
+	} else if inline < len(delays) {
+		select {
+		case l.wake <- struct{}{}:
+		default:
+		}
+	}
+	for ; inline > 0; inline-- {
+		l.inner.Send(f)
 	}
 	return true
+}
+
+// push adds tf to the due-ordered min-heap; caller holds l.mu.
+func (l *chaosLink) push(tf timedFrame) {
+	l.heap = append(l.heap, tf)
+	i := len(l.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !l.heapLess(i, p) {
+			break
+		}
+		l.heap[i], l.heap[p] = l.heap[p], l.heap[i]
+		i = p
+	}
+}
+
+// popTop removes the earliest-due frame; caller holds l.mu.
+func (l *chaosLink) popTop() {
+	last := len(l.heap) - 1
+	l.heap[0] = l.heap[last]
+	l.heap[last] = timedFrame{} // release the payload reference
+	l.heap = l.heap[:last]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= last {
+			break
+		}
+		if c+1 < last && l.heapLess(c+1, c) {
+			c++
+		}
+		if !l.heapLess(c, i) {
+			break
+		}
+		l.heap[i], l.heap[c] = l.heap[c], l.heap[i]
+		i = c
+	}
+}
+
+func (l *chaosLink) heapLess(i, j int) bool {
+	if l.heap[i].due != l.heap[j].due {
+		return l.heap[i].due < l.heap[j].due
+	}
+	return l.heap[i].seq < l.heap[j].seq
+}
+
+// dispatch is the link's release goroutine: it sleeps until the earliest
+// due instant and forwards frames to the inner link in due order. It
+// lives until the transport closes; undelivered frames at close are
+// dropped, like the cancelled timers before it.
+func (l *chaosLink) dispatch() {
+	for {
+		l.mu.Lock()
+		for len(l.heap) > 0 && l.heap[0].due <= time.Since(l.tr.start) {
+			top := l.heap[0]
+			l.popTop()
+			l.mu.Unlock()
+			l.inner.Send(top.f)
+			l.mu.Lock()
+		}
+		wait := time.Duration(-1)
+		if len(l.heap) > 0 {
+			wait = l.heap[0].due - time.Since(l.tr.start)
+		}
+		l.mu.Unlock()
+		if wait < 0 {
+			select {
+			case <-l.wake:
+			case <-l.tr.done:
+				return
+			}
+			continue
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-t.C:
+		case <-l.wake:
+			t.Stop()
+		case <-l.tr.done:
+			t.Stop()
+			return
+		}
+	}
 }

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math/bits"
+	"sync"
 
 	"ssmfp/internal/graph"
 )
@@ -28,6 +30,13 @@ import (
 // a node allocate unbounded memory. Decoding is total: any byte slice
 // either decodes to a well-formed Frame or returns an error — the fuzz
 // test FuzzFrameCodec holds the codec to that plus round-trip identity.
+//
+// Buffer ownership: WriteFrame and ReadFrame stage bytes in a shared
+// sync.Pool. A pooled buffer lives exactly one call — it is returned
+// before the function does, which is sound because DecodeFrame never
+// aliases its input (payload bytes are copied into a fresh string, DV
+// into a fresh slice). Oversized buffers (> maxPooledBuf) are not
+// returned to the pool, so a single huge frame cannot pin memory.
 
 // CodecVersion is the wire-format version this build writes and accepts.
 const CodecVersion = 1
@@ -37,13 +46,24 @@ const CodecVersion = 1
 // leaves generous headroom while keeping the allocation bounded.
 const MaxFrameBytes = 1 << 20
 
+// maxPooledBuf caps the capacity of buffers kept in the codec pool.
+const maxPooledBuf = 64 << 10
+
+var bufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 512)
+	return &b
+}}
+
 // AppendFrame appends f's encoded body (without the length prefix) to buf
 // and returns the extended slice.
 func AppendFrame(buf []byte, f *Frame) []byte {
-	buf = append(buf, CodecVersion, byte(f.Kind()))
+	buf = append(buf, CodecVersion, byte(f.Kind))
 	buf = binary.AppendUvarint(buf, uint64(f.From))
-	switch k := f.Kind(); k {
+	switch f.Kind {
 	case KindDV:
+		if len(f.DV) == 0 {
+			panic("transport: encoding dv frame with empty vector")
+		}
 		buf = binary.AppendUvarint(buf, uint64(len(f.DV)))
 		for _, d := range f.DV {
 			buf = binary.AppendVarint(buf, int64(d))
@@ -64,33 +84,48 @@ func AppendFrame(buf []byte, f *Frame) []byte {
 			buf = append(buf, 0)
 		}
 	case KindAccept, KindCancel, KindCancelAck:
-		a := f.ack()
-		buf = binary.AppendUvarint(buf, uint64(a.Dest))
-		buf = binary.AppendUvarint(buf, a.Seq)
+		buf = binary.AppendUvarint(buf, uint64(f.Ack.Dest))
+		buf = binary.AppendUvarint(buf, f.Ack.Seq)
 	default:
-		panic(fmt.Sprintf("transport: encoding frame of kind %v", k))
+		panic(fmt.Sprintf("transport: encoding frame of kind %v", f.Kind))
 	}
 	return buf
-}
-
-// ack returns the control payload of an accept/cancel/cancelAck frame.
-func (f *Frame) ack() *Ack {
-	switch {
-	case f.Accept != nil:
-		return f.Accept
-	case f.Cancel != nil:
-		return f.Cancel
-	default:
-		return f.CancelAck
-	}
 }
 
 // EncodeFrame encodes f's body into a fresh slice.
 func EncodeFrame(f *Frame) []byte { return AppendFrame(nil, f) }
 
-// EncodedSize returns len(EncodeFrame(f)) — the chaos bandwidth cap and
-// byte counters use it. (Computed by encoding; frames are small.)
-func EncodedSize(f *Frame) int { return len(EncodeFrame(f)) }
+// uvarintLen is the encoded size of v as a uvarint.
+func uvarintLen(v uint64) int {
+	return (bits.Len64(v|1) + 6) / 7
+}
+
+// varintLen is the encoded size of v as a zigzag varint.
+func varintLen(v int64) int {
+	return uvarintLen(uint64(v)<<1 ^ uint64(v>>63))
+}
+
+// EncodedSize returns len(EncodeFrame(f)) without encoding — the chaos
+// bandwidth cap computes it on every send, so it must not allocate.
+func EncodedSize(f *Frame) int {
+	n := 2 + uvarintLen(uint64(f.From))
+	switch f.Kind {
+	case KindDV:
+		n += uvarintLen(uint64(len(f.DV)))
+		for _, d := range f.DV {
+			n += varintLen(int64(d))
+		}
+	case KindOffer:
+		m := &f.Offer.Msg
+		n += uvarintLen(uint64(f.Offer.Dest)) + uvarintLen(f.Offer.Seq)
+		n += uvarintLen(uint64(len(m.Payload))) + len(m.Payload)
+		n += varintLen(int64(m.Color)) + uvarintLen(m.UID)
+		n += uvarintLen(uint64(m.Src)) + uvarintLen(uint64(m.Dest)) + 1
+	case KindAccept, KindCancel, KindCancelAck:
+		n += uvarintLen(uint64(f.Ack.Dest)) + uvarintLen(f.Ack.Seq)
+	}
+	return n
+}
 
 // decoder walks an encoded body with bounds checking.
 type decoder struct {
@@ -170,7 +205,8 @@ func (d *decoder) proc() graph.ProcessID {
 
 // DecodeFrame decodes one encoded body. Every error path is explicit: a
 // wrong version, unknown kind, truncation, over-long field, or trailing
-// garbage all fail without panicking.
+// garbage all fail without panicking. The returned Frame never aliases b
+// (payload bytes are copied), so callers may reuse b immediately.
 func DecodeFrame(b []byte) (Frame, error) {
 	if len(b) > MaxFrameBytes {
 		return Frame{}, fmt.Errorf("transport: frame body %d bytes exceeds cap %d", len(b), MaxFrameBytes)
@@ -199,21 +235,18 @@ func DecodeFrame(b []byte) (Frame, error) {
 			return Frame{}, fmt.Errorf("transport: empty dv frame")
 		}
 	case KindOffer:
-		o := &Offer{Dest: d.proc(), Seq: d.uvarint()}
+		f.Offer.Dest = d.proc()
+		f.Offer.Seq = d.uvarint()
 		plen := d.uvarint()
-		o.Msg.Payload = string(d.bytes(plen))
-		o.Msg.Color = int(d.varint())
-		o.Msg.UID = d.uvarint()
-		o.Msg.Src = d.proc()
-		o.Msg.Dest = d.proc()
-		o.Msg.Valid = d.u8() != 0
-		f.Offer = o
-	case KindAccept:
-		f.Accept = &Ack{Dest: d.proc(), Seq: d.uvarint()}
-	case KindCancel:
-		f.Cancel = &Ack{Dest: d.proc(), Seq: d.uvarint()}
-	case KindCancelAck:
-		f.CancelAck = &Ack{Dest: d.proc(), Seq: d.uvarint()}
+		f.Offer.Msg.Payload = string(d.bytes(plen))
+		f.Offer.Msg.Color = int(d.varint())
+		f.Offer.Msg.UID = d.uvarint()
+		f.Offer.Msg.Src = d.proc()
+		f.Offer.Msg.Dest = d.proc()
+		f.Offer.Msg.Valid = d.u8() != 0
+	case KindAccept, KindCancel, KindCancelAck:
+		f.Ack.Dest = d.proc()
+		f.Ack.Seq = d.uvarint()
 	default:
 		if d.err == nil {
 			return Frame{}, fmt.Errorf("transport: unknown frame kind %d", kind)
@@ -225,40 +258,81 @@ func DecodeFrame(b []byte) (Frame, error) {
 	if d.pos != len(b) {
 		return Frame{}, fmt.Errorf("transport: %d trailing bytes after frame", len(b)-d.pos)
 	}
+	f.Kind = kind
 	return f, nil
 }
 
 // WriteFrame writes f with its length prefix to w and returns the number
-// of bytes written.
+// of bytes written. Header and body are coalesced into one buffered Write
+// (staged in a pooled buffer), so the reported count is exactly what the
+// underlying writer accepted — a short write can no longer desynchronize
+// the byte accounting between header and body.
 func WriteFrame(w io.Writer, f *Frame) (int, error) {
-	body := EncodeFrame(f)
-	if len(body) > MaxFrameBytes {
-		return 0, fmt.Errorf("transport: frame body %d bytes exceeds cap %d", len(body), MaxFrameBytes)
+	bp := bufPool.Get().(*[]byte)
+	buf := append((*bp)[:0], 0, 0, 0, 0) // reserve the length prefix
+	buf = AppendFrame(buf, f)
+	body := len(buf) - 4
+	if body > MaxFrameBytes {
+		putBuf(bp, buf)
+		return 0, fmt.Errorf("transport: frame body %d bytes exceeds cap %d", body, MaxFrameBytes)
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
-	if n, err := w.Write(hdr[:]); err != nil {
-		return n, err
+	binary.BigEndian.PutUint32(buf[:4], uint32(body))
+	n, err := w.Write(buf)
+	putBuf(bp, buf)
+	return n, err
+}
+
+// putBuf returns a staging buffer to the pool unless it grew too large to
+// be worth keeping.
+func putBuf(bp *[]byte, buf []byte) {
+	if cap(buf) <= maxPooledBuf {
+		*bp = buf[:0]
+		bufPool.Put(bp)
 	}
-	n, err := w.Write(body)
-	return 4 + n, err
 }
 
 // ReadFrame reads one length-prefixed frame from r. It rejects length
-// prefixes beyond MaxFrameBytes before allocating.
+// prefixes beyond MaxFrameBytes before allocating, and stages the body in
+// a pooled buffer (safe because DecodeFrame copies everything it keeps).
 func ReadFrame(r io.Reader) (Frame, int, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	// The header is staged in the pooled buffer too: a stack array passed
+	// to the io.Reader interface escapes, which would cost one allocation
+	// per frame on the receive path.
+	bp := bufPool.Get().(*[]byte)
+	if cap(*bp) < 4 {
+		*bp = make([]byte, 0, 512)
+	}
+	hdr := (*bp)[:4]
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		putBuf(bp, hdr)
 		return Frame{}, 0, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := binary.BigEndian.Uint32(hdr)
 	if n > MaxFrameBytes {
+		putBuf(bp, hdr)
 		return Frame{}, 4, fmt.Errorf("transport: frame length %d exceeds cap %d", n, MaxFrameBytes)
 	}
-	body := make([]byte, n)
+	var body []byte
+	switch {
+	case int(n) <= cap(*bp):
+		body = (*bp)[:n]
+	case n <= maxPooledBuf:
+		*bp = make([]byte, n)
+		body = *bp
+	default:
+		bufPool.Put(bp)
+		bp = nil
+		body = make([]byte, n)
+	}
 	if _, err := io.ReadFull(r, body); err != nil {
+		if bp != nil {
+			putBuf(bp, body)
+		}
 		return Frame{}, 4, err
 	}
 	f, err := DecodeFrame(body)
+	if bp != nil {
+		putBuf(bp, body)
+	}
 	return f, 4 + int(n), err
 }

@@ -2,27 +2,29 @@ package transport
 
 import (
 	"bytes"
+	"io"
 	"reflect"
 	"strings"
 	"testing"
+	"testing/iotest"
 )
 
 // sampleFrames covers every frame kind and the value edge cases the
 // varint encoding cares about (zero, negative, max, empty payload).
 func sampleFrames() []Frame {
 	return []Frame{
-		{From: 0, DV: []int{0}},
-		{From: 3, DV: []int{0, 1, 2, 3, 4, 5, 6, 7}},
-		{From: 7, DV: []int{12, -1, 1 << 30, 0, 3}},
-		{From: 1, Offer: &Offer{Dest: 4, Seq: 1, Msg: Message{
+		{Kind: KindDV, From: 0, DV: []int{0}},
+		{Kind: KindDV, From: 3, DV: []int{0, 1, 2, 3, 4, 5, 6, 7}},
+		{Kind: KindDV, From: 7, DV: []int{12, -1, 1 << 30, 0, 3}},
+		{Kind: KindOffer, From: 1, Offer: Offer{Dest: 4, Seq: 1, Msg: Message{
 			Payload: "hello", Color: 2, UID: 42, Src: 1, Dest: 4, Valid: true}}},
-		{From: 2, Offer: &Offer{Dest: 0, Seq: 1 << 62, Msg: Message{
+		{Kind: KindOffer, From: 2, Offer: Offer{Dest: 0, Seq: 1 << 62, Msg: Message{
 			Payload: "", Color: -3, UID: 1<<60 + 9, Src: 2, Dest: 0, Valid: false}}},
-		{From: 9, Offer: &Offer{Dest: 5, Seq: 77, Msg: Message{
+		{Kind: KindOffer, From: 9, Offer: Offer{Dest: 5, Seq: 77, Msg: Message{
 			Payload: strings.Repeat("x", 4096), Color: 0, UID: 1, Src: 9, Dest: 5, Valid: true}}},
-		{From: 5, Accept: &Ack{Dest: 2, Seq: 9}},
-		{From: 0, Cancel: &Ack{Dest: 0, Seq: 0}},
-		{From: 6, CancelAck: &Ack{Dest: 3, Seq: 1<<64 - 1}},
+		{Kind: KindAccept, From: 5, Ack: Ack{Dest: 2, Seq: 9}},
+		{Kind: KindCancel, From: 0, Ack: Ack{Dest: 0, Seq: 0}},
+		{Kind: KindCancelAck, From: 6, Ack: Ack{Dest: 3, Seq: 1<<64 - 1}},
 	}
 }
 
@@ -68,7 +70,7 @@ func TestCodecStreamRoundTrip(t *testing.T) {
 }
 
 func TestCodecRejects(t *testing.T) {
-	good := EncodeFrame(&Frame{From: 1, Accept: &Ack{Dest: 2, Seq: 9}})
+	good := EncodeFrame(&Frame{Kind: KindAccept, From: 1, Ack: Ack{Dest: 2, Seq: 9}})
 	cases := map[string][]byte{
 		"empty":            {},
 		"bad version":      append([]byte{99}, good[1:]...),
@@ -93,6 +95,121 @@ func TestReadFrameRejectsOversizedPrefix(t *testing.T) {
 	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
 	if _, _, err := ReadFrame(&buf); err == nil {
 		t.Fatal("oversized length prefix accepted")
+	}
+}
+
+func TestEncodedSizeMatchesEncoding(t *testing.T) {
+	for i, f := range sampleFrames() {
+		if got, want := EncodedSize(&f), len(EncodeFrame(&f)); got != want {
+			t.Errorf("frame %d: EncodedSize = %d, encoding is %d bytes", i, got, want)
+		}
+	}
+}
+
+// shortWriter accepts at most limit bytes total, then reports a short
+// write — the misbehaving-writer case WriteFrame's accounting must
+// survive.
+type shortWriter struct {
+	buf   bytes.Buffer
+	limit int
+}
+
+func (w *shortWriter) Write(p []byte) (int, error) {
+	room := w.limit - w.buf.Len()
+	if room >= len(p) {
+		return w.buf.Write(p)
+	}
+	if room > 0 {
+		w.buf.Write(p[:room])
+	}
+	return max(room, 0), io.ErrShortWrite
+}
+
+// TestWriteFrameShortWriter pins the byte-accounting contract: the count
+// WriteFrame returns is exactly what the underlying writer accepted, even
+// when the write is cut short mid-header (the old two-write implementation
+// reported 4+n bytes regardless of how much of the header landed).
+func TestWriteFrameShortWriter(t *testing.T) {
+	f := Frame{Kind: KindOffer, From: 1, Offer: Offer{Dest: 4, Seq: 1, Msg: Message{
+		Payload: "payload", UID: 9, Src: 1, Dest: 4, Valid: true}}}
+	for _, limit := range []int{0, 2, 4, 7} {
+		w := &shortWriter{limit: limit}
+		n, err := WriteFrame(w, &f)
+		if err != io.ErrShortWrite {
+			t.Fatalf("limit %d: err = %v, want ErrShortWrite", limit, err)
+		}
+		if n != w.buf.Len() {
+			t.Fatalf("limit %d: reported %d bytes written, writer accepted %d", limit, n, w.buf.Len())
+		}
+		if n > limit {
+			t.Fatalf("limit %d: reported %d bytes past the writer's limit", limit, n)
+		}
+	}
+	// An immediately-failing writer reports zero bytes, not a phantom header.
+	if n, err := WriteFrame(errWriter{}, &f); err == nil || n != 0 {
+		t.Fatalf("failing writer: n=%d err=%v, want 0 bytes and an error", n, err)
+	}
+}
+
+type errWriter struct{}
+
+func (errWriter) Write(p []byte) (int, error) { return 0, io.ErrClosedPipe }
+
+// TestReadFrameFragmentedReader drives ReadFrame through iotest's
+// one-byte-at-a-time reader: framing and byte counts must hold no matter
+// how the stream fragments.
+func TestReadFrameFragmentedReader(t *testing.T) {
+	frames := sampleFrames()
+	var buf bytes.Buffer
+	want := 0
+	for i := range frames {
+		n, err := WriteFrame(&buf, &frames[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want += n
+	}
+	r := iotest.OneByteReader(&buf)
+	got := 0
+	for i := range frames {
+		f, n, err := ReadFrame(r)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		got += n
+		if !reflect.DeepEqual(f, frames[i]) {
+			t.Fatalf("frame %d mismatch over fragmented reads: %+v", i, f)
+		}
+	}
+	if got != want {
+		t.Fatalf("read %d bytes of %d written", got, want)
+	}
+}
+
+// TestWriteReadFrameAllocFree holds the pooled codec path to zero
+// steady-state allocations: after warmup, writing and reading a frame
+// reuses the pooled staging buffers. (The decoded offer's payload string
+// is the one unavoidable allocation on the read side, so the read bound
+// is the payload copy alone.)
+func TestWriteReadFrameAllocFree(t *testing.T) {
+	f := Frame{Kind: KindAccept, From: 3, Ack: Ack{Dest: 1, Seq: 42}}
+	var sink bytes.Buffer
+	sink.Grow(1 << 16)
+	writes := testing.AllocsPerRun(200, func() {
+		if _, err := WriteFrame(&sink, &f); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if writes > 0 {
+		t.Fatalf("WriteFrame allocates %.1f times per frame, want 0", writes)
+	}
+	reads := testing.AllocsPerRun(200, func() {
+		if _, _, err := ReadFrame(&sink); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if reads > 0 {
+		t.Fatalf("ReadFrame of an ack allocates %.1f times per frame, want 0", reads)
 	}
 }
 

@@ -72,7 +72,7 @@ func drain(l transport.Link, settle time.Duration) []uint64 {
 	for {
 		select {
 		case f := <-l.Recv():
-			if f.Offer != nil {
+			if f.Kind == transport.KindOffer {
 				seqs = append(seqs, f.Offer.Seq)
 			}
 		case <-time.After(settle):
@@ -83,7 +83,7 @@ func drain(l transport.Link, settle time.Duration) []uint64 {
 
 // offerFrame builds a payload-bearing frame with a recognizable sequence.
 func offerFrame(from, to graph.ProcessID, seq uint64) transport.Frame {
-	return transport.Frame{From: from, Offer: &transport.Offer{
+	return transport.Frame{Kind: transport.KindOffer, From: from, Offer: transport.Offer{
 		Dest: to, Seq: seq,
 		Msg: transport.Message{Payload: fmt.Sprintf("f%d", seq), UID: seq, Src: from, Dest: to, Valid: true},
 	}}
@@ -454,7 +454,7 @@ func TestChaosBandwidthCapSustained(t *testing.T) {
 	for len(got) < frames {
 		select {
 		case f := <-l.Recv():
-			if f.Offer != nil {
+			if f.Kind == transport.KindOffer {
 				got = append(got, f.Offer.Seq)
 			}
 		case <-deadline:

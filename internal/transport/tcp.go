@@ -303,7 +303,10 @@ func (t *TCP) writer(sl *tcpSendLink, rng *rand.Rand) {
 			}
 			c, err := net.DialTimeout("tcp", t.opts.Peers[sl.peer], t.opts.DialTimeout)
 			if err == nil {
-				conn, bw = c, bufio.NewWriter(c)
+				// 32 KiB of write buffer lets the drain loop coalesce a
+				// whole burst of small control frames (acks and offers are
+				// tens of bytes) into one syscall before the flush.
+				conn, bw = c, bufio.NewWriterSize(c, 32<<10)
 				t.track(c)
 				everConnected = true
 				backoff = t.opts.BackoffMin

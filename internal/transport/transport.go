@@ -62,14 +62,17 @@ type Ack struct {
 }
 
 // Frame is the unit a Link carries: one typed SSMFP protocol frame.
-// Exactly one of the payload fields is set (Kind reports which).
+// Kind selects the payload field; the others hold their zero values. The
+// payload fields are values, not pointers: a frame crosses goroutines and
+// processes by copy, so the send→wire→deliver path never heap-allocates
+// per frame (BenchmarkSendHotPathParallel and BenchmarkDeliveryHotPath
+// hold that to 0 allocs/op).
 type Frame struct {
-	From      graph.ProcessID
-	DV        []int // distance vector (dist per destination)
-	Offer     *Offer
-	Accept    *Ack
-	Cancel    *Ack
-	CancelAck *Ack
+	Kind  FrameKind
+	From  graph.ProcessID
+	DV    []int // KindDV: distance vector (dist per destination)
+	Offer Offer // KindOffer
+	Ack   Ack   // KindAccept / KindCancel / KindCancelAck
 }
 
 // FrameKind discriminates the payload field a Frame carries.
@@ -85,25 +88,6 @@ const (
 	KindCancel
 	KindCancelAck
 )
-
-// Kind reports which payload field f carries. A frame with no payload
-// field set (or with DV of length zero) is KindInvalid and is never put
-// on a wire.
-func (f *Frame) Kind() FrameKind {
-	switch {
-	case len(f.DV) > 0:
-		return KindDV
-	case f.Offer != nil:
-		return KindOffer
-	case f.Accept != nil:
-		return KindAccept
-	case f.Cancel != nil:
-		return KindCancel
-	case f.CancelAck != nil:
-		return KindCancelAck
-	}
-	return KindInvalid
-}
 
 // String names the kind for stats and wire events.
 func (k FrameKind) String() string {

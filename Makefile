@@ -13,7 +13,7 @@ BENCH_FLAGS ?= -quick -seeds 2 -parallel 1
 
 .PHONY: all build test test-short race bench experiments check cluster examples \
 	cover cover-check fmt lint vet fuzz campaign bench-baseline load-smoke \
-	bench-allocs load-baseline load-compare
+	bench-allocs load-baseline load-compare cluster-metrics
 
 all: build vet test
 
@@ -33,15 +33,16 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Hot-path benchmarks the zero-allocation gate covers: the sender-side
-# wire handoff and the full receiver-side delivery path.
-ALLOC_BENCHES ?= BenchmarkSendHotPathParallel|BenchmarkDeliveryHotPath
+# wire handoff, the full receiver-side delivery path, and the telemetry
+# registry's counter/gauge/histogram update path.
+ALLOC_BENCHES ?= BenchmarkSendHotPathParallel|BenchmarkDeliveryHotPath|BenchmarkTelemetryHotPath
 
 # Zero-allocation gate (tier-1 CI): the live-network hot-path benchmarks
 # must report exactly 0 allocs/op. Any regression — a payload copy, an
 # event built outside the Active() guard, a pooled buffer dropped on the
 # floor — fails this target before it can blunt the saturation knee.
 bench-allocs:
-	@out=$$($(GO) test -run '^$$' -bench '$(ALLOC_BENCHES)' -benchmem -benchtime 2000x ./internal/msgpass/); \
+	@out=$$($(GO) test -run '^$$' -bench '$(ALLOC_BENCHES)' -benchmem -benchtime 2000x ./internal/msgpass/ ./internal/telemetry/); \
 	status=$$?; echo "$$out"; [ $$status -eq 0 ] || exit $$status; \
 	echo "$$out" | awk '/allocs\/op/ { if ($$(NF-1)+0 > 0) { bad=1; print "FAIL: " $$1 " reports " $$(NF-1) " allocs/op, want 0" } } \
 		END { if (bad) exit 1; print "bench-allocs: all hot-path benchmarks at 0 allocs/op" }'
@@ -63,6 +64,27 @@ cluster:
 	$(GO) run ./cmd/ssmfp-node -spawn 5 -topology ring -messages 30 -seed 7 \
 		-loss 0.10 -dup 0.10 -latency 200us -jitter 1ms \
 		-partition 400ms:600ms:0-1 -send-spread 1500ms -timeout 60s > /dev/null
+
+# Live-scrape check: a 3-node cluster on stable metrics ports, scraped
+# from outside while it runs — curl must get parseable Prometheus text
+# with the protocol series, and `ssmfp-node -scrape -scrape-validate`
+# must aggregate all three nodes and pass the stabilization-health
+# checks. Exercises the telemetry plane end to end across processes.
+CLUSTER_METRICS_PORT ?= 19300
+cluster-metrics:
+	$(GO) build -o /tmp/ssmfp-node-metrics ./cmd/ssmfp-node
+	/tmp/ssmfp-node-metrics -spawn 3 -topology ring -messages 300 -rate 50 \
+		-seed 7 -http-base $(CLUSTER_METRICS_PORT) -timeout 60s > /dev/null & \
+	pid=$$!; \
+	ok=0; for i in $$(seq 1 100); do \
+		if curl -sf http://127.0.0.1:$$(( $(CLUSTER_METRICS_PORT) + 1 ))/metrics > /tmp/cluster-node1.metrics 2>/dev/null; then ok=1; break; fi; \
+		sleep 0.2; done; \
+	if [ $$ok -ne 1 ]; then echo "FAIL: node 1 /metrics never answered"; kill $$pid 2>/dev/null; exit 1; fi; \
+	for series in ssmfp_frames_sent_total ssmfp_buf_occupancy ssmfp_sends_total ssmfp_wire_frames_sent_total; do \
+		grep -q "$$series" /tmp/cluster-node1.metrics || { echo "FAIL: scrape missing $$series"; kill $$pid 2>/dev/null; exit 1; }; done; \
+	/tmp/ssmfp-node-metrics -scrape 127.0.0.1:$(CLUSTER_METRICS_PORT),127.0.0.1:$$(( $(CLUSTER_METRICS_PORT) + 1 )),127.0.0.1:$$(( $(CLUSTER_METRICS_PORT) + 2 )) \
+		-scrape-validate || { kill $$pid 2>/dev/null; exit 1; }; \
+	wait $$pid
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -165,6 +165,9 @@ func run(cfg config) error {
 			BandwidthBps: cfg.bandwidth,
 			Bus:          bus,
 			OnDeliver:    hook.OnDeliver,
+			// Nodes stamp R1-queue and park waits into the payload tag's
+			// hold slot so the collector can attribute end-to-end latency.
+			HoldStamp: load.AddHold,
 			// The collector is the only consumer of deliveries; skipping
 			// the network's own delivery log keeps the measured path free
 			// of per-delivery allocations.
@@ -244,4 +247,31 @@ func summarize(rep *load.Report) {
 		}
 		fmt.Fprintf(os.Stderr, "%s: %s, max achieved %.0f msg/s\n", rep.Topology, knee, rep.MaxAchieved)
 	}
+	// One-line telemetry digest of the most telling step: peak buffer
+	// occupancy, congestion parks, and where the latency went.
+	if s := telemetryStep(rep); s != nil {
+		line := fmt.Sprintf("telemetry step %d: peak bufR %d, parked peak %d, park events %d",
+			s.Step, s.Queues.PeakBufR, s.Queues.PeakParked, s.Queues.ParkEvents)
+		if a := s.Attribution; a != nil {
+			total := a.Hold.MeanNS + a.Wire.MeanNS + a.Deliver.MeanNS
+			if total > 0 {
+				line += fmt.Sprintf(", latency split hold %.0f%% wire %.0f%% deliver %.0f%%",
+					100*a.Hold.MeanNS/total, 100*a.Wire.MeanNS/total, 100*a.Deliver.MeanNS/total)
+			}
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
+}
+
+// telemetryStep picks the step the telemetry digest should describe: the
+// sweep's knee rung, or the only step of a single run.
+func telemetryStep(rep *load.Report) *load.StepReport {
+	if len(rep.Steps) == 0 {
+		return nil
+	}
+	i := 0
+	if rep.Sweep && rep.KneeStep < len(rep.Steps) {
+		i = rep.KneeStep
+	}
+	return &rep.Steps[i]
 }

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"ssmfp/internal/telemetry"
+)
+
+// scrapeTimeout bounds one GET of a node's /metrics endpoint.
+const scrapeTimeout = 5 * time.Second
+
+// nodeScrape is one endpoint's contribution to the cluster view.
+type nodeScrape struct {
+	Target  string   `json:"target"`
+	Series  int      `json:"series"`
+	Missing []string `json:"missingCoreSeries,omitempty"`
+}
+
+// scrapeSummary is what -scrape prints: one entry per endpoint, the
+// cluster-wide aggregates of the headline series, and the stabilization-
+// health verdict over the union of every node's samples.
+type scrapeSummary struct {
+	Nodes  []nodeScrape           `json:"nodes"`
+	Totals map[string]float64     `json:"totals"`
+	Peaks  map[string]float64     `json:"peaks"`
+	Health telemetry.HealthReport `json:"health"`
+}
+
+// runScrape aggregates the /metrics endpoints in cfg.scrape into one
+// cluster view. Every endpoint must answer and parse; with
+// -scrape-validate the core series must all be present on every node and
+// the merged health verdict must be clean.
+func runScrape(cfg config) error {
+	client := &http.Client{Timeout: scrapeTimeout}
+	var all []telemetry.PromSample
+	sum := scrapeSummary{
+		Totals: make(map[string]float64),
+		Peaks:  make(map[string]float64),
+	}
+	for _, target := range strings.Split(cfg.scrape, ",") {
+		target = strings.TrimSpace(target)
+		if target == "" {
+			continue
+		}
+		url := target
+		if !strings.Contains(url, "://") {
+			url = "http://" + url
+		}
+		if !strings.HasSuffix(url, "/metrics") {
+			url = strings.TrimSuffix(url, "/") + "/metrics"
+		}
+		resp, err := client.Get(url)
+		if err != nil {
+			return fmt.Errorf("scrape %s: %w", target, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return fmt.Errorf("scrape %s: HTTP %d", target, resp.StatusCode)
+		}
+		samples, err := telemetry.ParsePrometheus(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("scrape %s: %w", target, err)
+		}
+		ns := nodeScrape{Target: target, Series: len(samples)}
+		for _, core := range telemetry.CoreSeries {
+			if !telemetry.HasSeries(samples, core) {
+				ns.Missing = append(ns.Missing, core)
+			}
+		}
+		sum.Nodes = append(sum.Nodes, ns)
+		all = append(all, samples...)
+	}
+	if len(sum.Nodes) == 0 {
+		return fmt.Errorf("-scrape: no targets")
+	}
+
+	// Counters sum across the cluster; occupancy peaks take the maximum.
+	for _, name := range []string{
+		telemetry.SeriesSends, telemetry.SeriesDeliveries,
+		telemetry.SeriesFramesSent, telemetry.SeriesWireFramesSent,
+		telemetry.SeriesWireBytesSent, telemetry.SeriesParkEvents,
+		telemetry.SeriesRetransmits,
+	} {
+		sum.Totals[name] = telemetry.SumSeries(all, name)
+	}
+	for _, name := range []string{
+		telemetry.SeriesBufOccupancy + "_peak",
+		telemetry.SeriesPending + "_peak",
+		telemetry.SeriesParked + "_peak",
+	} {
+		sum.Peaks[name] = telemetry.MaxSeries(all, name)
+	}
+	sum.Health = telemetry.CheckHealth(all)
+
+	enc, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(enc))
+
+	if cfg.scrapeValidate {
+		for _, ns := range sum.Nodes {
+			if len(ns.Missing) > 0 {
+				return fmt.Errorf("%s is missing core series: %s", ns.Target, strings.Join(ns.Missing, ", "))
+			}
+		}
+		if !sum.Health.Healthy {
+			return fmt.Errorf("cluster unhealthy: %s", sum.Health)
+		}
+		fmt.Fprintf(os.Stderr, "ssmfp-node: %d endpoints scraped, core series present, %s\n",
+			len(sum.Nodes), sum.Health)
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"ssmfp/internal/graph"
+	"ssmfp/internal/msgpass"
+	"ssmfp/internal/obs"
+	"ssmfp/internal/telemetry"
+)
+
+// metricsEndpoint serves a live msgpass network's registry on loopback
+// and returns its address — a stand-in for one cluster node's debug mux.
+func metricsEndpoint(t *testing.T, reg *telemetry.Registry) string {
+	t.Helper()
+	srv, err := obs.ServeWith("127.0.0.1:0", nil, telemetry.Handler(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv.Addr()
+}
+
+// TestScrapeModeValidates drives -scrape -scrape-validate against two
+// real registries: a healthy cluster passes, and planting a watermark
+// violation on one node fails the health verdict.
+func TestScrapeModeValidates(t *testing.T) {
+	regs := make([]*telemetry.Registry, 2)
+	var addrs []string
+	for i := range regs {
+		regs[i] = telemetry.New()
+		nw := msgpass.New(graph.Line(2), msgpass.Options{Seed: int64(i + 1), Telemetry: regs[i]})
+		nw.Start()
+		t.Cleanup(nw.Stop)
+		if _, err := nw.Send(0, "scrape", 1); err != nil {
+			t.Fatal(err)
+		}
+		if !nw.WaitDelivered(1, 10e9) {
+			t.Fatal("not delivered")
+		}
+		addrs = append(addrs, metricsEndpoint(t, regs[i]))
+	}
+
+	cfg := config{scrape: strings.Join(addrs, ","), scrapeValidate: true}
+	if err := run(cfg); err != nil {
+		t.Fatalf("healthy cluster failed scrape validation: %v", err)
+	}
+
+	// A watermark violation on one node must flip the cluster verdict.
+	regs[1].Counter(telemetry.SeriesWatermarkViolations, "planted").Inc()
+	err := run(cfg)
+	if err == nil {
+		t.Fatal("unhealthy cluster passed -scrape-validate")
+	}
+	if !strings.Contains(err.Error(), "watermark") {
+		t.Fatalf("failed for the wrong reason: %v", err)
+	}
+}
+
+// TestScrapeRejectsUnparseable: an endpoint that is not Prometheus text
+// is an error, not a silent skip.
+func TestScrapeRejectsUnparseable(t *testing.T) {
+	srv, err := obs.Serve("127.0.0.1:0", func() any { return "not metrics" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	// /debug/ssmfp serves JSON; pointing -scrape at it must fail to parse.
+	cfg := config{scrape: srv.Addr() + "/debug/ssmfp"}
+	if err := run(cfg); err == nil {
+		t.Fatal("non-Prometheus endpoint accepted")
+	}
+}

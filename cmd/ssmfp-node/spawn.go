@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -15,6 +16,7 @@ import (
 	"ssmfp/internal/graph"
 	"ssmfp/internal/load"
 	"ssmfp/internal/metrics"
+	"ssmfp/internal/telemetry"
 	"ssmfp/internal/transport"
 )
 
@@ -102,6 +104,13 @@ func runSpawn(cfg config) error {
 	}()
 
 	for _, p := range g.Processors() {
+		// Every child serves its debug mux so the judge can scrape
+		// /metrics while the node idles on stdin; -http-base gives stable
+		// ports, otherwise each child picks one and reports it.
+		httpAddr := "127.0.0.1:0"
+		if cfg.httpBase > 0 {
+			httpAddr = fmt.Sprintf("127.0.0.1:%d", cfg.httpBase+int(p))
+		}
 		args := []string{
 			"-id", strconv.Itoa(int(p)),
 			"-topology-file", topoPath,
@@ -118,6 +127,12 @@ func runSpawn(cfg config) error {
 			"-latency", cfg.latency.String(),
 			"-jitter", cfg.jitter.String(),
 			"-partition", cfg.partitions,
+			"-http", httpAddr,
+		}
+		if cfg.telemetryOut != "" {
+			args = append(args,
+				"-telemetry-out", fmt.Sprintf("%s.node%d", cfg.telemetryOut, p),
+				"-telemetry-every", cfg.telemetryEvery.String())
 		}
 		if legacy[p] {
 			args = append(args, "-legacy-tags")
@@ -175,6 +190,20 @@ func runSpawn(cfg config) error {
 	}
 
 	violations := judge(g, reports, workload(g, cfg.seed, cfg.messages))
+	var merged metrics.LatencyHist
+	delivered := 0
+	for _, r := range reports {
+		delivered += len(r.Delivered)
+		if r.Hist != nil {
+			merged.Merge(r.Hist)
+		}
+	}
+	// The children are still alive (they idle on stdin until the deferred
+	// close), so their /metrics endpoints are scrapeable right now — the
+	// telemetry plane is judged like the delivery record.
+	health, scrapeViolations := scrapeCluster(reports, &merged)
+	violations = append(violations, scrapeViolations...)
+
 	summary := struct {
 		Nodes      int      `json:"nodes"`
 		Messages   int      `json:"messages"`
@@ -187,15 +216,13 @@ func runSpawn(cfg config) error {
 		// node quantiles.
 		Latency *load.LatencySummary `json:"latency,omitempty"`
 
+		// Health is the stabilization-health verdict over the union of
+		// every node's /metrics scrape.
+		Health *telemetry.HealthReport `json:"health,omitempty"`
+
 		Reports []report `json:"reports"`
-	}{Nodes: len(reports), Messages: cfg.messages, Violations: violations, Reports: reports}
-	var merged metrics.LatencyHist
-	for _, r := range reports {
-		summary.Delivered += len(r.Delivered)
-		if r.Hist != nil {
-			merged.Merge(r.Hist)
-		}
-	}
+	}{Nodes: len(reports), Messages: cfg.messages, Delivered: delivered,
+		Violations: violations, Health: health, Reports: reports}
 	if merged.Count() > 0 {
 		sum := load.SummarizeHist(&merged)
 		summary.Latency = &sum
@@ -208,6 +235,82 @@ func runSpawn(cfg config) error {
 	fmt.Fprintf(os.Stderr, "ssmfp-node: %d nodes, %d messages, exactly-once verified\n",
 		len(reports), cfg.messages)
 	return nil
+}
+
+// scrapeCluster judges the telemetry plane the way judge judges the
+// delivery record: every node's /metrics must answer and parse, carry the
+// core series, and agree with the peaks the node put in its report; the
+// union of all scrapes must pass the stabilization-health checks; and in
+// rate mode the node-stamped latency-attribution components must fit
+// inside the collector-measured end-to-end latency.
+func scrapeCluster(reports []report, merged *metrics.LatencyHist) (*telemetry.HealthReport, []string) {
+	var violations []string
+	badf := func(format string, a ...any) {
+		violations = append(violations, fmt.Sprintf(format, a...))
+	}
+	client := &http.Client{Timeout: scrapeTimeout}
+	var all []telemetry.PromSample
+	for _, r := range reports {
+		// Report-internal consistency first — the peaks are event-driven,
+		// so activity the report claims must have left a high-water mark.
+		if n := len(r.Delivered); n > 0 && (r.PeakBufR < 1 || r.PeakBufE < 1) {
+			badf("node %d delivered %d messages but reports buffer peaks R=%d E=%d",
+				r.ID, n, r.PeakBufR, r.PeakBufE)
+		}
+		if len(r.Sent) > 0 && r.PeakPending < 1 {
+			badf("node %d sent %d messages but reports pending peak 0", r.ID, len(r.Sent))
+		}
+		if r.ParkEvents > 0 && r.PeakParked < 1 {
+			badf("node %d counted %d park events but reports parked peak 0", r.ID, r.ParkEvents)
+		}
+
+		if r.MetricsAddr == "" {
+			badf("node %d reported no metrics address", r.ID)
+			continue
+		}
+		resp, err := client.Get("http://" + r.MetricsAddr + "/metrics")
+		if err != nil {
+			badf("node %d: scraping /metrics: %v", r.ID, err)
+			continue
+		}
+		samples, perr := telemetry.ParsePrometheus(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			badf("node %d: /metrics answered HTTP %d", r.ID, resp.StatusCode)
+			continue
+		}
+		if perr != nil {
+			badf("node %d: /metrics is not parseable Prometheus text: %v", r.ID, perr)
+			continue
+		}
+		for _, core := range telemetry.CoreSeries {
+			if !telemetry.HasSeries(samples, core) {
+				badf("node %d: /metrics missing core series %s", r.ID, core)
+			}
+		}
+		all = append(all, samples...)
+	}
+	if len(all) == 0 {
+		return nil, violations
+	}
+	health := telemetry.CheckHealth(all)
+	if !health.Healthy {
+		badf("cluster %s", health)
+	}
+
+	// Attribution: summed across the cluster, the stamped components
+	// (queued + park + deliver) divided by the delivered-message count
+	// must not exceed the measured end-to-end mean — the residual is wire
+	// time, which is strictly nonnegative. Allow 25% plus scheduling
+	// slack for the separate clock reads on either side of a hop.
+	if merged.Count() > 0 {
+		perMsg := telemetry.SumSeries(all, telemetry.SeriesLatencyComponent+"_sum") / float64(merged.Count())
+		if e2e := merged.Mean(); perMsg > e2e*1.25+float64(2*time.Millisecond) {
+			badf("latency attribution components sum to %.0fns per message, more than the e2e mean %.0fns",
+				perMsg, e2e)
+		}
+	}
+	return &health, violations
 }
 
 // judge checks the cross-process exactly-once property: every UID a node

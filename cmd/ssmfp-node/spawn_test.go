@@ -1,10 +1,14 @@
 package main
 
 import (
+	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
+
+	"ssmfp/internal/telemetry"
 )
 
 // TestMain lets the spawn tests fork this test binary as the node
@@ -63,5 +67,44 @@ func TestSpawnMixedTagVersionsFailLoudly(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "violation") {
 		t.Fatalf("mixed cluster failed for the wrong reason: %v", err)
+	}
+}
+
+// TestSpawnTelemetryStream: -telemetry-out gives every child its own
+// JSONL snapshot stream, each line schema-valid and attributed to its
+// node.
+func TestSpawnTelemetryStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process cluster test skipped in -short mode")
+	}
+	t.Setenv("SSMFP_NODE_CHILD", "1")
+	cfg := clusterConfig()
+	cfg.telemetryOut = filepath.Join(t.TempDir(), "telemetry.jsonl")
+	cfg.telemetryEvery = 50 * time.Millisecond
+	if err := run(cfg); err != nil {
+		t.Fatalf("cluster failed: %v", err)
+	}
+	for i := 0; i < cfg.spawn; i++ {
+		path := fmt.Sprintf("%s.node%d", cfg.telemetryOut, i)
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("node %d wrote no telemetry stream: %v", i, err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(b)), "\n")
+		if len(lines) == 0 {
+			t.Fatalf("node %d stream empty", i)
+		}
+		for _, line := range lines {
+			snap, err := telemetry.ParseSnapshot([]byte(line))
+			if err != nil {
+				t.Fatalf("node %d stream line invalid: %v", i, err)
+			}
+			if want := fmt.Sprintf("node%d", i); snap.Node != want {
+				t.Fatalf("snapshot node %q, want %q", snap.Node, want)
+			}
+			if len(snap.Samples) == 0 {
+				t.Fatalf("node %d snapshot carries no samples", i)
+			}
+		}
 	}
 }

@@ -42,6 +42,16 @@ type Collector struct {
 	details   []string
 	hist      metrics.LatencyHist
 
+	// Latency attribution: every first delivery's end-to-end latency is
+	// split into hold (node-stamped queued + park wait carried in the v3
+	// tag's hold slot), deliver (destination-side bufR→R6 wait, carried on
+	// the Delivery struct because the destination never rewrites the
+	// payload), and wire (the residual: transfer + handshake time, clamped
+	// at zero against clock skew between the stamping nodes).
+	holdHist    metrics.LatencyHist
+	deliverHist metrics.LatencyHist
+	wireHist    metrics.LatencyHist
+
 	// progress is the drain wake-up: observe pulses it (non-blocking,
 	// capacity 1) whenever a counter the driver may be waiting on moves,
 	// so Run's drain and warmUp block on deliveries instead of polling.
@@ -158,7 +168,17 @@ func (c *Collector) observe(d msgpass.Delivery) {
 			c.dupes++
 			c.detail("seq %d delivered %d times", seq, rec.seen)
 		} else {
-			c.hist.Add(d.Time.UnixNano() - sched)
+			e2e := d.Time.UnixNano() - sched
+			c.hist.Add(e2e)
+			hold, _ := ParseTagHold(d.Msg.Payload)
+			deliver := d.DeliverWaitNS
+			wire := e2e - hold - deliver
+			if wire < 0 {
+				wire = 0
+			}
+			c.holdHist.Add(hold)
+			c.deliverHist.Add(deliver)
+			c.wireHist.Add(wire)
 			c.delivered.Add(1)
 			complete = c.onComplete
 		}
@@ -203,6 +223,12 @@ func (c *Collector) finish(sent int) (exactlyOnce bool, violations []string) {
 // Hist returns the latency histogram; call only after the run is drained
 // and the hook detached (the returned pointer is not further synchronized).
 func (c *Collector) Hist() *metrics.LatencyHist { return &c.hist }
+
+// AttributionHists returns the hold/deliver/wire component histograms;
+// same synchronization contract as Hist.
+func (c *Collector) AttributionHists() (hold, deliver, wire *metrics.LatencyHist) {
+	return &c.holdHist, &c.deliverHist, &c.wireHist
+}
 
 // Hook is the stable OnDeliver callback wired once into a network's
 // options; the collector behind it swaps per load step. A detached hook

@@ -83,16 +83,23 @@ func TestCollectorFlagsForeignTagVersion(t *testing.T) {
 	}
 	deliver("unrelated traffic")                       // ignored
 	deliver(EncodeTagV1(0, 0, 1, 1))                   // old binary on the cluster: violation
+	deliver(EncodeTagV2(1, 0, 1, 1))                   // previous binary format: also a violation
 	deliver(EncodeTag(0, 0, 1, time.Now().UnixNano())) // the real delivery
 	ok, violations := col.finish(1)
 	if ok {
-		t.Fatalf("verdict passed despite a v1-tagged delivery: %v", violations)
+		t.Fatalf("verdict passed despite foreign-tagged deliveries: %v", violations)
 	}
-	found := false
+	found, foundV2 := false, false
 	for _, v := range violations {
-		if v == "tag version 1 delivery at 1 (this build speaks v2)" {
+		if v == "tag version 1 delivery at 1 (this build speaks v3)" {
 			found = true
 		}
+		if v == "tag version 2 delivery at 1 (this build speaks v3)" {
+			foundV2 = true
+		}
+	}
+	if !foundV2 {
+		t.Fatalf("no v2-mismatch violation recorded: %v", violations)
 	}
 	if !found {
 		t.Fatalf("no version-mismatch violation recorded: %v", violations)

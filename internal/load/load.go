@@ -31,6 +31,7 @@ import (
 	"ssmfp/internal/graph"
 	"ssmfp/internal/msgpass"
 	"ssmfp/internal/obs"
+	"ssmfp/internal/telemetry"
 )
 
 // Network is the slice of the live-network surface the drivers need.
@@ -39,6 +40,14 @@ import (
 type Network interface {
 	Send(src graph.ProcessID, payload string, dst graph.ProcessID) (uint64, error)
 	QueueDepths() []msgpass.QueueDepth
+}
+
+// telemetrySource is the optional extension a Network may implement to
+// hand the driver its metrics registry; *msgpass.Network does. Run uses
+// it for the park-event counters in the step report — a Network without
+// one just reports zeros there.
+type telemetrySource interface {
+	Telemetry() *telemetry.Registry
 }
 
 // Driver and arrival-process names accepted by Config.
@@ -190,6 +199,18 @@ func Run(nw Network, g *graph.Graph, hook *Hook, cfg Config) (StepReport, error)
 	defer hook.Detach()
 	warmUp(nw, g, col, cfg)
 
+	// Park-event baseline after warmup: the step reports the delta, so
+	// warmup congestion and earlier steps on a shared registry don't leak
+	// into this step's counters.
+	var reg *telemetry.Registry
+	if ts, ok := nw.(telemetrySource); ok {
+		reg = ts.Telemetry()
+	}
+	var parkBase int64
+	if reg != nil {
+		parkBase, _ = reg.Value(telemetry.SeriesParkEvents)
+	}
+
 	var sent atomic.Int64
 	var peaks queuePeaks
 	stopTick := make(chan struct{})
@@ -247,7 +268,12 @@ func Run(nw Network, g *graph.Graph, hook *Hook, cfg Config) (StepReport, error)
 		exactlyOnce = false
 		violations = append(violations, sendErr.Error())
 	}
-	rep := buildStepReport(cfg, plan, col, int(sent.Load()), exactlyOnce, violations, injectNS, spanNS, &peaks)
+	var parkEvents int64
+	if reg != nil {
+		now, _ := reg.Value(telemetry.SeriesParkEvents)
+		parkEvents = now - parkBase
+	}
+	rep := buildStepReport(cfg, plan, col, int(sent.Load()), exactlyOnce, violations, injectNS, spanNS, &peaks, parkEvents)
 
 	if cfg.Bus.Active() {
 		verdict := "ok"
@@ -369,8 +395,8 @@ func injectClosed(nw Network, plan []planEntry, col *Collector, sent *atomic.Int
 // queuePeaks tracks the high-water marks of the queue gauges across the
 // run's samples (deployment-wide maxima, not sums).
 type queuePeaks struct {
-	mu                                  sync.Mutex
-	inbox, pending, bufR, bufE, wireOut int
+	mu                                          sync.Mutex
+	inbox, pending, bufR, bufE, wireOut, parked int
 }
 
 func (p *queuePeaks) sample(depths []msgpass.QueueDepth) {
@@ -391,6 +417,9 @@ func (p *queuePeaks) sample(depths []msgpass.QueueDepth) {
 		}
 		if q.WireOut > p.wireOut {
 			p.wireOut = q.WireOut
+		}
+		if q.Parked > p.parked {
+			p.parked = q.Parked
 		}
 	}
 }

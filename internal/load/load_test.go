@@ -303,3 +303,45 @@ func TestReportFileRoundTrip(t *testing.T) {
 		t.Fatal("loaded a report with a foreign schema")
 	}
 }
+
+// TestAttributionInReport: with HoldStamp wired, the step report carries
+// a latency attribution whose components are consistent with the
+// end-to-end histogram — per message hold+wire+deliver == e2e (hold is
+// whole microseconds and wire clamps at zero, so means match within that
+// granularity), and the telemetry-backed queue fields are populated.
+func TestAttributionInReport(t *testing.T) {
+	g := graph.Grid(3, 3)
+	nw, hook := newNet(g, msgpass.Options{Seed: 13, HoldStamp: load.AddHold})
+	defer nw.Stop()
+	rep, err := load.Run(nw, g, hook, load.Config{
+		Driver: load.DriverOpen, Arrival: load.ArrivalPoisson,
+		Rate: 3000, Messages: 300, Seed: 13, DrainTimeout: 60 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.ExactlyOnce {
+		t.Fatalf("exactly-once violated: %v", rep.Violations)
+	}
+	a := rep.Attribution
+	if a == nil {
+		t.Fatal("report has no attribution")
+	}
+	if a.Deliver.MeanNS <= 0 || a.Wire.MeanNS <= 0 {
+		t.Fatalf("degenerate attribution: %+v", a)
+	}
+	sum := a.Hold.MeanNS + a.Wire.MeanNS + a.Deliver.MeanNS
+	e2e := rep.Latency.MeanNS
+	// The wire clamp only ever makes sum >= e2e; the hold slot's µs
+	// granularity can shave up to 1µs per stamp off sum. Allow 5%.
+	if diff := sum - e2e; diff < -0.05*e2e || diff > 0.05*e2e {
+		t.Fatalf("attribution sum %.0fns vs e2e mean %.0fns", sum, e2e)
+	}
+
+	// Normalize drops the volatile attribution and queue sections.
+	r := load.NewReport("grid-3x3", load.Config{Seed: 13}, false, []load.StepReport{rep})
+	r.Normalize()
+	if r.Steps[0].Attribution != nil || r.Steps[0].Queues != (load.QueueSummary{}) {
+		t.Fatalf("Normalize left volatile telemetry: %+v", r.Steps[0])
+	}
+}

@@ -43,14 +43,32 @@ func SummarizeHist(h *metrics.LatencyHist) LatencySummary {
 	}
 }
 
+// Attribution splits the step's end-to-end latency into where the time
+// went: hold (source-side R1 queueing plus congested-hop park waits,
+// stamped into the payload tag's hold slot by the nodes), deliver
+// (destination-side bufR→R6 wait), and wire (the residual — transfer and
+// handshake time). Per-message the three sum to the end-to-end latency,
+// up to the hold slot's microsecond granularity and the wire clamp at
+// zero. Volatile.
+type Attribution struct {
+	Hold    LatencySummary `json:"hold"`
+	Deliver LatencySummary `json:"deliver"`
+	Wire    LatencySummary `json:"wire"`
+}
+
 // QueueSummary holds the deployment-wide high-water marks of the live
-// queue gauges sampled during the step. Volatile.
+// queue gauges sampled during the step, plus the park counters read from
+// the deployment's telemetry registry. Volatile.
 type QueueSummary struct {
 	PeakInbox   int `json:"peak_inbox,omitempty"`
 	PeakPending int `json:"peak_pending,omitempty"`
 	PeakBufR    int `json:"peak_bufR,omitempty"`
 	PeakBufE    int `json:"peak_bufE,omitempty"`
 	PeakWireOut int `json:"peak_wireOut,omitempty"`
+	PeakParked  int `json:"peak_parked,omitempty"`
+	// ParkEvents counts offers parked at congested hops during the step
+	// (0 when the network exposes no telemetry registry).
+	ParkEvents int64 `json:"park_events,omitempty"`
 }
 
 // StepReport is one load step's outcome. The deterministic section
@@ -72,13 +90,15 @@ type StepReport struct {
 	AchievedRate float64              `json:"achieved_rate,omitempty"` // delivered / span
 	GoodputRatio float64              `json:"goodput_ratio,omitempty"` // achieved / offered
 	Latency      LatencySummary       `json:"latency"`
+	Attribution  *Attribution         `json:"attribution,omitempty"`
 	Hist         *metrics.LatencyHist `json:"hist,omitempty"`
 	Queues       QueueSummary         `json:"queues"`
 }
 
 // buildStepReport folds a finished step into its report.
 func buildStepReport(cfg Config, plan []planEntry, col *Collector, sent int,
-	exactlyOnce bool, violations []string, injectNS, spanNS int64, peaks *queuePeaks) StepReport {
+	exactlyOnce bool, violations []string, injectNS, spanNS int64, peaks *queuePeaks,
+	parkEvents int64) StepReport {
 	h := col.Hist()
 	rep := StepReport{
 		Step:        cfg.Step,
@@ -96,7 +116,16 @@ func buildStepReport(cfg Config, plan []planEntry, col *Collector, sent int,
 			PeakBufR:    peaks.bufR,
 			PeakBufE:    peaks.bufE,
 			PeakWireOut: peaks.wireOut,
+			PeakParked:  peaks.parked,
+			ParkEvents:  parkEvents,
 		},
+	}
+	if hold, deliver, wire := col.AttributionHists(); hold.Count() > 0 {
+		rep.Attribution = &Attribution{
+			Hold:    SummarizeHist(hold),
+			Deliver: SummarizeHist(deliver),
+			Wire:    SummarizeHist(wire),
+		}
 	}
 	if cfg.Driver == DriverOpen {
 		rep.OfferedRate = cfg.Rate
@@ -207,6 +236,7 @@ func (r *Report) Normalize() *Report {
 		s.AchievedRate = 0
 		s.GoodputRatio = 0
 		s.Latency = LatencySummary{}
+		s.Attribution = nil
 		s.Hist = nil
 		s.Queues = QueueSummary{}
 	}

@@ -8,9 +8,9 @@ import (
 	"ssmfp/internal/graph"
 )
 
-// TestTagRoundTripProperty drives the v2 codec across a seeded sample of
-// the field space: every encodable tuple decodes to itself, and the
-// encoding is the documented fixed width.
+// TestTagRoundTripProperty drives the v3 codec across a seeded sample of
+// the field space: every encodable tuple decodes to itself, the encoding
+// is the documented fixed width, and a fresh tag carries zero hold.
 func TestTagRoundTripProperty(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	cases := [][4]int64{
@@ -28,15 +28,72 @@ func TestTagRoundTripProperty(t *testing.T) {
 	}
 	for _, c := range cases {
 		tag := EncodeTag(int(c[0]), graph.ProcessID(c[1]), graph.ProcessID(c[2]), c[3])
-		if len(tag) != tagV2Len {
-			t.Fatalf("EncodeTag%v produced %d bytes, want %d", c, len(tag), tagV2Len)
+		if len(tag) != tagV3Len {
+			t.Fatalf("EncodeTag%v produced %d bytes, want %d", c, len(tag), tagV3Len)
 		}
 		seq, src, dst, sched, ok := ParseTag(tag)
 		if !ok || int64(seq) != c[0] || int64(src) != c[1] || int64(dst) != c[2] || sched != c[3] {
 			t.Fatalf("round trip of %v gave (%d,%d,%d,%d,%v)", c, seq, src, dst, sched, ok)
 		}
+		if hold, ok := ParseTagHold(tag); !ok || hold != 0 {
+			t.Fatalf("fresh tag carries hold (%d,%v), want (0,true)", hold, ok)
+		}
 		if v := TagVersion(tag); v != TagVersionCurrent {
 			t.Fatalf("TagVersion(%q) = %d", tag, v)
+		}
+	}
+}
+
+// TestAddHold pins the attribution slot: accumulation across rewrite
+// points, microsecond truncation, u32 saturation, and pass-through of
+// payloads that carry no v3 tag.
+func TestAddHold(t *testing.T) {
+	tag := EncodeTag(7, 1, 2, 123456789)
+
+	t1, ok := AddHold(tag, 1_500_000) // 1.5ms -> 1500us
+	if !ok {
+		t.Fatal("AddHold rejected a v3 tag")
+	}
+	if h, _ := ParseTagHold(t1); h != 1_500_000 {
+		t.Fatalf("hold after first stamp = %dns, want 1500000", h)
+	}
+	t2, _ := AddHold(t1, 2_000_999) // +2000us (sub-microsecond truncated)
+	if h, _ := ParseTagHold(t2); h != 3_500_000 {
+		t.Fatalf("hold after second stamp = %dns, want 3500000", h)
+	}
+	// The plan coordinates survive the rewrites untouched.
+	seq, src, dst, sched, ok := ParseTag(t2)
+	if !ok || seq != 7 || src != 1 || dst != 2 || sched != 123456789 {
+		t.Fatalf("AddHold corrupted coordinates: (%d,%d,%d,%d,%v)", seq, src, dst, sched, ok)
+	}
+
+	// Saturation, not wraparound.
+	sat, _ := AddHold(tag, (1<<40)*1000)
+	if h, _ := ParseTagHold(sat); h != (1<<32-1)*1000 {
+		t.Fatalf("saturated hold = %d, want u32 max in nanos", h)
+	}
+	sat2, _ := AddHold(sat, 1_000_000)
+	if h, _ := ParseTagHold(sat2); h != (1<<32-1)*1000 {
+		t.Fatalf("post-saturation stamp moved the slot: %d", h)
+	}
+
+	// Negative waits clamp to zero (clock weirdness must not panic or wrap).
+	neg, ok := AddHold(tag, -5)
+	if !ok {
+		t.Fatal("AddHold rejected a negative wait")
+	}
+	if h, _ := ParseTagHold(neg); h != 0 {
+		t.Fatalf("negative wait produced hold %d", h)
+	}
+
+	// Foreign payloads pass through unchanged: nodes stamp blindly.
+	for _, foreign := range []string{"", "hello", EncodeTagV2(1, 2, 3, 4), EncodeTagV1(1, 2, 3, 4), "lw1:w3"} {
+		got, ok := AddHold(foreign, 1000)
+		if ok || got != foreign {
+			t.Errorf("AddHold(%q) = (%q,%v), want unchanged pass-through", foreign, got, ok)
+		}
+		if _, ok := ParseTagHold(foreign); ok {
+			t.Errorf("ParseTagHold(%q) accepted a non-v3 payload", foreign)
 		}
 	}
 }
@@ -67,12 +124,13 @@ func TestParseTagRejectsMalformed(t *testing.T) {
 	good := EncodeTag(1, 2, 3, 4)
 	bad := []string{
 		"",
-		"lt2:",
-		good[:tagV2Len-1], // truncated
-		good + "x",        // trailing byte
-		"lt1:" + good[4:], // right width, wrong version
-		"xx2:" + good[4:], // right width, wrong magic
-		strings.Repeat("z", tagV2Len),
+		"lt3:",
+		good[:tagV3Len-1],       // truncated
+		good + "x",              // trailing byte
+		"lt2:" + good[4:],       // right width, prior version magic
+		"xx3:" + good[4:],       // right width, wrong magic
+		EncodeTagV2(1, 2, 3, 4), // well-formed v2 is not v3
+		strings.Repeat("z", tagV3Len),
 	}
 	for _, b := range bad {
 		if _, _, _, _, ok := ParseTag(b); ok {
@@ -81,16 +139,42 @@ func TestParseTagRejectsMalformed(t *testing.T) {
 	}
 }
 
+// TestParseTagV2Fixture pins the prior binary format so the cross-version
+// guards keep something real to detect: a v2 tag round-trips through its
+// own codec, is rejected by the v3 parser, and reports version 2.
+func TestParseTagV2Fixture(t *testing.T) {
+	tag := EncodeTagV2(42, 3, 7, 1234567890123)
+	if len(tag) != tagV2Len {
+		t.Fatalf("v2 tag is %d bytes, want %d", len(tag), tagV2Len)
+	}
+	seq, src, dst, sched, ok := ParseTagV2(tag)
+	if !ok || seq != 42 || src != 3 || dst != 7 || sched != 1234567890123 {
+		t.Fatalf("v2 round trip gave (%d,%d,%d,%d,%v)", seq, src, dst, sched, ok)
+	}
+	if _, _, _, _, ok := ParseTag(tag); ok {
+		t.Fatal("v3 parser accepted a v2 tag")
+	}
+	if _, _, _, _, ok := ParseTagV2(EncodeTag(42, 3, 7, 1234567890123)); ok {
+		t.Fatal("v2 parser accepted a v3 tag")
+	}
+	if v := TagVersion(tag); v != 2 {
+		t.Fatalf("TagVersion(v2 tag) = %d", v)
+	}
+}
+
 // TestParseTagAllocFree pins the hot-path contract: decoding a delivery
-// tag performs zero allocations.
+// tag (coordinates and hold slot) performs zero allocations.
 func TestParseTagAllocFree(t *testing.T) {
-	tag := EncodeTag(7, 1, 2, 123456789)
+	tag, _ := AddHold(EncodeTag(7, 1, 2, 123456789), 5000)
 	if allocs := testing.AllocsPerRun(200, func() {
 		if _, _, _, _, ok := ParseTag(tag); !ok {
 			t.Fatal("parse failed")
 		}
+		if _, ok := ParseTagHold(tag); !ok {
+			t.Fatal("hold parse failed")
+		}
 	}); allocs > 0 {
-		t.Fatalf("ParseTag allocates %.1f times per call, want 0", allocs)
+		t.Fatalf("tag decode allocates %.1f times per call, want 0", allocs)
 	}
 }
 
@@ -128,10 +212,12 @@ func TestParseTagV1RejectsNegativeAndOverflow(t *testing.T) {
 
 func TestTagVersion(t *testing.T) {
 	cases := map[string]int{
-		EncodeTag(1, 2, 3, 4):   2,
+		EncodeTag(1, 2, 3, 4):   3,
+		EncodeTagV2(1, 2, 3, 4): 2,
 		EncodeTagV1(1, 2, 3, 4): 1,
 		"lt1:":                  1, // truncated body still claims v1
 		"lt2:garbage":           2,
+		"lt3:short":             3,
 		"lt9:1:2:3:4":           0, // unknown version digit
 		"lw1:w0":                0, // warmup is not a load tag
 		"":                      0,
@@ -145,13 +231,17 @@ func TestTagVersion(t *testing.T) {
 	}
 }
 
-// FuzzParseTag holds both parsers to totality and round-trip identity:
-// arbitrary payloads either fail to parse or parse into fields that
-// re-encode to the identical payload.
+// FuzzParseTag holds the parsers to totality and round-trip identity:
+// arbitrary payloads either fail to parse or parse into fields that —
+// after re-applying the decoded hold — re-encode to the identical
+// payload. Corpus entries from the v2 era remain valid inputs; they now
+// exercise the rejection path of the v3 parser.
 func FuzzParseTag(f *testing.F) {
 	f.Add(EncodeTag(0, 0, 1, 0))
 	f.Add(EncodeTag(maxTagField, maxTagField, maxTagField, 1<<63-1))
 	f.Add(EncodeTag(42, 3, 7, 1234567890123))
+	f.Add(func() string { s, _ := AddHold(EncodeTag(42, 3, 7, 1234567890123), 5_000_000); return s }())
+	f.Add(EncodeTagV2(42, 3, 7, 1234567890123))
 	f.Add(EncodeTagV1(42, 3, 7, 1234567890123))
 	f.Add("lt1:-1:-7:2:0")
 	f.Add("lt2:1:2:3:4")
@@ -159,7 +249,23 @@ func FuzzParseTag(f *testing.F) {
 	f.Add("")
 	f.Fuzz(func(t *testing.T, payload string) {
 		if seq, src, dst, sched, ok := ParseTag(payload); ok {
-			if back := EncodeTag(seq, src, dst, sched); back != payload {
+			// EncodeTag writes a zero hold slot; folding the decoded hold
+			// back in must reproduce the input byte for byte. ParseTagHold
+			// returns whole microseconds as nanos, so no truncation loss.
+			hold, hok := ParseTagHold(payload)
+			if !hok {
+				t.Fatalf("v3 tag %q parsed but ParseTagHold refused it", payload)
+			}
+			back, _ := AddHold(EncodeTag(seq, src, dst, sched), hold)
+			if back != payload {
+				t.Fatalf("v3 re-encode mismatch: %q -> %q", payload, back)
+			}
+			if TagVersion(payload) != 3 {
+				t.Fatalf("parseable v3 tag %q claims version %d", payload, TagVersion(payload))
+			}
+		}
+		if seq, src, dst, sched, ok := ParseTagV2(payload); ok {
+			if back := EncodeTagV2(seq, src, dst, sched); back != payload {
 				t.Fatalf("v2 re-encode mismatch: %q -> %q", payload, back)
 			}
 			if TagVersion(payload) != 2 {

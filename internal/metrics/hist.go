@@ -17,6 +17,37 @@ const (
 	histBuckets = (64 - histSubBits) * histSub
 )
 
+// HistBuckets is the number of buckets in the shared log-linear layout.
+// The telemetry registry's lock-free histograms accumulate into the same
+// bucket space (via HistBucketIndex) and reconstruct a LatencyHist with
+// HistFromCounts, so node-side and collector-side histograms merge and
+// quantile identically.
+const HistBuckets = histBuckets
+
+// HistBucketIndex maps a value to its bucket index in the shared layout;
+// negative values clamp to bucket 0.
+func HistBucketIndex(v int64) int { return histBucketOf(v) }
+
+// HistBucketRange returns the half-open value range [lo, hi) of bucket i.
+func HistBucketRange(i int) (lo, hi int64) { return histBucketBounds(i) }
+
+// HistFromCounts reconstructs a LatencyHist from externally accumulated
+// state: per-bucket counts in the shared layout plus the scalar summary.
+// counts longer than HistBuckets panics; shorter is zero-padded. min/max
+// are ignored when count is 0.
+func HistFromCounts(counts []int64, count, sum, min, max int64) LatencyHist {
+	if len(counts) > histBuckets {
+		panic("metrics: HistFromCounts: too many buckets")
+	}
+	var h LatencyHist
+	copy(h.counts[:], counts)
+	h.count, h.sum = count, sum
+	if count > 0 {
+		h.min, h.max = min, max
+	}
+	return h
+}
+
 // LatencyHist is a mergeable log-bucketed histogram of non-negative int64
 // observations (the load subsystem feeds it latencies in nanoseconds).
 // Like Agg it never holds the sample: independent shards fold their own

@@ -45,6 +45,7 @@ import (
 
 	"ssmfp/internal/graph"
 	"ssmfp/internal/obs"
+	"ssmfp/internal/telemetry"
 	"ssmfp/internal/transport"
 )
 
@@ -56,12 +57,17 @@ type Message = transport.Message
 
 // Delivery records a consumption at a destination. Time is the wall-clock
 // instant the destination handed the message up — the load subsystem's
-// latency measurements end here. Msg is a value: a delivery crosses the
-// OnDeliver hook by copy, so observing it allocates nothing.
+// latency measurements end here. DeliverWaitNS is the time the message
+// spent at the destination between arrival (stored into bufR) and the R6
+// consumption — the "deliver" component of the latency attribution,
+// carried on the struct so observing it allocates nothing (it cannot ride
+// the payload tag: the destination never rewrites the payload). Msg is a
+// value: a delivery crosses the OnDeliver hook by copy.
 type Delivery struct {
-	Msg  Message
-	At   graph.ProcessID
-	Time time.Time
+	Msg           Message
+	At            graph.ProcessID
+	Time          time.Time
+	DeliverWaitNS int64
 }
 
 // ErrStopped is returned by Send after Stop: the node goroutines are gone,
@@ -133,6 +139,19 @@ type Options struct {
 	// accounting lives in the OnDeliver hook — so a long run's memory and
 	// hot path stay flat. WaitDelivered keeps working off the counter.
 	DiscardDeliveries bool
+	// Telemetry is the metrics registry the deployment reports into; nil
+	// builds a private one. Telemetry is always on — hot-path updates are
+	// a handful of atomics (see internal/telemetry) — so passing a shared
+	// registry only changes who gets to scrape it, not what it costs.
+	Telemetry *telemetry.Registry
+	// HoldStamp, when non-nil, is invoked at the two points a message's
+	// accumulated hold time grows — R1 acceptance (queued wait) and
+	// parked-offer acceptance (park wait) — with the message payload and
+	// the wait in nanoseconds. It returns the rewritten payload and
+	// whether a rewrite happened (load.AddHold folds the wait into the
+	// payload tag's attribution slot; foreign payloads pass through). The
+	// callback runs on node goroutines and must not call into the Network.
+	HoldStamp func(payload string, waitNanos int64) (string, bool)
 }
 
 func (o Options) withDefaults() Options {
@@ -158,14 +177,11 @@ type Network struct {
 	nodes []*node // indexed by ProcessID; nil for non-local processors
 	local []graph.ProcessID
 
-	// Wire hot path counters. Every frame send touches exactly one of
-	// these; they are atomics so the hot path never takes a network-wide
-	// lock (see BenchmarkSendHotPathParallel).
-	dvSent         atomic.Int64
-	offersSent     atomic.Int64
-	acceptsSent    atomic.Int64
-	cancelsSent    atomic.Int64
-	cancelAcksSent atomic.Int64
+	// tel holds the pre-resolved telemetry handles (frame-kind counters,
+	// delivery counters, attribution histograms). Every handle is atomics
+	// under the hood, so the hot paths never take a network-wide lock
+	// (see BenchmarkSendHotPathParallel).
+	tel *netTelemetry
 
 	nextUID atomic.Uint64
 
@@ -201,10 +217,15 @@ type Stats struct {
 // New builds (but does not start) a deployment on g.
 func New(g *graph.Graph, opts Options) *Network {
 	opts = opts.withDefaults()
+	reg := opts.Telemetry
+	if reg == nil {
+		reg = telemetry.New()
+	}
 	nw := &Network{
 		g:         g,
 		opts:      opts,
 		tr:        opts.Transport,
+		tel:       newNetTelemetry(reg),
 		nodes:     make([]*node, g.N()),
 		delivered: make(chan struct{}),
 		stop:      make(chan struct{}),
@@ -240,8 +261,14 @@ func New(g *graph.Graph, opts Options) *Network {
 	for _, p := range nw.local {
 		nw.nodes[p] = newNode(nw, p, rand.New(rand.NewSource(seeds[p])))
 	}
+	nw.registerWire()
 	return nw
 }
+
+// Telemetry returns the deployment's metrics registry — the one passed in
+// Options.Telemetry, or the private one the Network built. Consumers hang
+// scrape endpoints and snapshot emitters off it.
+func (nw *Network) Telemetry() *telemetry.Registry { return nw.tel.reg }
 
 // Start launches one goroutine per local processor.
 func (nw *Network) Start() {
@@ -291,11 +318,14 @@ func (nw *Network) Send(src graph.ProcessID, payload string, dst graph.ProcessID
 		panic(fmt.Sprintf("msgpass: Send to processor %d, outside this deployment", dst))
 	}
 	m := Message{Payload: payload, UID: uid, Src: src, Dest: dst, Valid: true}
+	enq := time.Now().UnixNano()
 	n.mu.Lock()
 	pq := &n.pendingByDest[dst]
-	pq.q = append(pq.q, m)
+	pq.q = append(pq.q, pendEntry{m: m, enqNS: enq})
 	n.mu.Unlock()
 	n.pendingTotal.Add(1)
+	n.tg.pending.Add(1)
+	nw.tel.sends.Inc()
 	return uid, nil
 }
 
@@ -345,6 +375,19 @@ func (nw *Network) WaitDelivered(k int, timeout time.Duration) bool {
 
 func (nw *Network) deliver(d Delivery) {
 	d.Time = time.Now()
+	nw.tel.deliveries.Inc()
+	if !d.Msg.Valid {
+		nw.tel.invalidDeliveries.Inc()
+	}
+	if d.Msg.Dest != d.At {
+		// A message consumed at a processor it was never destined for:
+		// corrupt initial state flushing out, or a real forwarding bug.
+		// The health detector flags any nonzero count after stabilization.
+		nw.tel.phantomDeliveries.Inc()
+	}
+	if d.DeliverWaitNS > 0 {
+		nw.tel.compDeliver.Observe(d.DeliverWaitNS)
+	}
 	if !nw.opts.DiscardDeliveries {
 		nw.mu.Lock()
 		nw.deliveries = append(nw.deliveries, d)
@@ -370,11 +413,11 @@ func (nw *Network) deliver(d Delivery) {
 func (nw *Network) Stats() Stats {
 	wire := nw.tr.Stats()
 	return Stats{
-		DVSent:         int(nw.dvSent.Load()),
-		OffersSent:     int(nw.offersSent.Load()),
-		AcceptsSent:    int(nw.acceptsSent.Load()),
-		CancelsSent:    int(nw.cancelsSent.Load()),
-		CancelAcksSent: int(nw.cancelAcksSent.Load()),
+		DVSent:         int(nw.tel.frames[transport.KindDV].Load()),
+		OffersSent:     int(nw.tel.frames[transport.KindOffer].Load()),
+		AcceptsSent:    int(nw.tel.frames[transport.KindAccept].Load()),
+		CancelsSent:    int(nw.tel.frames[transport.KindCancel].Load()),
+		CancelAcksSent: int(nw.tel.frames[transport.KindCancelAck].Load()),
 		LostInjected:   int(wire.DroppedImpair),
 		LostCongestion: int(wire.DroppedFull),
 		Wire:           wire,
@@ -383,21 +426,25 @@ func (nw *Network) Stats() Stats {
 
 // QueueDepth is a point-in-time occupancy snapshot of one node: frames
 // fanned in but not yet handled, higher-layer sends not yet accepted by
-// R1, occupied buffers, and frames sitting in the node's outbound wire
-// queues. Inbox, Pending and WireOut are exact; the buffer gauges are
-// refreshed by the node on every tick, so they lag by at most one tick
-// period.
+// R1, occupied buffers, parked offers, and frames sitting in the node's
+// outbound wire queues. All fields are exact: the buffer and park gauges
+// are updated at every occupancy transition, not sampled on a tick.
+// PendingByDest breaks Pending down per destination ring (only non-empty
+// rings appear).
 type QueueDepth struct {
-	Proc    graph.ProcessID `json:"proc"`
-	Inbox   int             `json:"inbox"`
-	Pending int             `json:"pending"`
-	BufR    int             `json:"bufR"`
-	BufE    int             `json:"bufE"`
-	WireOut int             `json:"wireOut"`
+	Proc          graph.ProcessID         `json:"proc"`
+	Inbox         int                     `json:"inbox"`
+	Pending       int                     `json:"pending"`
+	BufR          int                     `json:"bufR"`
+	BufE          int                     `json:"bufE"`
+	Parked        int                     `json:"parked"`
+	WireOut       int                     `json:"wireOut"`
+	PendingByDest map[graph.ProcessID]int `json:"pendingByDest,omitempty"`
 }
 
 // QueueDepths snapshots every local node's queue occupancy. Safe to call
-// from any goroutine while the network runs.
+// from any goroutine while the network runs. It is a cold-path observer:
+// the per-destination breakdown takes each node's pending lock briefly.
 func (nw *Network) QueueDepths() []QueueDepth {
 	out := make([]QueueDepth, 0, len(nw.local))
 	for _, p := range nw.local {
@@ -407,13 +454,26 @@ func (nw *Network) QueueDepths() []QueueDepth {
 		for _, l := range n.out {
 			wireOut += l.Stats().Queued
 		}
+		var byDest map[graph.ProcessID]int
+		n.mu.Lock()
+		for d := range n.pendingByDest {
+			if c := len(n.pendingByDest[d].q) - n.pendingByDest[d].head; c > 0 {
+				if byDest == nil {
+					byDest = make(map[graph.ProcessID]int)
+				}
+				byDest[graph.ProcessID(d)] = c
+			}
+		}
+		n.mu.Unlock()
 		out = append(out, QueueDepth{
-			Proc:    n.id,
-			Inbox:   len(n.inbox),
-			Pending: pending,
-			BufR:    int(n.gaugeBufR.Load()),
-			BufE:    int(n.gaugeBufE.Load()),
-			WireOut: wireOut,
+			Proc:          n.id,
+			Inbox:         len(n.inbox),
+			Pending:       pending,
+			BufR:          int(n.tg.bufR.Load()),
+			BufE:          int(n.tg.bufE.Load()),
+			Parked:        int(n.tg.parked.Load()),
+			WireOut:       wireOut,
+			PendingByDest: byDest,
 		})
 	}
 	return out
@@ -434,20 +494,13 @@ func record(m *Message, lastHop graph.ProcessID) *obs.MsgRecord {
 }
 
 // countFrame attributes one sent frame to its kind counter. The counters
-// are atomics: this is the wire hot path, crossed once or twice per frame
-// by every node goroutine concurrently, and must not serialize on a
-// network-wide lock.
+// are telemetry atomics: this is the wire hot path, crossed once or twice
+// per frame by every node goroutine concurrently, and must not serialize
+// on a network-wide lock.
 func (nw *Network) countFrame(k transport.FrameKind) {
-	switch k {
-	case transport.KindDV:
-		nw.dvSent.Add(1)
-	case transport.KindOffer:
-		nw.offersSent.Add(1)
-	case transport.KindAccept:
-		nw.acceptsSent.Add(1)
-	case transport.KindCancel:
-		nw.cancelsSent.Add(1)
-	case transport.KindCancelAck:
-		nw.cancelAcksSent.Add(1)
+	if int(k) < len(nw.tel.frames) {
+		if c := nw.tel.frames[k]; c != nil {
+			c.Inc()
+		}
 	}
 }

@@ -45,9 +45,19 @@ type destState struct {
 	// Accepting a parked offer is indistinguishable from accepting a
 	// retransmitted copy of the same frame, so the handshake's safety
 	// argument is untouched; a cancel for the parked sequence evicts it.
+	// parkedAtNS is the instant of the first park of the current slot
+	// occupancy (a retransmit refresh keeps it), so the park wait the
+	// telemetry attributes spans the whole congestion episode.
 	parked     transport.Offer
 	parkedFrom graph.ProcessID
 	hasParked  bool
+	parkedAtNS int64
+
+	// rAtNS is the arrival instant at the final destination: set when a
+	// message for this node lands in bufR, consumed by R6 to attribute
+	// the destination-side wait (the "deliver" latency component). Only
+	// the self destState ever carries it.
+	rAtNS int64
 
 	// Receiver side, per neighbor sender: the highest sequence accepted
 	// here and the highest sequence killed by a cancel. Sequences per
@@ -60,12 +70,19 @@ type destState struct {
 	killed   map[graph.ProcessID]uint64
 }
 
+// pendEntry is one queued higher-layer send with its enqueue instant —
+// what the R1 acceptance observes as the "queued" latency component.
+type pendEntry struct {
+	m     Message
+	enqNS int64
+}
+
 // pendQueue is one destination's FIFO of higher-layer sends not yet
 // accepted by R1. head indexes the next message; when the queue drains the
 // backing array is reused, so sustained load reaches a steady state with
 // no append growth.
 type pendQueue struct {
-	q    []Message
+	q    []pendEntry
 	head int
 }
 
@@ -98,9 +115,10 @@ type node struct {
 	// concurrently).
 	inbox chan transport.Frame
 
-	// buffer-occupancy gauges, refreshed once per tick for QueueDepths.
-	gaugeBufR atomic.Int32
-	gaugeBufE atomic.Int32
+	// tg holds this processor's occupancy gauges (bufR/bufE/pending/
+	// parked), updated at the exact transition points so peaks are
+	// event-driven high-water marks. QueueDepths reads the same gauges.
+	tg nodeGauges
 
 	// evs batches this node's observability events; the main loop flushes
 	// it once per iteration (obs.Bus.PublishBatch), so a burst of rule
@@ -133,6 +151,7 @@ func newNode(nw *Network, id graph.ProcessID, rng *rand.Rand) *node {
 		pendingByDest: make([]pendQueue, g.N()),
 		dvDirty:       true, // gossip the initial vector on the first tick
 	}
+	n.tg = newNodeGauges(nw.tel.reg, id)
 	for _, q := range nbrs {
 		n.out[q] = nw.tr.Link(id, q)
 	}
@@ -158,11 +177,12 @@ func newNode(nw *Network, id graph.ProcessID, rng *rand.Rand) *node {
 		inv := Message{Payload: "junk", UID: 1<<60 + uint64(id), Src: id, Dest: d, Valid: false}
 		if n.rng.Intn(2) == 0 {
 			n.dests[d].bufR, n.dests[d].hasR = inv, true
+			n.tg.bufR.Add(1)
 		} else {
 			n.dests[d].bufE, n.dests[d].hasE = inv, true
+			n.tg.bufE.Add(1)
 		}
 	}
-	n.updateGauges()
 	return n
 }
 
@@ -186,21 +206,6 @@ func (n *node) flushObs() {
 	}
 	n.nw.opts.Bus.PublishBatch(n.evs)
 	n.evs = n.evs[:0]
-}
-
-// updateGauges refreshes the buffer-occupancy gauges QueueDepths reads.
-func (n *node) updateGauges() {
-	var r, e int32
-	for i := range n.dests {
-		if n.dests[i].hasR {
-			r++
-		}
-		if n.dests[i].hasE {
-			e++
-		}
-	}
-	n.gaugeBufR.Store(r)
-	n.gaugeBufE.Store(e)
 }
 
 // run is the node main loop: one goroutine per incoming link fans frames
@@ -342,6 +347,11 @@ func (n *node) handleOffer(from graph.ProcessID, o transport.Offer) {
 		ds.bufR = o.Msg
 		ds.hasR = true
 		ds.accepted[from] = o.Seq
+		n.tg.bufR.Add(1)
+		if o.Dest == n.id {
+			// Final hop: start the destination-side wait clock R6 reads.
+			ds.rAtNS = time.Now().UnixNano()
+		}
 		if n.nw.busActive() {
 			n.observe(obs.Event{Kind: obs.KindForward, Proc: n.id, Dest: o.Dest, From: from, Msg: record(&ds.bufR, from)})
 		}
@@ -351,6 +361,11 @@ func (n *node) handleOffer(from graph.ProcessID, o transport.Offer) {
 		// sender just refreshes the slot). A second sender keeps
 		// retransmitting; one parked offer per destination is enough to
 		// make the common single-chain pipeline event-driven.
+		if !ds.hasParked {
+			ds.parkedAtNS = time.Now().UnixNano()
+			n.tg.parked.Add(1)
+			n.nw.tel.parkEvents.Inc()
+		}
 		ds.parked = o
 		ds.parkedFrom = from
 		ds.hasParked = true
@@ -369,6 +384,13 @@ func (n *node) handleAccept(from graph.ProcessID, a transport.Ack) {
 	if int(a.Dest) >= len(n.dests) {
 		return
 	}
+	if a.Seq >= n.nextSeq {
+		// Acknowledging a sequence this node never issued: the peer holds
+		// handshake state from another incarnation (or a corrupt frame).
+		// Harmless to the protocol — the seq match below fails — but a
+		// stabilization-health signal worth counting.
+		n.nw.tel.watermarkViolations.Inc()
+	}
 	ds := &n.dests[a.Dest]
 	if ds.hasE && ds.offerSeq == a.Seq {
 		if n.nw.busActive() {
@@ -377,6 +399,7 @@ func (n *node) handleAccept(from graph.ProcessID, a transport.Ack) {
 		ds.bufE = Message{}
 		ds.hasE = false
 		ds.offerSeq = 0
+		n.tg.bufE.Add(-1)
 	}
 }
 
@@ -400,6 +423,8 @@ func (n *node) handleCancel(from graph.ProcessID, c transport.Ack) {
 		// later from the parking slot.
 		ds.parked = transport.Offer{}
 		ds.hasParked = false
+		n.tg.parked.Add(-1)
+		n.nw.tel.parkEvictions.Inc()
 	}
 	if c.Seq > ds.killed[from] {
 		ds.killed[from] = c.Seq
@@ -413,6 +438,9 @@ func (n *node) handleCancelAck(from graph.ProcessID, c transport.Ack) {
 	if int(c.Dest) >= len(n.dests) {
 		return
 	}
+	if c.Seq >= n.nextSeq {
+		n.nw.tel.watermarkViolations.Inc()
+	}
 	ds := &n.dests[c.Dest]
 	if ds.hasE && ds.offerSeq == c.Seq && ds.offerTarget == from {
 		ds.offerSeq = 0
@@ -424,7 +452,6 @@ func (n *node) handleCancelAck(from graph.ProcessID, c transport.Ack) {
 // and drives outstanding transfers.
 func (n *node) tick() {
 	n.tickCount++
-	n.updateGauges()
 	if n.dvDirty || n.tickCount%dvHeartbeatTicks == 1 {
 		// One copy shared by all neighbor sends: receivers only read a DV
 		// slice (handleDV copies it into the per-neighbor store), and the
@@ -456,6 +483,10 @@ func (n *node) driveTransfer(d graph.ProcessID) {
 		ds.offerTarget = n.parent[d]
 	} else if n.tickCount-ds.lastDrive < offerRetransmitTicks {
 		return
+	} else {
+		// Re-driving an outstanding offer (or its cancel) after the
+		// silence interval: the retransmission machinery at work.
+		n.nw.tel.retransmits.Inc()
 	}
 	ds.lastDrive = n.tickCount
 	if ds.offerTarget == n.parent[d] {
@@ -472,15 +503,23 @@ func (n *node) driveTransfer(d graph.ProcessID) {
 // localMoves performs the purely local rules: generation (R1), the
 // internal bufR→bufE move (R2), and consumption (R6).
 func (n *node) localMoves() {
-	// R6: consume at the destination.
+	// R6: consume at the destination. The wait since the message landed in
+	// this node's bufR is the "deliver" attribution component; it rides the
+	// Delivery struct (the destination never rewrites the payload tag).
 	self := &n.dests[n.id]
 	if self.hasE {
+		var wait int64
+		if self.rAtNS != 0 {
+			wait = time.Now().UnixNano() - self.rAtNS
+			self.rAtNS = 0
+		}
 		if n.nw.busActive() {
 			n.observe(obs.Event{Kind: obs.KindDeliver, Proc: n.id, Dest: n.id, Msg: record(&self.bufE, n.id)})
 		}
-		n.nw.deliver(Delivery{Msg: self.bufE, At: n.id})
+		n.nw.deliver(Delivery{Msg: self.bufE, At: n.id, DeliverWaitNS: wait})
 		self.bufE = Message{}
 		self.hasE = false
+		n.tg.bufE.Add(-1)
 	}
 	// R2: internal move wherever possible. Hop-level exactly-once is
 	// carried by the handshake sequences in this port; the color field is
@@ -495,6 +534,8 @@ func (n *node) localMoves() {
 			ds.bufR = Message{}
 			ds.hasR = false
 			ds.offerSeq = 0 // fresh occupancy, fresh handshake
+			n.tg.bufR.Add(-1)
+			n.tg.bufE.Add(1)
 			if n.nw.busActive() {
 				n.observe(obs.Event{Kind: obs.KindInternal, Proc: n.id, Dest: graph.ProcessID(d), Msg: record(&ds.bufE, n.id)})
 			}
@@ -505,9 +546,22 @@ func (n *node) localMoves() {
 				// bufR just freed: accept the parked offer now. Re-running
 				// handleOffer keeps every watermark check in one place (a
 				// cancel may have raised killed since the offer parked).
-				o, from := ds.parked, ds.parkedFrom
+				o, from, parkedAt := ds.parked, ds.parkedFrom, ds.parkedAtNS
 				ds.parked, ds.hasParked = transport.Offer{}, false
+				n.tg.parked.Add(-1)
 				n.handleOffer(from, o)
+				if ds.hasR && ds.bufR.UID == o.Msg.UID {
+					// The parked offer was accepted (not refused by a raised
+					// watermark): the slot wait is park time the message
+					// spent at this congested hop.
+					wait := time.Now().UnixNano() - parkedAt
+					n.nw.tel.compPark.Observe(wait)
+					if hs := n.nw.opts.HoldStamp; hs != nil {
+						if p, ok := hs(ds.bufR.Payload, wait); ok {
+							ds.bufR.Payload = p
+						}
+					}
+				}
 			}
 		}
 	}
@@ -518,6 +572,8 @@ func (n *node) localMoves() {
 		return
 	}
 	active := n.nw.busActive()
+	hs := n.nw.opts.HoldStamp
+	now := time.Now().UnixNano()
 	n.mu.Lock()
 	for d := range n.pendingByDest {
 		pq := &n.pendingByDest[d]
@@ -528,15 +584,28 @@ func (n *node) localMoves() {
 		if ds.hasR {
 			continue
 		}
-		ds.bufR = pq.q[pq.head]
+		ent := pq.q[pq.head]
+		wait := now - ent.enqNS
+		n.nw.tel.compQueued.Observe(wait)
+		if hs != nil {
+			if p, ok := hs(ent.m.Payload, wait); ok {
+				ent.m.Payload = p
+			}
+		}
+		ds.bufR = ent.m
 		ds.hasR = true
-		pq.q[pq.head] = Message{} // release the payload reference
+		n.tg.bufR.Add(1)
+		if graph.ProcessID(d) == n.id {
+			ds.rAtNS = now // self-send: the source is the final hop
+		}
+		pq.q[pq.head] = pendEntry{} // release the payload reference
 		pq.head++
 		if pq.head == len(pq.q) {
 			pq.q = pq.q[:0] // drained: reuse the backing array
 			pq.head = 0
 		}
 		n.pendingTotal.Add(-1)
+		n.tg.pending.Add(-1)
 		if active {
 			n.observe(obs.Event{Kind: obs.KindGenerate, Proc: n.id, Dest: ds.bufR.Dest, Msg: record(&ds.bufR, n.id)})
 		}

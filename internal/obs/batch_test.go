@@ -2,6 +2,7 @@ package obs
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -97,5 +98,97 @@ func TestPublishBatchConcurrent(t *testing.T) {
 		if hi-lo != batchLen-1 {
 			t.Fatalf("publisher %d batch spans [%d,%d], not contiguous", p, lo, hi)
 		}
+	}
+}
+
+// TestPublishBatchConcurrentSubscribeUnsubscribe churns the subscriber
+// set while batches are in flight: PublishBatch loads the subscriber list
+// once per call, so a subscriber sees a batch either whole (if it was
+// attached at the load) or not at all — never a torn fragment from the
+// copy-on-write swap. Run under -race, this also exercises the
+// Subscribe/unsubscribe store against concurrent publishes.
+func TestPublishBatchConcurrentSubscribeUnsubscribe(t *testing.T) {
+	b := NewBus()
+	const publishers, batches, batchLen, churners = 4, 50, 7, 4
+
+	// One permanent subscriber keeps the bus active throughout, counting
+	// what a stable observer sees.
+	var permanent atomic.Int64
+	b.Subscribe(func(Event) { permanent.Add(1) })
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Churners subscribe and unsubscribe continuously. Each transient
+	// subscriber tracks its own event count; since PublishBatch snapshots
+	// the subscriber list per call, every count must be a multiple of the
+	// batch length (plus single publishes, of which there are none here).
+	for c := 0; c < churners; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var n atomic.Int64
+				unsub := b.Subscribe(func(Event) { n.Add(1) })
+				unsub()
+				unsub() // idempotent
+				if got := n.Load(); got%batchLen != 0 {
+					t.Errorf("transient subscriber saw %d events, not a multiple of batch length %d (torn batch)", got, batchLen)
+					return
+				}
+			}
+		}()
+	}
+	var pubWG sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		pubWG.Add(1)
+		go func() {
+			defer pubWG.Done()
+			evs := make([]Event, batchLen)
+			for i := 0; i < batches; i++ {
+				for j := range evs {
+					evs[j] = Event{Kind: KindStep}
+				}
+				b.PublishBatch(evs)
+			}
+		}()
+	}
+	pubWG.Wait()
+	close(stop)
+	wg.Wait()
+	if got := permanent.Load(); got != publishers*batches*batchLen {
+		t.Fatalf("permanent subscriber saw %d events, want %d", got, publishers*batches*batchLen)
+	}
+	// After every transient unsubscribed, the bus must still deliver.
+	before := permanent.Load()
+	b.Publish(Event{Kind: KindStep})
+	if permanent.Load() != before+1 {
+		t.Fatal("permanent subscriber lost after unsubscribe churn")
+	}
+}
+
+// TestUnsubscribeRestoresFastPath pins that removing the last subscriber
+// returns the bus to the zero-cost inactive state.
+func TestUnsubscribeRestoresFastPath(t *testing.T) {
+	b := NewBus()
+	unsub := b.Subscribe(func(Event) {})
+	if !b.Active() {
+		t.Fatal("bus inactive with a subscriber")
+	}
+	unsub()
+	if b.Active() {
+		t.Fatal("bus active after the last unsubscribe")
+	}
+	// Inactive publishes must not consume sequence numbers (gapless).
+	b.Publish(Event{Kind: KindStep})
+	var first uint64
+	b.Subscribe(func(ev Event) { first = ev.Seq })
+	b.Publish(Event{Kind: KindStep})
+	if first != 1 {
+		t.Fatalf("first live seq %d after inactive publish, want 1", first)
 	}
 }

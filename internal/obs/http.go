@@ -17,6 +17,15 @@ import (
 // return nil, rendering as JSON null; it is called per request and must be
 // safe for concurrent use.
 func Handler(snapshot func() any) http.Handler {
+	return HandlerWith(snapshot, nil)
+}
+
+// HandlerWith is Handler plus an optional metrics handler mounted at
+// /metrics — the telemetry plane's Prometheus text endpoint. It takes an
+// http.Handler rather than a registry so obs stays below the telemetry
+// package (telemetry publishes snapshots onto the bus; obs cannot import
+// it back).
+func HandlerWith(snapshot func() any, metrics http.Handler) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -36,12 +45,17 @@ func Handler(snapshot func() any) http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	index := "ssmfp introspection\n\n/debug/ssmfp\n/debug/vars\n/debug/pprof/\n"
+	if metrics != nil {
+		mux.Handle("/metrics", metrics)
+		index += "/metrics\n"
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "ssmfp introspection\n\n/debug/ssmfp\n/debug/vars\n/debug/pprof/\n")
+		fmt.Fprint(w, index)
 	})
 	return mux
 }
@@ -55,11 +69,16 @@ type Server struct {
 // Serve starts the introspection endpoint on addr (e.g. ":8080" or
 // "127.0.0.1:0") and returns immediately; Close shuts it down.
 func Serve(addr string, snapshot func() any) (*Server, error) {
+	return ServeWith(addr, snapshot, nil)
+}
+
+// ServeWith is Serve with a /metrics handler mounted (see HandlerWith).
+func ServeWith(addr string, snapshot func() any, metrics http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ln: ln, srv: &http.Server{Handler: Handler(snapshot), ReadHeaderTimeout: 5 * time.Second}}
+	s := &Server{ln: ln, srv: &http.Server{Handler: HandlerWith(snapshot, metrics), ReadHeaderTimeout: 5 * time.Second}}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
 }

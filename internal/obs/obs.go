@@ -89,6 +89,11 @@ const (
 	// index, Detail the step summary, and Rule reuses its string slot for
 	// the exactly-once verdict ("ok" or "fail").
 	KindLoadDone Kind = "load-done"
+	// KindTelemetry carries one telemetry-plane snapshot: Detail is a
+	// complete ssmfp-telemetry/v1 JSONL line and Count the number of
+	// samples in it. Telemetry events live in the wall-clock domain (Step
+	// and Round are -1) and never appear in a replayable engine trace.
+	KindTelemetry Kind = "telemetry"
 )
 
 // Valid reports whether k is a kind of the current schema.
@@ -96,7 +101,8 @@ func (k Kind) Valid() bool {
 	switch k {
 	case KindStep, KindFire, KindGenerate, KindInternal, KindForward,
 		KindErase, KindDeliver, KindRound, KindFault, KindRoute, KindStabilized,
-		KindWire, KindCellStart, KindCellDone, KindLoadTick, KindLoadDone:
+		KindWire, KindCellStart, KindCellDone, KindLoadTick, KindLoadDone,
+		KindTelemetry:
 		return true
 	}
 	return false
@@ -150,9 +156,17 @@ type Event struct {
 // each subscriber tolerates concurrent calls itself. A nil *Bus is a valid
 // inactive bus: Active reports false and Publish is a no-op.
 type Bus struct {
-	seq  atomic.Uint64
-	mu   sync.Mutex
-	subs atomic.Pointer[[]func(Event)]
+	seq    atomic.Uint64
+	mu     sync.Mutex
+	nextID uint64
+	subs   atomic.Pointer[[]subEntry]
+}
+
+// subEntry pairs a subscriber with the identity its unsubscribe closure
+// removes (function values are not comparable, so removal keys on an id).
+type subEntry struct {
+	id uint64
+	fn func(Event)
 }
 
 // NewBus returns an empty bus.
@@ -168,16 +182,50 @@ func (b *Bus) Active() bool {
 }
 
 // Subscribe attaches fn; it will be called for every subsequent Publish.
-func (b *Bus) Subscribe(fn func(Event)) {
+// The returned closure detaches it again (idempotent). Subscription is
+// copy-on-write: a Publish or PublishBatch that loaded the subscriber
+// list before an unsubscribe may still invoke fn for events already in
+// flight — subscribers must tolerate a trailing call after unsubscribing,
+// exactly as they must tolerate concurrent calls.
+func (b *Bus) Subscribe(fn func(Event)) (unsubscribe func()) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	var cur []func(Event)
+	b.nextID++
+	id := b.nextID
+	var cur []subEntry
 	if p := b.subs.Load(); p != nil {
 		cur = *p
 	}
-	next := make([]func(Event), len(cur)+1)
+	next := make([]subEntry, len(cur)+1)
 	copy(next, cur)
-	next[len(cur)] = fn
+	next[len(cur)] = subEntry{id: id, fn: fn}
+	b.subs.Store(&next)
+	b.mu.Unlock()
+	return func() { b.unsubscribe(id) }
+}
+
+// unsubscribe removes the entry with the given id; the empty list stores
+// as nil so Active returns to the zero-cost fast path.
+func (b *Bus) unsubscribe(id uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	p := b.subs.Load()
+	if p == nil {
+		return
+	}
+	cur := *p
+	next := make([]subEntry, 0, len(cur))
+	for _, e := range cur {
+		if e.id != id {
+			next = append(next, e)
+		}
+	}
+	if len(next) == len(cur) {
+		return
+	}
+	if len(next) == 0 {
+		b.subs.Store(nil)
+		return
+	}
 	b.subs.Store(&next)
 }
 
@@ -193,8 +241,8 @@ func (b *Bus) Publish(ev Event) {
 		return
 	}
 	ev.Seq = b.seq.Add(1)
-	for _, fn := range *p {
-		fn(ev)
+	for _, e := range *p {
+		e.fn(ev)
 	}
 }
 
@@ -217,8 +265,8 @@ func (b *Bus) PublishBatch(evs []Event) {
 	base := b.seq.Add(uint64(len(evs))) - uint64(len(evs))
 	for i := range evs {
 		evs[i].Seq = base + uint64(i) + 1
-		for _, fn := range *p {
-			fn(evs[i])
+		for _, e := range *p {
+			e.fn(evs[i])
 		}
 	}
 }

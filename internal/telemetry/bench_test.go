@@ -1,0 +1,32 @@
+package telemetry
+
+import "testing"
+
+// BenchmarkTelemetryHotPath is gated by `make bench-allocs` at 0
+// allocs/op: one iteration is the telemetry cost of one "message step" on
+// a hot protocol path — a frame-kind counter, an occupancy gauge
+// transition pair (with peak tracking), and one latency-component
+// observation. If registering handles ever leaks into the update path, or
+// an update starts boxing values, this benchmark catches it before the
+// msgpass gates see the regression second-hand.
+func BenchmarkTelemetryHotPath(b *testing.B) {
+	r := New()
+	frames := r.Counter(SeriesFramesSent, "", L("kind", "offer"))
+	occ := r.Gauge(SeriesBufOccupancy, "", L("proc", "0"), L("buf", "R"))
+	lat := r.Hist(SeriesLatencyComponent, "", L("component", "queued"))
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		v := int64(17)
+		for pb.Next() {
+			frames.Inc()
+			occ.Add(1)
+			lat.Observe(v)
+			occ.Add(-1)
+			v = v*2862933555777941757 + 3037000493 // splmix: spread bucket traffic
+			if v < 0 {
+				v = -v
+			}
+			v %= 1 << 32
+		}
+	})
+}

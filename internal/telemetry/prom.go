@@ -1,0 +1,308 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4), the scrape surface of the
+// telemetry plane. Counters and gauges render one series each; gauges add
+// a `<name>_peak` companion (the exact event-driven high-water mark, which
+// plain Prometheus sampling cannot reconstruct); histograms render
+// summary-style — quantile-labelled series plus `_sum` and `_count` —
+// because the log-linear buckets are an internal layout, not `le` bounds.
+//
+// ParsePrometheus is the matching reader: the -scrape aggregator, the
+// spawn judge, and the CI metrics check all consume scrapes through it,
+// so "the endpoint serves parseable Prometheus text" is enforced by the
+// same code everywhere.
+
+// summaryQuantiles are the quantile labels a histogram exports.
+var summaryQuantiles = []struct {
+	label string
+	q     float64
+}{
+	{"0.5", 0.50},
+	{"0.9", 0.90},
+	{"0.99", 0.99},
+}
+
+// WritePrometheus renders every registered metric.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	samples := r.Snapshot()
+	typed := make(map[string]bool)
+	emitType := func(name, kind, help string) {
+		if typed[name] {
+			return
+		}
+		typed[name] = true
+		if help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", name, help)
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", name, kind)
+	}
+	// Re-read help strings: Snapshot deliberately drops them.
+	help := make(map[string]string)
+	r.mu.Lock()
+	for _, e := range r.entries {
+		if help[e.name] == "" {
+			help[e.name] = e.help
+		}
+	}
+	r.mu.Unlock()
+
+	for i := range samples {
+		s := &samples[i]
+		ls := labelString(s.Labels)
+		switch s.Kind {
+		case KindCounter:
+			emitType(s.Name, "counter", help[s.Name])
+			fmt.Fprintf(bw, "%s%s %d\n", s.Name, ls, s.Value)
+		case KindGauge:
+			emitType(s.Name, "gauge", help[s.Name])
+			fmt.Fprintf(bw, "%s%s %d\n", s.Name, ls, s.Value)
+			if s.Peak > 0 || s.Value > 0 {
+				peakName := s.Name + "_peak"
+				emitType(peakName, "gauge", "High-water mark of "+s.Name+" (event-driven, exact).")
+				fmt.Fprintf(bw, "%s%s %d\n", peakName, ls, s.Peak)
+			}
+		case KindHist:
+			emitType(s.Name, "summary", help[s.Name])
+			for _, sq := range summaryQuantiles {
+				fmt.Fprintf(bw, "%s%s %d\n", s.Name, quantileLabels(s.Labels, sq.label), s.Hist.Quantile(sq.q))
+			}
+			fmt.Fprintf(bw, "%s_sum%s %d\n", s.Name, ls, s.Hist.Sum())
+			fmt.Fprintf(bw, "%s_count%s %d\n", s.Name, ls, s.Hist.Count())
+		}
+	}
+	return bw.Flush()
+}
+
+// quantileLabels renders {labels...,quantile="q"}.
+func quantileLabels(labels []Label, q string) string {
+	withQ := make([]Label, 0, len(labels)+1)
+	withQ = append(withQ, labels...)
+	withQ = append(withQ, L("quantile", q))
+	return labelString(withQ)
+}
+
+// Handler serves the registry as Prometheus text under any path (mount it
+// at /metrics).
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+// PromSample is one parsed series of a Prometheus text scrape.
+type PromSample struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
+// Key renders the sample's identity as name{k="v",...} with sorted keys.
+func (s PromSample) Key() string {
+	if len(s.Labels) == 0 {
+		return s.Name
+	}
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, s.Labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// ParsePrometheus reads a text-format scrape and returns its samples. It
+// is a validator as much as a parser: malformed metric names, unbalanced
+// label syntax, and non-numeric values are errors with line numbers, so a
+// CI check that the endpoint "parses" means exactly this function.
+func ParsePrometheus(r io.Reader) ([]PromSample, error) {
+	var out []PromSample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			// Only HELP and TYPE comments are defined; anything else is
+			// still a legal comment, but a malformed TYPE is not.
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) < 4 {
+					return nil, fmt.Errorf("telemetry: line %d: malformed TYPE comment", lineNo)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "summary", "histogram", "untyped":
+				default:
+					return nil, fmt.Errorf("telemetry: line %d: unknown metric type %q", lineNo, fields[3])
+				}
+			}
+			continue
+		}
+		s, err := parsePromLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: line %d: %v", lineNo, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parsePromLine(line string) (PromSample, error) {
+	var s PromSample
+	rest := line
+	// Metric name: [a-zA-Z_:][a-zA-Z0-9_:]*
+	i := 0
+	for i < len(rest) && isNameChar(rest[i], i == 0) {
+		i++
+	}
+	if i == 0 {
+		return s, fmt.Errorf("no metric name in %q", line)
+	}
+	s.Name = rest[:i]
+	rest = rest[i:]
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err := parsePromLabels(rest[1:end])
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimSpace(rest)
+	// Value, optionally followed by a timestamp we ignore.
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("want value [timestamp] after series in %q", line)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parsePromLabels(body string) (map[string]string, error) {
+	labels := make(map[string]string)
+	rest := body
+	for rest != "" {
+		eq := strings.Index(rest, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("label without '=' in {%s}", body)
+		}
+		key := strings.TrimSpace(rest[:eq])
+		if key == "" {
+			return nil, fmt.Errorf("empty label name in {%s}", body)
+		}
+		rest = rest[eq+1:]
+		if !strings.HasPrefix(rest, `"`) {
+			return nil, fmt.Errorf("unquoted label value in {%s}", body)
+		}
+		rest = rest[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(rest); i++ {
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				i++
+				switch rest[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(rest[i])
+				}
+				continue
+			}
+			if c == '"' {
+				rest = rest[i+1:]
+				closed = true
+				break
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			return nil, fmt.Errorf("unterminated label value in {%s}", body)
+		}
+		labels[key] = val.String()
+		rest = strings.TrimPrefix(strings.TrimSpace(rest), ",")
+		rest = strings.TrimSpace(rest)
+	}
+	return labels, nil
+}
+
+func isNameChar(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}
+
+// SumSeries sums the values of every sample named name (any labels) — the
+// aggregation the scrape mode and health detector run over a cluster's
+// merged scrapes.
+func SumSeries(samples []PromSample, name string) float64 {
+	var sum float64
+	for _, s := range samples {
+		if s.Name == name {
+			sum += s.Value
+		}
+	}
+	return sum
+}
+
+// MaxSeries returns the maximum value of every sample named name.
+func MaxSeries(samples []PromSample, name string) float64 {
+	var max float64
+	for _, s := range samples {
+		if s.Name == name && s.Value > max {
+			max = s.Value
+		}
+	}
+	return max
+}
+
+// HasSeries reports whether any sample is named name.
+func HasSeries(samples []PromSample, name string) bool {
+	for _, s := range samples {
+		if s.Name == name {
+			return true
+		}
+	}
+	return false
+}

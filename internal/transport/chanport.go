@@ -54,6 +54,8 @@ func (c *Chan) Stats() Stats {
 		s.FramesSent += ls.Sent
 		s.FramesRecvd += ls.Recvd
 		s.DroppedFull += ls.DroppedFull
+		s.BytesSent += ls.BytesSent
+		s.BytesRecvd += ls.BytesRecvd
 	}
 	return s
 }
@@ -70,6 +72,7 @@ type chanLink struct {
 	tr      *Chan
 	ch      chan Frame
 	sent    atomic.Uint64
+	bytes   atomic.Uint64
 	dropped atomic.Uint64
 }
 
@@ -81,6 +84,9 @@ func (l *chanLink) Send(f Frame) bool {
 	select {
 	case l.ch <- f:
 		l.sent.Add(1)
+		// Encoded-equivalent bytes: what this frame would cost on a real
+		// wire, so byte-rate telemetry is comparable across backends.
+		l.bytes.Add(uint64(EncodedSize(&f)))
 		return true
 	default:
 		l.dropped.Add(1)
@@ -92,12 +98,15 @@ func (l *chanLink) Recv() <-chan Frame { return l.ch }
 
 func (l *chanLink) Stats() LinkStats {
 	sent := l.sent.Load()
+	bytes := l.bytes.Load()
 	return LinkStats{
 		// In-memory transfer is instantaneous: every frame that entered
 		// the channel has "arrived".
 		Sent:        sent,
 		Recvd:       sent,
 		DroppedFull: l.dropped.Load(),
+		BytesSent:   bytes,
+		BytesRecvd:  bytes,
 		Queued:      len(l.ch),
 	}
 }

@@ -258,6 +258,7 @@ func (t *TCP) readLoop(conn net.Conn) {
 			t.recvUnknown.Add(1)
 			continue
 		}
+		rl.bytes.Add(uint64(n))
 		select {
 		case rl.ch <- f:
 			rl.recvd.Add(1)
@@ -324,6 +325,7 @@ func (t *TCP) writer(sl *tcpSendLink, rng *rand.Rand) {
 		}
 		n, err := WriteFrame(bw, &f)
 		t.bytesSent.Add(uint64(n))
+		sl.bytes.Add(uint64(n))
 		if err == nil {
 			sl.sent.Add(1)
 			// Batch: drain whatever else is queued before flushing.
@@ -332,6 +334,7 @@ func (t *TCP) writer(sl *tcpSendLink, rng *rand.Rand) {
 				case f = <-sl.outq:
 					n, err = WriteFrame(bw, &f)
 					t.bytesSent.Add(uint64(n))
+					sl.bytes.Add(uint64(n))
 					if err == nil {
 						sl.sent.Add(1)
 					}
@@ -356,6 +359,7 @@ type tcpSendLink struct {
 	peer    graph.ProcessID
 	outq    chan Frame
 	sent    atomic.Uint64
+	bytes   atomic.Uint64
 	dropped atomic.Uint64
 }
 
@@ -377,6 +381,7 @@ func (l *tcpSendLink) Stats() LinkStats {
 	return LinkStats{
 		Sent:        l.sent.Load(),
 		DroppedFull: l.dropped.Load(),
+		BytesSent:   l.bytes.Load(),
 		Queued:      len(l.outq),
 	}
 }
@@ -387,6 +392,7 @@ func (l *tcpSendLink) Close() error { return nil }
 type tcpRecvLink struct {
 	ch      chan Frame
 	recvd   atomic.Uint64
+	bytes   atomic.Uint64
 	dropped atomic.Uint64
 }
 
@@ -400,6 +406,7 @@ func (l *tcpRecvLink) Stats() LinkStats {
 	return LinkStats{
 		Recvd:       l.recvd.Load(),
 		DroppedFull: l.dropped.Load(),
+		BytesRecvd:  l.bytes.Load(),
 		Queued:      len(l.ch),
 	}
 }

@@ -141,6 +141,12 @@ type LinkStats struct {
 	DroppedImpair uint64
 	// Duplicated counts extra copies injected by impairment.
 	Duplicated uint64
+	// BytesSent / BytesRecvd count frame bytes through this link: socket
+	// bytes on the TCP backend, encoded-equivalent bytes (EncodedSize) on
+	// the in-memory backend — so per-link byte rates mean the same thing
+	// whichever wire a deployment runs on.
+	BytesSent  uint64
+	BytesRecvd uint64
 	// Queued is the point-in-time occupancy of the link's outbound queue.
 	Queued int
 }
@@ -152,8 +158,8 @@ type Stats struct {
 	DroppedFull   uint64 `json:"droppedFull"`
 	DroppedImpair uint64 `json:"droppedImpair"`
 	Duplicated    uint64 `json:"duplicated"`
-	// BytesSent / BytesRecvd count encoded frame bytes (TCP only; the
-	// in-memory backends move structs, not bytes).
+	// BytesSent / BytesRecvd count frame bytes: socket bytes on the TCP
+	// backend, encoded-equivalent bytes on the in-memory backend.
 	BytesSent  uint64 `json:"bytesSent"`
 	BytesRecvd uint64 `json:"bytesRecvd"`
 	// Dials counts outbound connection attempts, Redials the subset that

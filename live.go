@@ -1,9 +1,11 @@
 package ssmfp
 
 import (
+	"net/http"
 	"time"
 
 	"ssmfp/internal/msgpass"
+	"ssmfp/internal/telemetry"
 )
 
 // LiveNetwork runs the protocol in the message-passing model: one
@@ -113,16 +115,21 @@ type LiveStatus struct {
 }
 
 // LiveQueue is one node's queue occupancy: unprocessed incoming frames,
-// higher-layer sends not yet accepted, occupied buffers (the buffer
-// gauges lag by at most one tick), and frames sitting in the node's
-// outbound wire queues.
+// higher-layer sends not yet accepted, occupied buffers, offers parked
+// while bufR is busy, and frames sitting in the node's outbound wire
+// queues. All counts are exact at the snapshot instant (event-driven,
+// not tick-sampled). PendingByDest breaks Pending down by destination —
+// only destinations with queued messages appear, so a congested route
+// is visible at a glance.
 type LiveQueue struct {
-	Proc    ProcessID `json:"proc"`
-	Inbox   int       `json:"inbox"`
-	Pending int       `json:"pending"`
-	BufR    int       `json:"bufR"`
-	BufE    int       `json:"bufE"`
-	WireOut int       `json:"wireOut"`
+	Proc          ProcessID         `json:"proc"`
+	Inbox         int               `json:"inbox"`
+	Pending       int               `json:"pending"`
+	PendingByDest map[ProcessID]int `json:"pendingByDest,omitempty"`
+	BufR          int               `json:"bufR"`
+	BufE          int               `json:"bufE"`
+	Parked        int               `json:"parked"`
+	WireOut       int               `json:"wireOut"`
 }
 
 // Status snapshots the network's live counters; safe to call from any
@@ -141,10 +148,18 @@ func (l *LiveNetwork) Status() LiveStatus {
 	for _, q := range l.nw.QueueDepths() {
 		out.Queues = append(out.Queues, LiveQueue{
 			Proc: q.Proc, Inbox: q.Inbox, Pending: q.Pending,
-			BufR: q.BufR, BufE: q.BufE, WireOut: q.WireOut,
+			PendingByDest: q.PendingByDest,
+			BufR:          q.BufR, BufE: q.BufE, Parked: q.Parked, WireOut: q.WireOut,
 		})
 	}
 	return out
+}
+
+// MetricsHandler returns the network's Prometheus text endpoint — mount
+// it at /metrics (obs.HandlerWith does this for the debug mux). The
+// handler stays valid after Close; it serves the final counter values.
+func (l *LiveNetwork) MetricsHandler() http.Handler {
+	return telemetry.Handler(l.nw.Telemetry())
 }
 
 // Close stops every processor goroutine and waits for them. Close is

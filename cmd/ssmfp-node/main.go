@@ -52,7 +52,6 @@ import (
 	"ssmfp/internal/load"
 	"ssmfp/internal/metrics"
 	"ssmfp/internal/msgpass"
-	"ssmfp/internal/obs"
 	"ssmfp/internal/telemetry"
 	"ssmfp/internal/transport"
 )
@@ -87,6 +86,21 @@ type config struct {
 	telemetryEvery time.Duration
 	scrape         string
 	scrapeValidate bool
+
+	// Elastic-cluster operator plane (see internal/cluster).
+	serve     bool
+	elastic   bool
+	admin     string
+	target    string
+	targets   string
+	proc      int
+	from      int
+	to        int
+	count     int
+	linkU     int
+	linkV     int
+	payload   string
+	epochFile string
 }
 
 func main() {
@@ -117,6 +131,19 @@ func main() {
 	flag.DurationVar(&cfg.telemetryEvery, "telemetry-every", time.Second, "snapshot period for -telemetry-out")
 	flag.StringVar(&cfg.scrape, "scrape", "", "scrape mode: comma-separated /metrics endpoints to aggregate into a cluster view (no node is run)")
 	flag.BoolVar(&cfg.scrapeValidate, "scrape-validate", false, "scrape mode: exit nonzero unless every endpoint parses, carries the core series, and the cluster passes the stabilization-health checks")
+	flag.BoolVar(&cfg.serve, "serve", false, "run as a long-lived cluster member: no workload, admin API on -http, reconfigure via epochs until drained out or stdin EOF")
+	flag.BoolVar(&cfg.elastic, "elastic", false, "churn judge: fork a -spawn-sized serve cluster, join two nodes, cut a link and drain one under live load, verify exactly-once")
+	flag.StringVar(&cfg.admin, "admin", "", "operator op against a running cluster: status, inject, quiesce, drain, add-link, cut-link, epoch (needs -target or -targets)")
+	flag.StringVar(&cfg.target, "target", "", "admin mode: one node's admin base URL, e.g. http://127.0.0.1:8080")
+	flag.StringVar(&cfg.targets, "targets", "", "admin mode: cluster address book \"id=url,id=url\" (required for drain/add-link/cut-link)")
+	flag.IntVar(&cfg.proc, "proc", -1, "admin mode: processor operand for drain/quiesce")
+	flag.IntVar(&cfg.from, "from", -1, "admin inject: source processor")
+	flag.IntVar(&cfg.to, "to", -1, "admin inject: destination processor")
+	flag.IntVar(&cfg.count, "count", 1, "admin inject: number of messages")
+	flag.IntVar(&cfg.linkU, "u", -1, "admin add-link/cut-link: one endpoint")
+	flag.IntVar(&cfg.linkV, "v", -1, "admin add-link/cut-link: other endpoint")
+	flag.StringVar(&cfg.payload, "payload", "inject", "admin inject: message payload")
+	flag.StringVar(&cfg.epochFile, "epoch-file", "", "admin epoch: JSON Epoch file to POST at -target")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -129,8 +156,17 @@ func run(cfg config) error {
 	if cfg.scrape != "" {
 		return runScrape(cfg)
 	}
+	if cfg.admin != "" {
+		return runAdmin(cfg)
+	}
+	if cfg.elastic {
+		return runElastic(cfg)
+	}
 	if cfg.spawn > 0 {
 		return runSpawn(cfg)
+	}
+	if cfg.serve {
+		return runServe(cfg)
 	}
 	return runNode(cfg)
 }
@@ -362,95 +398,30 @@ func summarize(s msgpass.Stats) wireSummary {
 // execute this node's share of the workload, report, then keep
 // forwarding until stdin closes.
 func runNode(cfg config) error {
-	if cfg.id < 0 {
-		return fmt.Errorf("single-node mode needs -id (or use -spawn)")
-	}
-	if cfg.peers == "" {
-		return fmt.Errorf("single-node mode needs -peers")
-	}
-	g, err := loadTopology(cfg)
+	rt, err := bootNode(cfg)
 	if err != nil {
 		return err
 	}
-	if cfg.id >= g.N() {
-		return fmt.Errorf("-id %d out of range for %d processors", cfg.id, g.N())
-	}
-	pf, err := os.Open(cfg.peers)
-	if err != nil {
-		return err
-	}
-	peers, err := transport.ParsePeers(pf)
-	pf.Close()
-	if err != nil {
-		return err
-	}
-	local := graph.ProcessID(cfg.id)
-
-	var tr transport.Transport
-	tcp, err := transport.NewTCP(g, transport.TCPOptions{
-		Local: local,
-		Peers: peers,
-		Seed:  cfg.seed + int64(cfg.id), // jitter streams differ per process
-	})
-	if err != nil {
-		return err
-	}
-	tr = tcp
-	copts, impaired, err := chaosOpts(cfg)
-	if err != nil {
-		tcp.Close()
-		return err
-	}
-	if impaired {
-		tr = transport.NewChaos(tcp, copts)
-	}
-	defer tr.Close()
-
-	reg := telemetry.New()
-	nw := msgpass.New(g, msgpass.Options{
-		Tick:      cfg.tick,
-		Seed:      cfg.seed,
-		Transport: tr,
-		Procs:     []graph.ProcessID{local},
-		Telemetry: reg,
-		// Nodes stamp R1-queue and park waits into v3 payload tags so any
-		// collector downstream can attribute end-to-end latency; foreign
-		// payloads (legacy tags, plain text) pass through untouched.
-		HoldStamp: load.AddHold,
-	})
-	nw.Start()
-	defer nw.Stop()
+	defer rt.close()
+	g, local, nw, reg := rt.g, rt.local, rt.nw, rt.reg
 
 	// Process-side health counter: valid deliveries carrying a
 	// recognizable tag of a different codec version.
 	tagMismatchCounter := reg.Counter(telemetry.SeriesTagMismatches,
 		"Valid deliveries whose payload tag speaks a different codec version.")
 
-	var debugSrv *obs.Server
-	if cfg.httpAddr != "" {
-		debugSrv, err = obs.ServeWith(cfg.httpAddr,
-			func() any {
-				return struct {
-					ID     int                  `json:"id"`
-					Stats  msgpass.Stats        `json:"stats"`
-					Queues []msgpass.QueueDepth `json:"queues"`
-				}{cfg.id, nw.Stats(), nw.QueueDepths()}
-			},
-			telemetry.Handler(reg))
-		if err != nil {
-			return fmt.Errorf("-http %s: %w", cfg.httpAddr, err)
-		}
+	debugSrv, err := serveDebug(cfg, rt)
+	if err != nil {
+		return err
+	}
+	if debugSrv != nil {
 		defer debugSrv.Close()
 	}
-	if cfg.telemetryOut != "" {
-		f, err := os.OpenFile(cfg.telemetryOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-		if err != nil {
-			return err
-		}
-		em := telemetry.NewEmitter(reg, fmt.Sprintf("node%d", cfg.id), f, nil, cfg.telemetryEvery)
-		em.Start()
-		defer func() { em.Close(); f.Close() }()
+	stopEmit, err := startEmitter(cfg, reg)
+	if err != nil {
+		return err
 	}
+	defer stopEmit()
 
 	plan := workload(g, cfg.seed, cfg.messages)
 	var sched []time.Duration

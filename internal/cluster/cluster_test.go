@@ -1,0 +1,457 @@
+package cluster_test
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"reflect"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"ssmfp/internal/cluster"
+	"ssmfp/internal/graph"
+	"ssmfp/internal/msgpass"
+	"ssmfp/internal/telemetry"
+	"ssmfp/internal/transport"
+)
+
+// oracle is the exactly-once ledger shared by every network of an
+// in-process cluster: senders record accepted UIDs, every network's
+// OnDeliver hook records consumptions, and check asserts the bijection.
+type oracle struct {
+	mu   sync.Mutex
+	sent map[string]bool
+	seen map[string]int
+}
+
+func newOracle() *oracle {
+	return &oracle{sent: make(map[string]bool), seen: make(map[string]int)}
+}
+
+// ledgerKey identifies one message across node incarnations: a restarted
+// node is a fresh incarnation whose UID stream restarts (exactly like its
+// handshake sequences), so the ledger disambiguates by what was sent.
+func ledgerKey(payload string, uid uint64) string {
+	return payload + "#" + strconv.FormatUint(uid, 10)
+}
+
+func (o *oracle) hook(d msgpass.Delivery) {
+	o.mu.Lock()
+	o.seen[ledgerKey(d.Msg.Payload, d.Msg.UID)]++
+	o.mu.Unlock()
+}
+
+func (o *oracle) addSent(payload string, uid uint64) {
+	o.mu.Lock()
+	o.sent[ledgerKey(payload, uid)] = true
+	o.mu.Unlock()
+}
+
+func (o *oracle) addAll(payload string, uids []uint64) {
+	o.mu.Lock()
+	for _, uid := range uids {
+		o.sent[ledgerKey(payload, uid)] = true
+	}
+	o.mu.Unlock()
+}
+
+// outstanding counts sent UIDs not yet delivered at least once.
+func (o *oracle) outstanding() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	n := 0
+	for k := range o.sent {
+		if o.seen[k] == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func (o *oracle) waitAll(t *testing.T, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for o.outstanding() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d sent messages never delivered", o.outstanding())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func (o *oracle) check(t *testing.T) {
+	t.Helper()
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for k := range o.sent {
+		switch c := o.seen[k]; {
+		case c == 0:
+			t.Errorf("message %s lost", k)
+		case c > 1:
+			t.Errorf("message %s delivered %d times", k, c)
+		}
+	}
+}
+
+// elastic is an in-process multi-network cluster: one shared channel
+// transport, one single-processor Network per member (the in-process
+// image of one OS process per node), agents wired to a Manager as direct
+// clients.
+type elastic struct {
+	t      *testing.T
+	tr     *transport.Chan
+	mgr    *cluster.Manager
+	oracle *oracle
+
+	mu   sync.Mutex
+	nets map[graph.ProcessID]*msgpass.Network
+	all  []*msgpass.Network // every network ever spawned, for cleanup
+}
+
+func newElastic(t *testing.T, g *graph.Graph) *elastic {
+	t.Helper()
+	ec := &elastic{
+		t:      t,
+		tr:     transport.NewChan(g, 256),
+		mgr:    cluster.NewManager(graph.NewTopology(g)),
+		oracle: newOracle(),
+		nets:   make(map[graph.ProcessID]*msgpass.Network),
+	}
+	for _, p := range g.Processors() {
+		ec.mgr.Attach(p, ec.spawn(p, g), "")
+	}
+	t.Cleanup(func() {
+		ec.mu.Lock()
+		nets := append([]*msgpass.Network(nil), ec.all...)
+		ec.mu.Unlock()
+		for _, nw := range nets {
+			nw.Stop()
+		}
+		ec.tr.Close()
+	})
+	return ec
+}
+
+// spawn boots one node: a fresh single-processor Network on g over the
+// shared transport. The caller must have announced any new links with
+// EnsureLink first — that is the joining process bringing up its wire.
+func (ec *elastic) spawn(id graph.ProcessID, g *graph.Graph) *cluster.Agent {
+	nw := msgpass.New(g, msgpass.Options{
+		Seed:      100 + int64(id),
+		Transport: ec.tr,
+		Procs:     []graph.ProcessID{id},
+		OnDeliver: ec.oracle.hook,
+		Telemetry: telemetry.New(),
+	})
+	nw.Start()
+	ec.mu.Lock()
+	ec.nets[id] = nw
+	ec.all = append(ec.all, nw)
+	ec.mu.Unlock()
+	return cluster.NewAgent(nw, nil)
+}
+
+func (ec *elastic) net(id graph.ProcessID) *msgpass.Network {
+	ec.mu.Lock()
+	defer ec.mu.Unlock()
+	return ec.nets[id]
+}
+
+// ensureWire brings up both directions of every edge incident to id in g
+// on the shared transport — what a joining process's listener and dials
+// do in a TCP deployment.
+func (ec *elastic) ensureWire(id graph.ProcessID, g *graph.Graph) {
+	for _, q := range g.Neighbors(id) {
+		if err := ec.tr.EnsureLink(id, q); err != nil {
+			ec.t.Fatal(err)
+		}
+		if err := ec.tr.EnsureLink(q, id); err != nil {
+			ec.t.Fatal(err)
+		}
+	}
+}
+
+// TestClusterChurnUnderLoad is the in-process image of the spawn judge's
+// scenario: against sustained load, a node joins, a chord is added, a
+// link is cut gracefully, and a node drains out — with exactly-once
+// asserted over everything sent.
+func TestClusterChurnUnderLoad(t *testing.T) {
+	ec := newElastic(t, graph.Ring(5))
+	mgr := ec.mgr
+
+	// Sustained load between members that stay put throughout.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, sd := range [][2]graph.ProcessID{{0, 2}, {2, 0}, {4, 2}} {
+		wg.Add(1)
+		go func(src, dst graph.ProcessID) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if uid, err := ec.net(src).Send(src, "churn", dst); err == nil {
+					ec.oracle.addSent("churn", uid)
+				}
+				time.Sleep(200 * time.Microsecond)
+			}
+		}(sd[0], sd[1])
+	}
+
+	// Node 5 joins with links to 0 and 2. The joining process boots on
+	// the post-join topology and brings up its wire; the Manager's epoch
+	// then tells the rest of the cluster.
+	jt := mgr.Topology()
+	if err := jt.AddNodeID(5); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []graph.ProcessID{0, 2} {
+		if err := jt.AddEdge(5, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	jg, err := jt.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec.ensureWire(5, jg)
+	joiner := ec.spawn(5, jg)
+	if err := mgr.JoinNode(5, "", joiner, 0, 2); err != nil {
+		t.Fatalf("JoinNode: %v", err)
+	}
+
+	// Live injection through the operator plane, to and from the joiner.
+	rep, err := mgr.Inject(5, 1, 20, "from-joiner")
+	if err != nil || rep.Sent != 20 {
+		t.Fatalf("Inject from joiner: rep=%+v err=%v", rep, err)
+	}
+	ec.oracle.addAll("from-joiner", rep.UIDs)
+	rep, err = mgr.Inject(1, 5, 20, "to-joiner")
+	if err != nil || rep.Sent != 20 {
+		t.Fatalf("Inject to joiner: rep=%+v err=%v", rep, err)
+	}
+	ec.oracle.addAll("to-joiner", rep.UIDs)
+
+	// Add a chord, then cut a ring edge gracefully (two-phase).
+	if err := mgr.AddLink(1, 3); err != nil {
+		t.Fatalf("AddLink: %v", err)
+	}
+	if err := mgr.CutLink(2, 3); err != nil {
+		t.Fatalf("CutLink: %v", err)
+	}
+
+	// Drain node 3 out under load. Nothing targets 3, so the cluster
+	// quiesces its remaining work for 3 and detaches it.
+	if _, err := mgr.Drain(3); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if _, err := ec.net(3).Send(3, "late", 0); !errors.Is(err, msgpass.ErrNotLocal) {
+		t.Fatalf("Send at drained node: err = %v, want ErrNotLocal", err)
+	}
+
+	close(stop)
+	wg.Wait()
+	ec.oracle.waitAll(t, 30*time.Second)
+	ec.oracle.check(t)
+
+	// Every surviving node converged to the Manager's epoch.
+	st := mgr.Status()
+	if len(st.Errors) != 0 {
+		t.Fatalf("status errors: %v", st.Errors)
+	}
+	if got := len(st.Members); got != 5 {
+		t.Fatalf("members = %d, want 5", got)
+	}
+	for id, ns := range st.Nodes {
+		if ns.Epoch != st.Epoch.Seq {
+			t.Errorf("node %d at epoch %d, manager at %d", id, ns.Epoch, st.Epoch.Seq)
+		}
+	}
+}
+
+// TestManagerRollingRestart cycles every member of a ring through
+// drain → detach → readmit, with the restart hook booting a fresh
+// network each time — the in-process image of restarting each OS
+// process in turn.
+func TestManagerRollingRestart(t *testing.T) {
+	ec := newElastic(t, graph.Ring(4))
+	mgr := ec.mgr
+
+	rep, err := mgr.Inject(0, 2, 10, "pre")
+	if err != nil || rep.Sent != 10 {
+		t.Fatalf("pre-restart inject: rep=%+v err=%v", rep, err)
+	}
+	ec.oracle.addAll("pre", rep.UIDs)
+	ec.oracle.waitAll(t, 10*time.Second)
+
+	restarted := 0
+	err = mgr.RollingRestart(func(id graph.ProcessID, e cluster.Epoch) (cluster.Client, error) {
+		me, err := e.Build()
+		if err != nil {
+			return nil, err
+		}
+		ec.net(id).Stop() // the old process exits...
+		ec.ensureWire(id, me.Graph)
+		restarted++
+		return ec.spawn(id, me.Graph), nil // ...and a fresh one boots
+	})
+	if err != nil {
+		t.Fatalf("RollingRestart: %v", err)
+	}
+	if restarted != 4 {
+		t.Fatalf("restarted %d nodes, want 4", restarted)
+	}
+
+	// The restarted cluster is whole: ring edges restored, heal chords
+	// removed, and traffic flows between every pair.
+	topo := mgr.Topology()
+	want := graph.NewTopology(graph.Ring(4))
+	if !reflect.DeepEqual(topo.Edges(), want.Edges()) {
+		t.Fatalf("edges after restart = %v, want %v", topo.Edges(), want.Edges())
+	}
+	for _, sd := range [][2]graph.ProcessID{{0, 2}, {1, 3}, {3, 0}} {
+		rep, err := mgr.Inject(sd[0], sd[1], 5, "post")
+		if err != nil || rep.Sent != 5 {
+			t.Fatalf("post-restart inject %v: rep=%+v err=%v", sd, rep, err)
+		}
+		ec.oracle.addAll("post", rep.UIDs)
+	}
+	ec.oracle.waitAll(t, 15*time.Second)
+	ec.oracle.check(t)
+}
+
+// TestHTTPAdmin drives the whole admin surface over real HTTP against a
+// single-process deployment (one Network running every processor).
+func TestHTTPAdmin(t *testing.T) {
+	orc := newOracle()
+	nw := msgpass.New(graph.Ring(3), msgpass.Options{Seed: 23, OnDeliver: orc.hook})
+	nw.Start()
+	defer nw.Stop()
+	agent := cluster.NewAgent(nw, nil)
+	srv := httptest.NewServer(agent.Handler())
+	defer srv.Close()
+	hc := cluster.NewHTTPClient(srv.URL)
+
+	st, err := hc.Status()
+	if err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	if st.Epoch != 0 || len(st.Members) != 3 || len(st.Local) != 3 {
+		t.Fatalf("boot status = %+v", st)
+	}
+
+	rep, err := hc.Inject(0, 2, 5, "via-http")
+	if err != nil || rep.Sent != 5 || len(rep.UIDs) != 5 {
+		t.Fatalf("Inject: rep=%+v err=%v", rep, err)
+	}
+	orc.addAll("via-http", rep.UIDs)
+	orc.waitAll(t, 10*time.Second)
+
+	if _, err := hc.Inject(0, 2, 0, ""); err == nil {
+		t.Fatal("Inject count=0 accepted")
+	}
+
+	// Grow the cluster over the wire: slot 3 joins with two links. The
+	// all-processor network adopts the new member itself.
+	ring := graph.NewTopology(graph.Ring(3))
+	if err := ring.AddNodeID(3); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []graph.ProcessID{0, 1} {
+		if err := ring.AddEdge(3, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e := cluster.Epoch{Seq: 1, Slots: ring.Cap(), Edges: ring.Edges()}
+	if err := hc.Apply(e); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if got := nw.CurrentEpoch(); got != 1 {
+		t.Fatalf("epoch after Apply = %d", got)
+	}
+	if got := len(nw.Members()); got != 4 {
+		t.Fatalf("members after Apply = %d", got)
+	}
+
+	// Stale sequence → 409 → ErrStaleEpoch through the client.
+	if err := hc.Apply(e); !errors.Is(err, msgpass.ErrStaleEpoch) {
+		t.Fatalf("stale Apply err = %v, want ErrStaleEpoch", err)
+	}
+
+	// The joiner carries traffic and answers quiesce probes.
+	rep, err = hc.Inject(3, 2, 5, "joiner")
+	if err != nil || rep.Sent != 5 {
+		t.Fatalf("joiner Inject: rep=%+v err=%v", rep, err)
+	}
+	orc.addAll("joiner", rep.UIDs)
+	orc.waitAll(t, 10*time.Second)
+	orc.check(t)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		q, err := hc.Quiesce(3)
+		if err != nil {
+			t.Fatalf("Quiesce: %v", err)
+		}
+		if !q.Local {
+			t.Fatalf("Quiesce(3).Local = false: %+v", q)
+		}
+		if q.Drained() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("node 3 never quiesced: %+v", q)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestEpochWire pins the wire format: an Epoch survives a JSON round
+// trip, and Build rejects the malformed shapes an operator could POST.
+func TestEpochWire(t *testing.T) {
+	e := cluster.Epoch{
+		Seq:      7,
+		Slots:    5,
+		Edges:    [][2]graph.ProcessID{{0, 1}, {1, 2}, {2, 3}},
+		Draining: []graph.ProcessID{3},
+		Disabled: [][2]graph.ProcessID{{1, 2}},
+		Addrs:    map[graph.ProcessID]string{4: "127.0.0.1:9999"},
+	}
+	blob, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back cluster.Epoch
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(e, back) {
+		t.Fatalf("round trip: %+v != %+v", back, e)
+	}
+
+	me, err := e.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if me.Seq != 7 || me.Graph.N() != 5 || me.Graph.Degree(4) != 0 {
+		t.Fatalf("built epoch: seq=%d n=%d deg4=%d", me.Seq, me.Graph.N(), me.Graph.Degree(4))
+	}
+
+	bad := []cluster.Epoch{
+		{Seq: 1, Slots: 0},
+		{Seq: 1, Slots: 2, Edges: [][2]graph.ProcessID{{0, 2}}},
+		{Seq: 1, Slots: 2, Edges: [][2]graph.ProcessID{{0, 0}}},
+		{Seq: 1, Slots: 4, Edges: [][2]graph.ProcessID{{0, 1}, {2, 3}}},
+		{Seq: 1, Slots: 3, Edges: [][2]graph.ProcessID{{0, 1}}, Draining: []graph.ProcessID{2}},
+		{Seq: 1, Slots: 3, Edges: [][2]graph.ProcessID{{0, 1}}, Disabled: [][2]graph.ProcessID{{1, 2}}},
+	}
+	for i, b := range bad {
+		if _, err := b.Build(); err == nil {
+			t.Errorf("bad[%d] built: %+v", i, b)
+		}
+	}
+}

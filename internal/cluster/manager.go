@@ -1,0 +1,567 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"ssmfp/internal/graph"
+	"ssmfp/internal/msgpass"
+)
+
+// Manager is the operator side of the elastic cluster: the single writer
+// of the desired topology. It owns a graph.Topology plus the transient
+// epoch state (draining members, routing-disabled edges), stamps strictly
+// increasing sequence numbers, and broadcasts every epoch to all attached
+// node clients. Multi-step operations — join, graceful link cut, drain,
+// rolling restart — are sequenced here, with quiescence polling between
+// the epochs they emit.
+//
+// The Manager is not a consensus system and does not pretend to be one:
+// it is one operator's console. Broadcast is at-least-once per node
+// (re-Push on failure); a node that misses an epoch and later receives a
+// newer one converges directly — epochs carry full topology, not diffs —
+// and snap-stabilization absorbs whatever transient disagreement the gap
+// produced, exactly as it absorbs any other arbitrary configuration.
+type Manager struct {
+	// PollInterval paces quiescence polling during drains and graceful
+	// cuts (default 5ms; raise it for HTTP clients on real networks).
+	PollInterval time.Duration
+	// DrainTimeout bounds how long Drain waits for the cluster to hand
+	// off everything addressed to the leaving node (default 30s).
+	DrainTimeout time.Duration
+	// CutSettle is the pause between the two phases of a graceful link
+	// cut: after routing abandons the disabled edge, in-flight handshakes
+	// get this long to finish on the still-up wire before it is removed
+	// (default 100ms — hundreds of retransmission intervals at the
+	// default tick).
+	CutSettle time.Duration
+
+	opMu sync.Mutex // serializes multi-epoch operations
+
+	mu       sync.Mutex // guards everything below
+	topo     *graph.Topology
+	seq      uint64
+	draining map[graph.ProcessID]bool
+	disabled map[[2]graph.ProcessID]bool
+	addrs    map[graph.ProcessID]string
+	clients  map[graph.ProcessID]Client
+}
+
+// NewManager starts a Manager over an initial topology (the boot graph
+// the nodes were launched with), which it takes ownership of. The first
+// broadcast epoch has sequence 1; the boot state is epoch 0.
+func NewManager(topo *graph.Topology) *Manager {
+	return &Manager{
+		PollInterval: 5 * time.Millisecond,
+		DrainTimeout: 30 * time.Second,
+		CutSettle:    100 * time.Millisecond,
+		topo:         topo,
+		draining:     make(map[graph.ProcessID]bool),
+		disabled:     make(map[[2]graph.ProcessID]bool),
+		addrs:        make(map[graph.ProcessID]string),
+		clients:      make(map[graph.ProcessID]Client),
+	}
+}
+
+// ResumeAt sets the epoch sequence the next broadcast will follow — how
+// an operator console reconstructed from a running cluster's status
+// (topology and epoch from NodeStatus) continues the sequence instead of
+// restarting it, which every node would reject as stale.
+func (m *Manager) ResumeAt(seq uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.seq = seq
+}
+
+// Attach registers the client for node id (and its listen address, for
+// TCP deployments; "" for in-process ones). Attaching before the first
+// operation that involves id is the caller's responsibility.
+func (m *Manager) Attach(id graph.ProcessID, c Client, addr string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.clients[id] = c
+	if addr != "" {
+		m.addrs[id] = addr
+	}
+}
+
+// Detach forgets the client for id without any topology change.
+func (m *Manager) Detach(id graph.ProcessID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.clients, id)
+	delete(m.addrs, id)
+}
+
+// Topology returns a copy of the desired topology.
+func (m *Manager) Topology() *graph.Topology {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.topo.Clone()
+}
+
+// epochLocked snapshots the desired state into a wire epoch at the
+// current sequence. Caller holds m.mu.
+func (m *Manager) epochLocked() Epoch {
+	e := Epoch{Seq: m.seq, Slots: m.topo.Cap(), Edges: m.topo.Edges()}
+	for p := range m.draining {
+		e.Draining = append(e.Draining, p)
+	}
+	sort.Slice(e.Draining, func(i, j int) bool { return e.Draining[i] < e.Draining[j] })
+	for k := range m.disabled {
+		e.Disabled = append(e.Disabled, k)
+	}
+	sort.Slice(e.Disabled, func(i, j int) bool {
+		if e.Disabled[i][0] != e.Disabled[j][0] {
+			return e.Disabled[i][0] < e.Disabled[j][0]
+		}
+		return e.Disabled[i][1] < e.Disabled[j][1]
+	})
+	if len(m.addrs) > 0 {
+		e.Addrs = make(map[graph.ProcessID]string, len(m.addrs))
+		for p, a := range m.addrs {
+			e.Addrs[p] = a
+		}
+	}
+	return e
+}
+
+// Epoch returns the current desired epoch (the last one broadcast, or
+// the sequence-0 boot state before any operation).
+func (m *Manager) Epoch() Epoch {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.epochLocked()
+}
+
+// clientsLocked snapshots the attached clients in ascending node order.
+func (m *Manager) clientsLocked() ([]graph.ProcessID, []Client) {
+	ids := make([]graph.ProcessID, 0, len(m.clients))
+	for id := range m.clients {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	cs := make([]Client, len(ids))
+	for i, id := range ids {
+		cs[i] = m.clients[id]
+	}
+	return ids, cs
+}
+
+// bump advances the sequence and snapshots the epoch plus the client set
+// to broadcast it to.
+func (m *Manager) bump() (Epoch, []graph.ProcessID, []Client) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.seq++
+	e := m.epochLocked()
+	ids, cs := m.clientsLocked()
+	return e, ids, cs
+}
+
+// broadcast pushes one epoch at every client. A stale rejection counts as
+// success — the node already converged past this sequence (a re-Push, or
+// a node that saw the epoch through another path). Other failures are
+// collected; the epoch stays the desired state either way, so Push
+// retries convergence.
+func (m *Manager) broadcast(e Epoch, ids []graph.ProcessID, cs []Client) error {
+	var errs []error
+	for i, c := range cs {
+		if err := c.Apply(e); err != nil && !errors.Is(err, msgpass.ErrStaleEpoch) {
+			errs = append(errs, fmt.Errorf("node %d: %w", ids[i], err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// push bumps the sequence and broadcasts the resulting epoch.
+func (m *Manager) push() error {
+	return m.broadcast(m.bump())
+}
+
+// Push re-broadcasts the current desired epoch at the next sequence —
+// the anti-entropy knob after a partially failed operation.
+func (m *Manager) Push() error {
+	m.opMu.Lock()
+	defer m.opMu.Unlock()
+	return m.push()
+}
+
+// JoinNode admits id with links to peers, records its address book entry
+// and client, and broadcasts the admitting epoch. The node itself must
+// already be running on the post-join topology (it boots knowing its own
+// links); the epoch is what tells everyone else. id may be a fresh slot
+// or a previously removed one rejoining under its old identity.
+func (m *Manager) JoinNode(id graph.ProcessID, addr string, c Client, peers ...graph.ProcessID) error {
+	m.opMu.Lock()
+	defer m.opMu.Unlock()
+	if len(peers) == 0 {
+		return fmt.Errorf("cluster: join %d: no peers", id)
+	}
+	m.mu.Lock()
+	if err := m.topo.AddNodeID(id); err != nil {
+		m.mu.Unlock()
+		return err
+	}
+	for _, q := range peers {
+		if err := m.topo.AddEdge(id, q); err != nil {
+			// Roll the half-admitted node back out.
+			_ = m.topo.RemoveNode(id)
+			m.mu.Unlock()
+			return err
+		}
+	}
+	if addr != "" {
+		m.addrs[id] = addr
+	}
+	if c != nil {
+		m.clients[id] = c
+	}
+	m.mu.Unlock()
+	return m.push()
+}
+
+// AddLink inserts the edge (u, v) and broadcasts.
+func (m *Manager) AddLink(u, v graph.ProcessID) error {
+	m.opMu.Lock()
+	defer m.opMu.Unlock()
+	m.mu.Lock()
+	if err := m.topo.AddEdge(u, v); err != nil {
+		m.mu.Unlock()
+		return err
+	}
+	m.mu.Unlock()
+	return m.push()
+}
+
+// CutLink removes the edge (u, v) gracefully, in two epochs: first the
+// edge is disabled — routing abandons it while the wire stays up, so
+// in-flight handshakes across it complete — then, after CutSettle, a
+// second epoch removes it. The graceful path is what preserves the
+// exactly-once guarantee: tearing a wire mid-handshake can force a
+// sender to re-offer a message its old next hop already owns (see
+// CutLinkForced). Refused if the cut would disconnect the member set.
+func (m *Manager) CutLink(u, v graph.ProcessID) error {
+	m.opMu.Lock()
+	defer m.opMu.Unlock()
+	m.mu.Lock()
+	if !m.topo.HasEdge(u, v) {
+		m.mu.Unlock()
+		return fmt.Errorf("cluster: no edge (%d,%d)", u, v)
+	}
+	probe := m.topo.Clone()
+	_ = probe.RemoveEdge(u, v)
+	if _, err := probe.Build(); err != nil {
+		m.mu.Unlock()
+		return fmt.Errorf("cluster: cutting (%d,%d) would break the cluster: %w", u, v, err)
+	}
+	m.disabled[edgeKey(u, v)] = true
+	m.mu.Unlock()
+	if err := m.push(); err != nil {
+		return err
+	}
+	time.Sleep(m.CutSettle)
+	m.mu.Lock()
+	delete(m.disabled, edgeKey(u, v))
+	err := m.topo.RemoveEdge(u, v)
+	m.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return m.push()
+}
+
+// CutLinkForced removes the edge in one epoch, wire and all. In-flight
+// handshakes on the edge are abandoned: a message whose accept was lost
+// with the wire is re-offered along the new route and may be delivered
+// twice. Use CutLink unless modeling link failure is the point.
+func (m *Manager) CutLinkForced(u, v graph.ProcessID) error {
+	m.opMu.Lock()
+	defer m.opMu.Unlock()
+	m.mu.Lock()
+	delete(m.disabled, edgeKey(u, v))
+	err := m.topo.RemoveEdge(u, v)
+	m.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return m.push()
+}
+
+// Drain quiesces node id and detaches it, in two stages. Stage one marks
+// id draining: it refuses new injections, hands its buffered messages to
+// live neighbors, and leaves routing as a candidate only for its own
+// traffic. The Manager then polls every node until nothing anywhere is
+// still addressed to id. Stage two removes id, adds the heal edges, and
+// broadcasts — the leaving node's own client receives that epoch too,
+// which is what detaches it.
+//
+// heal lists edges to add alongside the removal so the survivors stay
+// connected; with none given, a chain between id's neighbors is added
+// where needed. The heal edges actually applied are returned (rolling
+// restarts remove them again after the rejoin). On timeout the node is
+// left draining and attached; the caller can re-Drain (it polls again)
+// or Push a corrective epoch.
+func (m *Manager) Drain(id graph.ProcessID, heal ...[2]graph.ProcessID) ([][2]graph.ProcessID, error) {
+	m.opMu.Lock()
+	defer m.opMu.Unlock()
+
+	// Plan the detachment first so an impossible removal is refused
+	// before the cluster is disturbed.
+	m.mu.Lock()
+	if !m.topo.HasNode(id) {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("cluster: drain %d: not a member", id)
+	}
+	if len(m.topo.Members()) == 1 {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("cluster: drain %d: last member", id)
+	}
+	plan, err := detachPlan(m.topo, id, heal)
+	if err != nil {
+		m.mu.Unlock()
+		return nil, err
+	}
+	m.draining[id] = true
+	m.mu.Unlock()
+
+	if err := m.push(); err != nil {
+		return nil, err
+	}
+
+	// Poll the whole cluster down to zero in-flight work for id.
+	deadline := time.Now().Add(m.DrainTimeout)
+	for {
+		m.mu.Lock()
+		ids, cs := m.clientsLocked()
+		m.mu.Unlock()
+		done := true
+		for i, c := range cs {
+			rep, err := c.Quiesce(id)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: drain %d: probing node %d: %w", id, ids[i], err)
+			}
+			if !rep.Drained() {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("cluster: drain %d: not quiesced after %v", id, m.DrainTimeout)
+		}
+		time.Sleep(m.PollInterval)
+	}
+
+	// Detach: remove the node, heal around it, broadcast (including to
+	// the leaving node — that epoch is its signal to let go), then
+	// forget its client.
+	m.mu.Lock()
+	if err := m.topo.RemoveNode(id); err != nil {
+		m.mu.Unlock()
+		return nil, err
+	}
+	for _, e := range plan {
+		if err := m.topo.AddEdge(e[0], e[1]); err != nil {
+			m.mu.Unlock()
+			return nil, err
+		}
+	}
+	delete(m.draining, id)
+	m.mu.Unlock()
+	if err := m.push(); err != nil {
+		return nil, err
+	}
+	m.Detach(id)
+	return plan, nil
+}
+
+// detachPlan validates that removing id (plus the given or computed heal
+// edges) leaves a buildable topology, and returns the heal edges to add.
+// Caller holds m.mu.
+func detachPlan(topo *graph.Topology, id graph.ProcessID, heal [][2]graph.ProcessID) ([][2]graph.ProcessID, error) {
+	probe := topo.Clone()
+	var nbrs []graph.ProcessID
+	for _, e := range probe.Edges() {
+		switch id {
+		case e[0]:
+			nbrs = append(nbrs, e[1])
+		case e[1]:
+			nbrs = append(nbrs, e[0])
+		}
+	}
+	if err := probe.RemoveNode(id); err != nil {
+		return nil, err
+	}
+	plan := heal
+	if len(plan) == 0 {
+		// Auto-heal: chain the orphaned neighborhood. Edges already
+		// present are skipped; the Build check below decides sufficiency.
+		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+		for i := 0; i+1 < len(nbrs); i++ {
+			if !probe.HasEdge(nbrs[i], nbrs[i+1]) {
+				plan = append(plan, [2]graph.ProcessID{nbrs[i], nbrs[i+1]})
+			}
+		}
+	}
+	for _, e := range plan {
+		if err := probe.AddEdge(e[0], e[1]); err != nil {
+			return nil, fmt.Errorf("cluster: heal edge (%d,%d): %w", e[0], e[1], err)
+		}
+	}
+	if _, err := probe.Build(); err != nil {
+		return nil, fmt.Errorf("cluster: removing %d would break the cluster: %w", id, err)
+	}
+	// Trim the auto-heal chain edges that Build did not actually need?
+	// No — minimality is not worth a second connectivity solver; the
+	// chain is small (degree of id) and the caller removes it on rejoin.
+	return plan, nil
+}
+
+// RollingRestart drains, detaches, and readmits every member in turn.
+// restart is the deployment's "boot this node again" hook: called after
+// the topology has been edited to readmit id, with the epoch the node
+// must come back on; it returns the fresh node's client. In-process
+// deployments build a new Network; multi-process ones restart the OS
+// process and dial it.
+func (m *Manager) RollingRestart(restart func(id graph.ProcessID, e Epoch) (Client, error)) error {
+	for _, id := range m.Topology().Members() {
+		m.mu.Lock()
+		var edges [][2]graph.ProcessID
+		for _, e := range m.topo.Edges() {
+			if e[0] == id || e[1] == id {
+				edges = append(edges, e)
+			}
+		}
+		addr := m.addrs[id]
+		m.mu.Unlock()
+
+		healed, err := m.Drain(id)
+		if err != nil {
+			return fmt.Errorf("cluster: rolling restart: %w", err)
+		}
+
+		// Readmit on the original edges, then undo the temporary heal.
+		m.opMu.Lock()
+		m.mu.Lock()
+		if err := m.topo.AddNodeID(id); err != nil {
+			m.mu.Unlock()
+			m.opMu.Unlock()
+			return err
+		}
+		for _, e := range edges {
+			if err := m.topo.AddEdge(e[0], e[1]); err != nil {
+				m.mu.Unlock()
+				m.opMu.Unlock()
+				return err
+			}
+		}
+		for _, e := range healed {
+			if err := m.topo.RemoveEdge(e[0], e[1]); err != nil {
+				m.mu.Unlock()
+				m.opMu.Unlock()
+				return err
+			}
+		}
+		if addr != "" {
+			m.addrs[id] = addr
+		}
+		rejoin := m.epochLocked()
+		rejoin.Seq++ // the sequence push() will stamp
+		m.mu.Unlock()
+
+		c, err := restart(id, rejoin)
+		if err != nil {
+			m.opMu.Unlock()
+			return fmt.Errorf("cluster: rolling restart: reboot %d: %w", id, err)
+		}
+		m.mu.Lock()
+		m.clients[id] = c
+		m.mu.Unlock()
+		err = m.push()
+		m.opMu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Inject routes a live load injection to the node hosting src: the
+// client attached as src, or failing that, whichever attached client
+// reports src among its local processors.
+func (m *Manager) Inject(src, dst graph.ProcessID, count int, payload string) (InjectReport, error) {
+	m.mu.Lock()
+	c := m.clients[src]
+	_, cs := m.clientsLocked()
+	m.mu.Unlock()
+	for _, cand := range cs {
+		if c != nil {
+			break
+		}
+		st, err := cand.Status()
+		if err != nil {
+			continue
+		}
+		for _, p := range st.Local {
+			if p == src {
+				c = cand
+				break
+			}
+		}
+	}
+	if c == nil {
+		return InjectReport{}, fmt.Errorf("cluster: no client hosts %d", src)
+	}
+	return c.Inject(src, dst, count, payload)
+}
+
+// ClusterStatus is the Manager's merged view: the desired epoch and, per
+// attached node, either its status or the error probing it.
+type ClusterStatus struct {
+	Epoch    Epoch                          `json:"epoch"`
+	Members  []graph.ProcessID              `json:"members"`
+	Draining []graph.ProcessID              `json:"draining,omitempty"`
+	Nodes    map[graph.ProcessID]NodeStatus `json:"nodes"`
+	Errors   map[graph.ProcessID]string     `json:"errors,omitempty"`
+}
+
+// Status probes every attached client and merges.
+func (m *Manager) Status() ClusterStatus {
+	m.mu.Lock()
+	cs := ClusterStatus{
+		Epoch:   m.epochLocked(),
+		Members: m.topo.Members(),
+		Nodes:   make(map[graph.ProcessID]NodeStatus),
+	}
+	for p := range m.draining {
+		cs.Draining = append(cs.Draining, p)
+	}
+	sort.Slice(cs.Draining, func(i, j int) bool { return cs.Draining[i] < cs.Draining[j] })
+	ids, clients := m.clientsLocked()
+	m.mu.Unlock()
+	for i, c := range clients {
+		st, err := c.Status()
+		if err != nil {
+			if cs.Errors == nil {
+				cs.Errors = make(map[graph.ProcessID]string)
+			}
+			cs.Errors[ids[i]] = err.Error()
+			continue
+		}
+		cs.Nodes[ids[i]] = st
+	}
+	return cs
+}
+
+func edgeKey(u, v graph.ProcessID) [2]graph.ProcessID {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]graph.ProcessID{u, v}
+}

@@ -100,7 +100,17 @@ func (g *Graph) Degree(p ProcessID) int { return len(g.Neighbors(p)) }
 // precomputes all-pairs distances, the diameter, and the maximal degree.
 // It returns the graph to allow chaining. Freeze panics if the graph is
 // disconnected: the paper assumes a connected network.
-func (g *Graph) Freeze() *Graph {
+func (g *Graph) Freeze() *Graph { return g.freeze(false) }
+
+// FreezeIsolated is Freeze for elastic deployments: isolated processors
+// are permitted (a slot whose node has left the cluster keeps its identity
+// but has no links), and Dist returns -1 for unreachable pairs. The
+// diameter covers reachable pairs only. Non-isolated processors must
+// still form one connected component — Topology.Build checks that before
+// constructing the graph, and this freeze enforces it too.
+func (g *Graph) FreezeIsolated() *Graph { return g.freeze(true) }
+
+func (g *Graph) freeze(allowIsolated bool) *Graph {
 	if g.frozen {
 		return g
 	}
@@ -117,6 +127,9 @@ func (g *Graph) Freeze() *Graph {
 		for q := 0; q < g.n; q++ {
 			d := g.dist[p][q]
 			if d < 0 {
+				if allowIsolated && (len(g.adj[p]) == 0 || len(g.adj[q]) == 0) {
+					continue // a detached slot; Dist stays -1
+				}
 				panic(fmt.Sprintf("graph: disconnected: no path %d -> %d", p, q))
 			}
 			if d > g.diameter {

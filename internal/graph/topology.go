@@ -1,0 +1,270 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Topology is the mutable, elastic view of a network: the thing an
+// operator edits while a cluster runs. Where Graph is an immutable
+// snapshot (frozen, with precomputed distances), a Topology is a set of
+// stable processor slots plus an edge set that nodes and links can be
+// added to and removed from at runtime. Slot identities are stable and
+// grow-only: removing processor 3 never renumbers processor 4, because
+// every layer above (buffers, routing tables, telemetry labels, peer
+// address files) indexes processors by ID. A removed slot stays allocated
+// and may later be re-admitted (a node leaving and rejoining keeps its
+// identity).
+//
+// Build snapshots the Topology into a frozen Graph for the protocol
+// layer: present members must be mutually connected (the paper's
+// connectivity assumption, now applied per epoch to the member set);
+// absent slots appear in the Graph as isolated processors that no node
+// runs. Diff computes the membership/edge delta between two snapshots —
+// the content of an epoch transition.
+type Topology struct {
+	present []bool
+	edges   map[[2]ProcessID]bool
+}
+
+// NewTopology starts a Topology from an existing graph, with every
+// processor present.
+func NewTopology(g *Graph) *Topology {
+	t := &Topology{
+		present: make([]bool, g.N()),
+		edges:   make(map[[2]ProcessID]bool, g.M()),
+	}
+	for i := range t.present {
+		t.present[i] = true
+	}
+	for _, e := range g.Edges() {
+		t.edges[e] = true
+	}
+	return t
+}
+
+// Clone returns an independent copy.
+func (t *Topology) Clone() *Topology {
+	c := &Topology{
+		present: append([]bool(nil), t.present...),
+		edges:   make(map[[2]ProcessID]bool, len(t.edges)),
+	}
+	for e := range t.edges {
+		c.edges[e] = true
+	}
+	return c
+}
+
+// Cap returns the number of allocated slots (present or not). Slot IDs
+// are 0..Cap()-1.
+func (t *Topology) Cap() int { return len(t.present) }
+
+// HasNode reports whether slot p is a present member.
+func (t *Topology) HasNode(p ProcessID) bool {
+	return p >= 0 && int(p) < len(t.present) && t.present[p]
+}
+
+// Members returns the present slots in ascending order.
+func (t *Topology) Members() []ProcessID {
+	var out []ProcessID
+	for i, on := range t.present {
+		if on {
+			out = append(out, ProcessID(i))
+		}
+	}
+	return out
+}
+
+// AddNode allocates a fresh slot (or re-admits the lowest absent one is
+// NOT done — joining nodes get new identities unless AddNodeID is used)
+// and returns its ID.
+func (t *Topology) AddNode() ProcessID {
+	t.present = append(t.present, true)
+	return ProcessID(len(t.present) - 1)
+}
+
+// AddNodeID admits slot p, growing the slot space as needed. Re-admitting
+// a previously removed slot is allowed (a node rejoining under its old
+// identity); admitting an already present slot is an error.
+func (t *Topology) AddNodeID(p ProcessID) error {
+	if p < 0 {
+		return fmt.Errorf("topology: bad node id %d", p)
+	}
+	for int(p) >= len(t.present) {
+		t.present = append(t.present, false)
+	}
+	if t.present[p] {
+		return fmt.Errorf("topology: node %d already present", p)
+	}
+	t.present[p] = true
+	return nil
+}
+
+// RemoveNode withdraws slot p and drops its incident edges. The slot
+// stays allocated so no other processor is renumbered.
+func (t *Topology) RemoveNode(p ProcessID) error {
+	if !t.HasNode(p) {
+		return fmt.Errorf("topology: node %d not present", p)
+	}
+	t.present[p] = false
+	for e := range t.edges {
+		if e[0] == p || e[1] == p {
+			delete(t.edges, e)
+		}
+	}
+	return nil
+}
+
+func edgeKey(u, v ProcessID) [2]ProcessID {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]ProcessID{u, v}
+}
+
+// AddEdge inserts the undirected edge (u, v) between two present members.
+func (t *Topology) AddEdge(u, v ProcessID) error {
+	if u == v {
+		return fmt.Errorf("topology: self-loop at %d", u)
+	}
+	if !t.HasNode(u) {
+		return fmt.Errorf("topology: node %d not present", u)
+	}
+	if !t.HasNode(v) {
+		return fmt.Errorf("topology: node %d not present", v)
+	}
+	k := edgeKey(u, v)
+	if t.edges[k] {
+		return fmt.Errorf("topology: duplicate edge (%d,%d)", u, v)
+	}
+	t.edges[k] = true
+	return nil
+}
+
+// RemoveEdge deletes the undirected edge (u, v).
+func (t *Topology) RemoveEdge(u, v ProcessID) error {
+	k := edgeKey(u, v)
+	if !t.edges[k] {
+		return fmt.Errorf("topology: no edge (%d,%d)", u, v)
+	}
+	delete(t.edges, k)
+	return nil
+}
+
+// HasEdge reports whether the undirected edge (u, v) exists.
+func (t *Topology) HasEdge(u, v ProcessID) bool { return t.edges[edgeKey(u, v)] }
+
+// Edges returns every undirected edge once, smaller endpoint first,
+// sorted lexicographically — the same canonical order Graph.Edges uses.
+func (t *Topology) Edges() [][2]ProcessID {
+	es := make([][2]ProcessID, 0, len(t.edges))
+	for e := range t.edges {
+		es = append(es, e)
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i][0] != es[j][0] {
+			return es[i][0] < es[j][0]
+		}
+		return es[i][1] < es[j][1]
+	})
+	return es
+}
+
+// Degree returns the number of edges incident to p.
+func (t *Topology) Degree(p ProcessID) int {
+	d := 0
+	for e := range t.edges {
+		if e[0] == p || e[1] == p {
+			d++
+		}
+	}
+	return d
+}
+
+// Build snapshots the Topology into a frozen Graph over all allocated
+// slots. Present members must form one connected component (the paper's
+// connectivity assumption, checked per epoch); a member with no edges is
+// rejected unless it is the only member. Absent slots become isolated
+// processors in the Graph — slots no node runs.
+func (t *Topology) Build() (*Graph, error) {
+	members := t.Members()
+	if len(members) == 0 {
+		return nil, fmt.Errorf("topology: no members")
+	}
+	// Connectivity over the member set, before paying for the Graph.
+	if len(members) > 1 {
+		adj := make(map[ProcessID][]ProcessID, len(members))
+		for e := range t.edges {
+			adj[e[0]] = append(adj[e[0]], e[1])
+			adj[e[1]] = append(adj[e[1]], e[0])
+		}
+		seen := map[ProcessID]bool{members[0]: true}
+		queue := []ProcessID{members[0]}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range adj[u] {
+				if !seen[v] {
+					seen[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+		for _, m := range members {
+			if !seen[m] {
+				return nil, fmt.Errorf("topology: member %d disconnected from member %d", m, members[0])
+			}
+		}
+	}
+	g := New(len(t.present))
+	for _, e := range t.Edges() {
+		g.AddEdge(e[0], e[1])
+	}
+	return g.FreezeIsolated(), nil
+}
+
+// TopoDiff is the delta of one epoch transition: what joined, what left,
+// which links appeared and disappeared. Slices are in canonical order
+// (ascending IDs, Graph.Edges edge order).
+type TopoDiff struct {
+	AddedNodes   []ProcessID
+	RemovedNodes []ProcessID
+	AddedEdges   [][2]ProcessID
+	RemovedEdges [][2]ProcessID
+}
+
+// Empty reports whether the diff carries no change.
+func (d TopoDiff) Empty() bool {
+	return len(d.AddedNodes) == 0 && len(d.RemovedNodes) == 0 &&
+		len(d.AddedEdges) == 0 && len(d.RemovedEdges) == 0
+}
+
+// Diff computes the transition old → new.
+func (t *Topology) Diff(newer *Topology) TopoDiff {
+	var d TopoDiff
+	n := len(t.present)
+	if len(newer.present) > n {
+		n = len(newer.present)
+	}
+	for i := 0; i < n; i++ {
+		oldOn := i < len(t.present) && t.present[i]
+		newOn := i < len(newer.present) && newer.present[i]
+		switch {
+		case newOn && !oldOn:
+			d.AddedNodes = append(d.AddedNodes, ProcessID(i))
+		case oldOn && !newOn:
+			d.RemovedNodes = append(d.RemovedNodes, ProcessID(i))
+		}
+	}
+	for _, e := range newer.Edges() {
+		if !t.edges[e] {
+			d.AddedEdges = append(d.AddedEdges, e)
+		}
+	}
+	for _, e := range t.Edges() {
+		if !newer.edges[e] {
+			d.RemovedEdges = append(d.RemovedEdges, e)
+		}
+	}
+	return d
+}

@@ -1,0 +1,170 @@
+package graph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestTopologyBasicEdits(t *testing.T) {
+	topo := NewTopology(Ring(4))
+	if got := len(topo.Members()); got != 4 {
+		t.Fatalf("members = %d, want 4", got)
+	}
+	p := topo.AddNode()
+	if p != 4 {
+		t.Fatalf("AddNode = %d, want 4", p)
+	}
+	if err := topo.AddEdge(p, 0); err != nil {
+		t.Fatalf("AddEdge(4,0): %v", err)
+	}
+	g, err := topo.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if g.N() != 5 || !g.HasEdge(4, 0) {
+		t.Fatalf("built graph %v missing joined node", g)
+	}
+
+	// Remove a node: incident edges go with it; the remaining members must
+	// stay connected for Build to succeed.
+	if err := topo.RemoveNode(4); err != nil {
+		t.Fatalf("RemoveNode(4): %v", err)
+	}
+	if topo.HasEdge(4, 0) {
+		t.Fatal("edge (4,0) survived RemoveNode(4)")
+	}
+	g, err = topo.Build()
+	if err != nil {
+		t.Fatalf("Build after remove: %v", err)
+	}
+	if g.N() != 5 || g.Degree(4) != 0 {
+		t.Fatalf("removed slot not isolated: %v", g)
+	}
+	if g.Dist(4, 0) != -1 {
+		t.Fatalf("Dist(detached, member) = %d, want -1", g.Dist(4, 0))
+	}
+}
+
+func TestTopologyRejectsDisconnectedMembers(t *testing.T) {
+	topo := NewTopology(Line(4))
+	if err := topo.RemoveEdge(1, 2); err != nil {
+		t.Fatalf("RemoveEdge: %v", err)
+	}
+	if _, err := topo.Build(); err == nil {
+		t.Fatal("Build accepted a split member set")
+	}
+}
+
+func TestTopologyReadmitsSlot(t *testing.T) {
+	topo := NewTopology(Line(5))
+	if err := topo.RemoveNode(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := topo.Build(); err == nil {
+		t.Fatal("Build accepted line with an interior node removed (members split)")
+	}
+	// Heal around the hole, then re-admit the slot under its old identity.
+	if err := topo.AddEdge(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := topo.Build(); err != nil {
+		t.Fatalf("Build after heal: %v", err)
+	}
+	if err := topo.AddNodeID(2); err != nil {
+		t.Fatalf("AddNodeID(2): %v", err)
+	}
+	if err := topo.AddEdge(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	g, err := topo.Build()
+	if err != nil {
+		t.Fatalf("Build after rejoin: %v", err)
+	}
+	if g.Degree(2) != 1 {
+		t.Fatalf("rejoined node degree = %d, want 1", g.Degree(2))
+	}
+}
+
+func TestTopologyDiff(t *testing.T) {
+	old := NewTopology(Ring(4))
+	cur := old.Clone()
+	joined := cur.AddNode()
+	if err := cur.AddEdge(joined, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := cur.RemoveEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := cur.AddEdge(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	d := old.Diff(cur)
+	if len(d.AddedNodes) != 1 || d.AddedNodes[0] != joined {
+		t.Fatalf("AddedNodes = %v", d.AddedNodes)
+	}
+	if len(d.RemovedNodes) != 0 {
+		t.Fatalf("RemovedNodes = %v", d.RemovedNodes)
+	}
+	if len(d.AddedEdges) != 2 || len(d.RemovedEdges) != 1 {
+		t.Fatalf("edge diff = +%v -%v", d.AddedEdges, d.RemovedEdges)
+	}
+	if !cur.Diff(cur).Empty() {
+		t.Fatal("self-diff not empty")
+	}
+	back := cur.Diff(old)
+	if len(back.RemovedNodes) != 1 || back.RemovedNodes[0] != joined {
+		t.Fatalf("reverse diff RemovedNodes = %v", back.RemovedNodes)
+	}
+}
+
+// TestParseFormatRoundTripUnderEdits is the epoch-diffing groundwork
+// property test: random add/remove-edge sequences applied through a
+// Topology, snapshotted with Build, rendered with Format, re-parsed with
+// Parse — the round trip must be the identity at every step (same text,
+// same edge set, same distances).
+func TestParseFormatRoundTripUnderEdits(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(8)
+		topo := NewTopology(Ring(n))
+		for step := 0; step < 40; step++ {
+			u := ProcessID(rng.Intn(n))
+			v := ProcessID(rng.Intn(n))
+			if u == v {
+				continue
+			}
+			if topo.HasEdge(u, v) {
+				// Tentative removal; revert if it would split the members.
+				if err := topo.RemoveEdge(u, v); err != nil {
+					t.Fatalf("RemoveEdge(%d,%d): %v", u, v, err)
+				}
+				if _, err := topo.Build(); err != nil {
+					if err := topo.AddEdge(u, v); err != nil {
+						t.Fatalf("revert AddEdge(%d,%d): %v", u, v, err)
+					}
+				}
+			} else if err := topo.AddEdge(u, v); err != nil {
+				t.Fatalf("AddEdge(%d,%d): %v", u, v, err)
+			}
+
+			g, err := topo.Build()
+			if err != nil {
+				t.Fatalf("trial %d step %d: Build: %v", trial, step, err)
+			}
+			text := Format(g)
+			g2, err := Parse(strings.NewReader(text))
+			if err != nil {
+				t.Fatalf("trial %d step %d: Parse(Format): %v\n%s", trial, step, err, text)
+			}
+			if got := Format(g2); got != text {
+				t.Fatalf("trial %d step %d: round trip changed the file:\nfirst:\n%s\nsecond:\n%s",
+					trial, step, text, got)
+			}
+			if g2.N() != g.N() || g2.M() != g.M() || g2.Diameter() != g.Diameter() {
+				t.Fatalf("trial %d step %d: round trip changed the graph: %v vs %v",
+					trial, step, g, g2)
+			}
+		}
+	}
+}

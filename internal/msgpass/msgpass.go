@@ -37,7 +37,6 @@ package msgpass
 
 import (
 	"errors"
-	"fmt"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -177,6 +176,20 @@ type Network struct {
 	nodes []*node // indexed by ProcessID; nil for non-local processors
 	local []graph.ProcessID
 
+	// Elastic-membership machinery (epoch.go). view is the atomic read
+	// surface for goroutines outside the epoch barrier; epochMu serializes
+	// ApplyEpoch and barrier inspections; pause carries the stop-the-world
+	// requests; fan is the current fan-in generation; running lists the
+	// processors with a live goroutine; procsWant pins a node-scoped
+	// instance to its configured processor set (nil = adopt every member).
+	view      atomic.Pointer[netView]
+	epochMu   sync.Mutex
+	pause     chan *pauseReq
+	fan       *fanGen
+	running   []graph.ProcessID
+	procsWant []graph.ProcessID
+	started   bool
+
 	// tel holds the pre-resolved telemetry handles (frame-kind counters,
 	// delivery counters, attribution histograms). Every handle is atomics
 	// under the hood, so the hot paths never take a network-wide lock
@@ -247,9 +260,12 @@ func New(g *graph.Graph, opts Options) *Network {
 		nw.tr = tr
 	}
 	nw.local = opts.Procs
+	nw.procsWant = opts.Procs
 	if nw.local == nil {
 		nw.local = g.Processors()
 	}
+	nw.pause = make(chan *pauseReq)
+	nw.running = nw.local
 	rng := rand.New(rand.NewSource(opts.Seed))
 	seeds := make([]int64, g.N())
 	for p := range seeds {
@@ -259,8 +275,16 @@ func New(g *graph.Graph, opts Options) *Network {
 		seeds[p] = rng.Int63()
 	}
 	for _, p := range nw.local {
-		nw.nodes[p] = newNode(nw, p, rand.New(rand.NewSource(seeds[p])))
+		nw.nodes[p] = newNode(nw, p, rand.New(rand.NewSource(seeds[p])), g)
 	}
+	nw.view.Store(&netView{
+		g:          g,
+		nodes:      nw.nodes,
+		local:      nw.local,
+		draining:   make([]bool, g.N()),
+		namespaced: len(nw.local) != g.N(),
+	})
+	nw.tel.members.Set(int64(len(membersOf(g))))
 	nw.registerWire()
 	return nw
 }
@@ -270,11 +294,56 @@ func New(g *graph.Graph, opts Options) *Network {
 // scrape endpoints and snapshot emitters off it.
 func (nw *Network) Telemetry() *telemetry.Registry { return nw.tel.reg }
 
-// Start launches one goroutine per local processor.
+// Start launches one goroutine per local processor, plus the fan-in pumps
+// feeding each node's inbox from its incoming links.
 func (nw *Network) Start() {
-	for _, p := range nw.local {
+	nw.epochMu.Lock()
+	defer nw.epochMu.Unlock()
+	nw.started = true
+	for _, p := range nw.running {
 		nw.wg.Add(1)
 		go nw.nodes[p].run()
+	}
+	nw.fan = newFanGen()
+	nw.startFanIns(nw.fan)
+}
+
+// startFanIns spawns the current generation's fan-in pumps: one per
+// incoming link of every running node. Caller holds epochMu.
+func (nw *Network) startFanIns(gen *fanGen) {
+	for _, p := range nw.running {
+		n := nw.nodes[p]
+		for _, q := range n.nbrs {
+			l := nw.tr.Link(q, n.id)
+			nw.wg.Add(1)
+			gen.wg.Add(1)
+			go nw.fanIn(gen, l.Recv(), n.inbox)
+		}
+	}
+}
+
+// fanIn pumps one incoming link into a node inbox until the generation
+// retires or the network stops. Frames dropped at a full inbox — or in
+// flight when the generation gate closes — are recovered by the
+// handshake's retransmission, like any other congestion loss.
+func (nw *Network) fanIn(gen *fanGen, ch <-chan transport.Frame, inbox chan transport.Frame) {
+	defer nw.wg.Done()
+	defer gen.wg.Done()
+	for {
+		select {
+		case f := <-ch:
+			select {
+			case inbox <- f:
+			case <-gen.gate:
+				return
+			case <-nw.stop:
+				return
+			}
+		case <-gen.gate:
+			return
+		case <-nw.stop:
+			return
+		}
 	}
 }
 
@@ -295,27 +364,32 @@ func (nw *Network) Stop() {
 }
 
 // Send injects a higher-layer send request at src and returns the UID the
-// oracles can track. src must be local to this Network instance (a
-// non-local source is a programming error and panics). After Stop it
-// returns ErrStopped: the message could never be forwarded, and sustained
-// load drivers need the shutdown race surfaced as an error, not a message
-// silently parked on a dead queue.
+// oracles can track. src must be a running local processor (ErrNotLocal
+// otherwise — it never was local, or it left the cluster) and must not be
+// draining (ErrDraining); dst must be a current cluster member
+// (ErrNotMember). After Stop it returns ErrStopped: the message could
+// never be forwarded, and sustained load drivers need the shutdown race
+// surfaced as an error, not a message silently parked on a dead queue.
 func (nw *Network) Send(src graph.ProcessID, payload string, dst graph.ProcessID) (uint64, error) {
 	if nw.stopped.Load() {
 		return 0, ErrStopped
 	}
-	n := nw.nodes[src]
-	if n == nil {
-		panic(fmt.Sprintf("msgpass: Send at processor %d, which is not local to this deployment", src))
+	v := nw.view.Load()
+	if int(src) < 0 || int(src) >= len(v.nodes) || v.nodes[src] == nil {
+		return 0, ErrNotLocal
 	}
+	if v.draining[src] {
+		return 0, ErrDraining
+	}
+	if int(dst) < 0 || int(dst) >= v.g.N() || (v.g.Degree(dst) == 0 && v.g.N() > 1) {
+		return 0, ErrNotMember
+	}
+	n := v.nodes[src]
 	uid := nw.nextUID.Add(1)
-	if len(nw.local) != nw.g.N() {
+	if v.namespaced {
 		// Partial deployment: namespace UIDs by source so the union of
 		// all processes' UIDs stays collision-free for the oracle.
 		uid |= (uint64(src) + 1) << 40
-	}
-	if int(dst) < 0 || int(dst) >= nw.g.N() {
-		panic(fmt.Sprintf("msgpass: Send to processor %d, outside this deployment", dst))
 	}
 	m := Message{Payload: payload, UID: uid, Src: src, Dest: dst, Valid: true}
 	enq := time.Now().UnixNano()
@@ -446,12 +520,16 @@ type QueueDepth struct {
 // from any goroutine while the network runs. It is a cold-path observer:
 // the per-destination breakdown takes each node's pending lock briefly.
 func (nw *Network) QueueDepths() []QueueDepth {
-	out := make([]QueueDepth, 0, len(nw.local))
-	for _, p := range nw.local {
-		n := nw.nodes[p]
+	v := nw.view.Load()
+	out := make([]QueueDepth, 0, len(v.local))
+	for _, p := range v.local {
+		n := v.nodes[p]
+		if n == nil {
+			continue
+		}
 		pending := int(n.pendingTotal.Load())
 		wireOut := 0
-		for _, l := range n.out {
+		for _, l := range *n.outp.Load() {
 			wireOut += l.Stats().Queued
 		}
 		var byDest map[graph.ProcessID]int

@@ -94,21 +94,37 @@ type node struct {
 
 	// routing: self-stabilizing distance vector. nbrDV is indexed like
 	// nbrs; an entry is nil until the first DV from that neighbor arrives,
-	// then a fixed N-length slice updated in place.
-	nbrs    []graph.ProcessID
-	dist    []int
-	parent  []graph.ProcessID
-	nbrDV   [][]int
-	dvDirty bool
+	// then a fixed N-length slice updated in place. nbrDisabled marks
+	// neighbors across an epoch-disabled edge (never a route candidate);
+	// nbrDraining marks draining neighbors (a candidate only for traffic
+	// destined to themselves). Both are rebuilt at every epoch.
+	nbrs        []graph.ProcessID
+	dist        []int
+	parent      []graph.ProcessID
+	nbrDV       [][]int
+	dvDirty     bool
+	nbrDisabled []bool
+	nbrDraining []bool
+
+	// draining: this node refuses new injections and advertises infinite
+	// distance for every destination but itself, so in-flight deliveries
+	// to it complete while its buffers hand off to live neighbors.
+	// detached: set at the epoch barrier when the node leaves the member
+	// set; the goroutine exits on release. Both are written only while
+	// the goroutine is parked (or before it starts).
+	draining bool
+	detached bool
 
 	// forwarding.
 	dests     []destState
 	nextSeq   uint64
 	tickCount uint64
 
-	// out caches this node's outgoing wire links, one per neighbor; the
-	// send hot path is a map read plus the link's own handoff.
-	out map[graph.ProcessID]transport.Link
+	// outp caches this node's outgoing wire links, one per neighbor; the
+	// send hot path is an atomic pointer load plus a map read. The map is
+	// replaced wholesale at an epoch transition — telemetry closures and
+	// QueueDepths resolve links through the pointer, never a stale map.
+	outp atomic.Pointer[map[graph.ProcessID]transport.Link]
 
 	// inbox fans in frames from every incoming link; created up front so
 	// Network.QueueDepths can read its occupancy (len on a channel is safe
@@ -133,9 +149,12 @@ type node struct {
 	pendingTotal  atomic.Int64
 }
 
-func newNode(nw *Network, id graph.ProcessID, rng *rand.Rand) *node {
-	g := nw.g
+func newNode(nw *Network, id graph.ProcessID, rng *rand.Rand, g *graph.Graph) *node {
 	nbrs := g.Neighbors(id)
+	inboxDepth := nw.opts.ChannelDepth * len(nbrs)
+	if inboxDepth < nw.opts.ChannelDepth {
+		inboxDepth = nw.opts.ChannelDepth
+	}
 	n := &node{
 		nw:            nw,
 		id:            id,
@@ -144,26 +163,33 @@ func newNode(nw *Network, id graph.ProcessID, rng *rand.Rand) *node {
 		dist:          make([]int, g.N()),
 		parent:        make([]graph.ProcessID, g.N()),
 		nbrDV:         make([][]int, len(nbrs)),
+		nbrDisabled:   make([]bool, len(nbrs)),
+		nbrDraining:   make([]bool, len(nbrs)),
 		dests:         make([]destState, g.N()),
 		nextSeq:       1,
-		out:           make(map[graph.ProcessID]transport.Link),
-		inbox:         make(chan transport.Frame, nw.opts.ChannelDepth*len(nbrs)),
+		inbox:         make(chan transport.Frame, inboxDepth),
 		pendingByDest: make([]pendQueue, g.N()),
 		dvDirty:       true, // gossip the initial vector on the first tick
 	}
 	n.tg = newNodeGauges(nw.tel.reg, id)
+	out := make(map[graph.ProcessID]transport.Link, len(nbrs))
 	for _, q := range nbrs {
-		n.out[q] = nw.tr.Link(id, q)
+		out[q] = nw.tr.Link(id, q)
 	}
+	n.outp.Store(&out)
 	for d := 0; d < g.N(); d++ {
 		n.dests[d].accepted = make(map[graph.ProcessID]uint64)
 		n.dests[d].killed = make(map[graph.ProcessID]uint64)
-		if nw.opts.CorruptInit {
+		if nw.opts.CorruptInit && len(nbrs) > 0 {
 			n.dist[d] = n.rng.Intn(g.N() + 1)
 			n.parent[d] = nbrs[n.rng.Intn(len(nbrs))]
 		} else {
 			n.dist[d] = g.N() // pessimistic start; the DV converges downward
-			n.parent[d] = nbrs[0]
+			if len(nbrs) > 0 {
+				n.parent[d] = nbrs[0]
+			} else {
+				n.parent[d] = id
+			}
 		}
 		if graph.ProcessID(d) == id {
 			n.dist[d] = 0
@@ -186,10 +212,14 @@ func newNode(nw *Network, id graph.ProcessID, rng *rand.Rand) *node {
 	return n
 }
 
-// send counts and ships one frame on the cached link to q.
+// send counts and ships one frame on the cached link to q. A nil link
+// (a neighbor that vanished between the decision and the send — only
+// possible transiently around an epoch) drops the frame like congestion.
 func (n *node) send(q graph.ProcessID, f transport.Frame) {
 	n.nw.countFrame(f.Kind)
-	n.out[q].Send(f)
+	if l := (*n.outp.Load())[q]; l != nil {
+		l.Send(f)
+	}
 }
 
 // observe queues one event on the node's batch; callers must guard with
@@ -208,37 +238,31 @@ func (n *node) flushObs() {
 	n.evs = n.evs[:0]
 }
 
-// run is the node main loop: one goroutine per incoming link fans frames
-// into the node's inbox; the loop reacts to frames and ticks.
+// run is the node main loop: the network's fan-in pumps (one per incoming
+// link, owned by the current fan generation) feed the node's inbox; the
+// loop reacts to frames, ticks, and epoch barriers.
 func (n *node) run() {
 	defer n.nw.wg.Done()
 	ticker := time.NewTicker(n.nw.opts.Tick)
 	defer ticker.Stop()
 
-	for _, q := range n.nbrs {
-		ch := n.nw.tr.Link(q, n.id).Recv()
-		n.nw.wg.Add(1)
-		go func(ch <-chan transport.Frame) {
-			defer n.nw.wg.Done()
-			for {
-				select {
-				case f := <-ch:
-					select {
-					case n.inbox <- f:
-					case <-n.nw.stop:
-						return
-					}
-				case <-n.nw.stop:
-					return
-				}
-			}
-		}(ch)
-	}
-
 	for {
 		select {
 		case <-n.nw.stop:
 			return
+		case req := <-n.nw.pause:
+			// Epoch barrier: park while the network re-shapes this node's
+			// state, resume on release — or exit, when the epoch detached
+			// this processor or the network stopped mid-barrier.
+			req.arrived.Done()
+			select {
+			case <-req.release:
+			case <-n.nw.stop:
+				return
+			}
+			if n.detached {
+				return
+			}
 		case f := <-n.inbox:
 			n.handle(f)
 		case <-ticker.C:
@@ -299,7 +323,10 @@ func (n *node) handleDV(from graph.ProcessID, dv []int) {
 }
 
 // recomputeRoutes is the distance-vector correction — the message-passing
-// analogue of routing algorithm A's rule.
+// analogue of routing algorithm A's rule. Neighbors across a disabled
+// edge are never candidates; draining neighbors are candidates only for
+// traffic destined to themselves, so a drain stops attracting transit the
+// instant the epoch lands instead of waiting for the gossip to say so.
 func (n *node) recomputeRoutes() {
 	g := n.nw.g
 	for d := 0; d < g.N(); d++ {
@@ -308,9 +335,20 @@ func (n *node) recomputeRoutes() {
 			n.parent[d] = n.id
 			continue
 		}
+		if len(n.nbrs) == 0 {
+			n.dist[d] = g.N()
+			n.parent[d] = n.id
+			continue
+		}
 		best := g.N()
 		bestQ := n.nbrs[0]
 		for i, q := range n.nbrs {
+			if n.nbrDisabled[i] {
+				continue
+			}
+			if n.nbrDraining[i] && graph.ProcessID(d) != q {
+				continue
+			}
 			dv := n.nbrDV[i]
 			if dv == nil {
 				continue
@@ -400,6 +438,11 @@ func (n *node) handleAccept(from graph.ProcessID, a transport.Ack) {
 		ds.hasE = false
 		ds.offerSeq = 0
 		n.tg.bufE.Add(-1)
+		if n.draining {
+			// One buffered message handed off to a live neighbor on the
+			// way out — the drain-progress series operators watch.
+			n.nw.tel.drainHandoffs.Inc()
+		}
 	}
 }
 
@@ -456,7 +499,19 @@ func (n *node) tick() {
 		// One copy shared by all neighbor sends: receivers only read a DV
 		// slice (handleDV copies it into the per-neighbor store), and the
 		// sender never mutates a vector after gossiping it.
-		dv := append([]int(nil), n.dist...)
+		var dv []int
+		if n.draining {
+			// A draining node advertises infinity everywhere but itself:
+			// in-flight deliveries to it complete, nothing new routes
+			// through it.
+			dv = make([]int, len(n.dist))
+			for d := range dv {
+				dv[d] = n.nw.g.N()
+			}
+			dv[n.id] = 0
+		} else {
+			dv = append([]int(nil), n.dist...)
+		}
 		for _, q := range n.nbrs {
 			n.send(q, transport.Frame{Kind: transport.KindDV, From: n.id, DV: dv})
 		}

@@ -22,6 +22,7 @@ func BenchmarkSendHotPathParallel(b *testing.B) {
 	n := nw.nodes[0]
 	dv := make([]int, g.N())
 	b.ReportAllocs()
+	b.ResetTimer() // construction-time registry setup is not the hot path
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
 			n.send(1, transport.Frame{Kind: transport.KindDV, From: 0, DV: dv})

@@ -30,6 +30,15 @@ type netTelemetry struct {
 
 	watermarkViolations *telemetry.Counter
 
+	// Cluster membership: the current epoch sequence, the member count,
+	// and drain progress. Registered unconditionally so every deployment
+	// — elastic or fixed — exports the same core series.
+	epoch           *telemetry.Gauge
+	members         *telemetry.Gauge
+	drainsStarted   *telemetry.Counter
+	drainsCompleted *telemetry.Counter
+	drainHandoffs   *telemetry.Counter
+
 	// End-to-end latency attribution, node side: time a message waited in
 	// the higher-layer pending queue before R1 (queued), time a parked
 	// offer waited at a congested hop (park), and time between arrival at
@@ -63,6 +72,16 @@ func newNetTelemetry(reg *telemetry.Registry) *netTelemetry {
 		"Offer/cancel retransmissions after the silence interval.")
 	t.watermarkViolations = reg.Counter(telemetry.SeriesWatermarkViolations,
 		"Acknowledgements for sequences this node never issued — foreign or corrupt handshake state.")
+	t.epoch = reg.Gauge(telemetry.SeriesClusterEpoch,
+		"Sequence number of the last applied membership epoch.")
+	t.members = reg.Gauge(telemetry.SeriesClusterMembers,
+		"Cluster members (slots with at least one incident link) under the current topology.")
+	t.drainsStarted = reg.Counter(telemetry.SeriesDrainsStarted,
+		"Local processors that entered draining state.")
+	t.drainsCompleted = reg.Counter(telemetry.SeriesDrainsCompleted,
+		"Local drains that completed (the processor detached from the member set).")
+	t.drainHandoffs = reg.Counter(telemetry.SeriesDrainHandoffs,
+		"Buffered messages a draining processor handed off to live neighbors.")
 	comp := func(c string) *telemetry.Hist {
 		return reg.Hist(telemetry.SeriesLatencyComponent,
 			"Per-hop latency attribution components, nanoseconds.",
@@ -134,22 +153,39 @@ func (nw *Network) registerWire() {
 		func() int64 { return int64(nw.tr.Stats().Redials) })
 
 	for _, p := range nw.local {
-		n := nw.nodes[p]
-		for _, q := range n.nbrs {
-			l := n.out[q]
-			link := telemetry.L("link", strconv.Itoa(int(p))+"->"+strconv.Itoa(int(q)))
-			reg.CounterFunc(telemetry.SeriesLinkFramesSent,
-				"Frames sent on one directed link.",
-				func() int64 { return int64(l.Stats().Sent) }, link)
-			reg.CounterFunc(telemetry.SeriesLinkBytesSent,
-				"Frame bytes sent on one directed link.",
-				func() int64 { return int64(l.Stats().BytesSent) }, link)
-			reg.CounterFunc(telemetry.SeriesLinkDropped,
-				"Frames dropped on one directed link (congestion + impairment).",
-				func() int64 { s := l.Stats(); return int64(s.DroppedFull + s.DroppedImpair) }, link)
-			reg.GaugeFunc(telemetry.SeriesLinkQueued,
-				"Point-in-time outbound queue depth of one directed link.",
-				func() int64 { return int64(l.Stats().Queued) }, link)
+		nw.registerNodeWire(nw.nodes[p])
+	}
+}
+
+// registerNodeWire registers the per-link series of one node's outgoing
+// links. Registration is idempotent and keeps the first closure, so the
+// closures resolve the link through the node's atomic link map at scrape
+// time — after an epoch replaces the map, the same series reads the
+// current link (or zero, while the edge is gone). Called at construction
+// and again for nodes that join or gain links at an epoch.
+func (nw *Network) registerNodeWire(n *node) {
+	reg := nw.tel.reg
+	p := n.id
+	for _, q := range n.nbrs {
+		q := q
+		linkStats := func() transport.LinkStats {
+			if l := (*n.outp.Load())[q]; l != nil {
+				return l.Stats()
+			}
+			return transport.LinkStats{}
 		}
+		link := telemetry.L("link", strconv.Itoa(int(p))+"->"+strconv.Itoa(int(q)))
+		reg.CounterFunc(telemetry.SeriesLinkFramesSent,
+			"Frames sent on one directed link.",
+			func() int64 { return int64(linkStats().Sent) }, link)
+		reg.CounterFunc(telemetry.SeriesLinkBytesSent,
+			"Frame bytes sent on one directed link.",
+			func() int64 { return int64(linkStats().BytesSent) }, link)
+		reg.CounterFunc(telemetry.SeriesLinkDropped,
+			"Frames dropped on one directed link (congestion + impairment).",
+			func() int64 { s := linkStats(); return int64(s.DroppedFull + s.DroppedImpair) }, link)
+		reg.GaugeFunc(telemetry.SeriesLinkQueued,
+			"Point-in-time outbound queue depth of one directed link.",
+			func() int64 { return int64(linkStats().Queued) }, link)
 	}
 }

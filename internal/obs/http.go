@@ -20,12 +20,21 @@ func Handler(snapshot func() any) http.Handler {
 	return HandlerWith(snapshot, nil)
 }
 
+// Route is one extra endpoint a host mounts on the introspection mux —
+// the cluster admin surface, for example. Pattern follows ServeMux rules
+// (a trailing slash mounts a subtree), and the handler may itself be a
+// mux with absolute patterns.
+type Route struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // HandlerWith is Handler plus an optional metrics handler mounted at
-// /metrics — the telemetry plane's Prometheus text endpoint. It takes an
-// http.Handler rather than a registry so obs stays below the telemetry
-// package (telemetry publishes snapshots onto the bus; obs cannot import
-// it back).
-func HandlerWith(snapshot func() any, metrics http.Handler) http.Handler {
+// /metrics — the telemetry plane's Prometheus text endpoint — and any
+// number of extra routes. It takes http.Handlers rather than concrete
+// types so obs stays below the telemetry and cluster packages (they
+// publish into obs; obs cannot import them back).
+func HandlerWith(snapshot func() any, metrics http.Handler, extra ...Route) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -50,6 +59,10 @@ func HandlerWith(snapshot func() any, metrics http.Handler) http.Handler {
 		mux.Handle("/metrics", metrics)
 		index += "/metrics\n"
 	}
+	for _, r := range extra {
+		mux.Handle(r.Pattern, r.Handler)
+		index += r.Pattern + "\n"
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
@@ -72,13 +85,14 @@ func Serve(addr string, snapshot func() any) (*Server, error) {
 	return ServeWith(addr, snapshot, nil)
 }
 
-// ServeWith is Serve with a /metrics handler mounted (see HandlerWith).
-func ServeWith(addr string, snapshot func() any, metrics http.Handler) (*Server, error) {
+// ServeWith is Serve with a /metrics handler and extra routes mounted
+// (see HandlerWith).
+func ServeWith(addr string, snapshot func() any, metrics http.Handler, extra ...Route) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ln: ln, srv: &http.Server{Handler: HandlerWith(snapshot, metrics), ReadHeaderTimeout: 5 * time.Second}}
+	s := &Server{ln: ln, srv: &http.Server{Handler: HandlerWith(snapshot, metrics, extra...), ReadHeaderTimeout: 5 * time.Second}}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
 }

@@ -46,6 +46,14 @@ const (
 	SeriesLinkBytesSent  = "ssmfp_link_bytes_sent_total"
 	SeriesLinkDropped    = "ssmfp_link_dropped_total"
 	SeriesLinkQueued     = "ssmfp_link_queued"
+	// Elastic membership: the applied epoch sequence, the member count,
+	// and drain progress (started/completed drains, buffered messages a
+	// draining processor handed off on its way out).
+	SeriesClusterEpoch    = "ssmfp_cluster_epoch"
+	SeriesClusterMembers  = "ssmfp_cluster_members"
+	SeriesDrainsStarted   = "ssmfp_cluster_drains_started_total"
+	SeriesDrainsCompleted = "ssmfp_cluster_drains_completed_total"
+	SeriesDrainHandoffs   = "ssmfp_cluster_drain_handoffs_total"
 )
 
 // CoreSeries is the minimum set a healthy node's /metrics scrape must
@@ -60,4 +68,9 @@ var CoreSeries = []string{
 	SeriesRetransmits,
 	SeriesLatencyComponent + "_count",
 	SeriesWireFramesSent,
+	SeriesClusterEpoch,
+	SeriesClusterMembers,
+	SeriesDrainsStarted,
+	SeriesDrainsCompleted,
+	SeriesDrainHandoffs,
 }

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"ssmfp/internal/graph"
@@ -12,10 +13,16 @@ import (
 // whole-graph scoped — both ends of every link live in this process —
 // and lossless except for congestion: a Send into a full channel drops
 // the frame (retransmission recovers it), exactly the original behavior.
+// Chan is elastic: links can be added and removed at runtime (EnsureLink
+// / DropLink), which is how an in-process deployment rides an epoch
+// transition.
 type Chan struct {
 	g      *graph.Graph
-	links  map[[2]graph.ProcessID]*chanLink // immutable after NewChan
+	depth  int
 	closed atomic.Bool
+
+	mu    sync.RWMutex
+	links map[[2]graph.ProcessID]*chanLink
 }
 
 // DefaultDepth is the per-link channel buffer when the caller passes a
@@ -28,7 +35,7 @@ func NewChan(g *graph.Graph, depth int) *Chan {
 	if depth <= 0 {
 		depth = DefaultDepth
 	}
-	c := &Chan{g: g, links: make(map[[2]graph.ProcessID]*chanLink, 2*g.M())}
+	c := &Chan{g: g, depth: depth, links: make(map[[2]graph.ProcessID]*chanLink, 2*g.M())}
 	for _, e := range g.Edges() {
 		c.links[[2]graph.ProcessID{e[0], e[1]}] = &chanLink{tr: c, ch: make(chan Frame, depth)}
 		c.links[[2]graph.ProcessID{e[1], e[0]}] = &chanLink{tr: c, ch: make(chan Frame, depth)}
@@ -37,18 +44,47 @@ func NewChan(g *graph.Graph, depth int) *Chan {
 }
 
 // Link returns the directed link from→to; it panics on a non-edge, as
-// the original msgpass wiring did.
+// the original msgpass wiring did. Edges added after construction must
+// have been announced with EnsureLink first.
 func (c *Chan) Link(from, to graph.ProcessID) Link {
+	c.mu.RLock()
 	l, ok := c.links[[2]graph.ProcessID{from, to}]
+	c.mu.RUnlock()
 	if !ok {
 		panic(fmt.Sprintf("transport: no link %d→%d", from, to))
 	}
 	return l
 }
 
+// EnsureLink creates the directed link from→to if it does not exist.
+func (c *Chan) EnsureLink(from, to graph.ProcessID) error {
+	key := [2]graph.ProcessID{from, to}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.links[key]; !ok {
+		c.links[key] = &chanLink{tr: c, ch: make(chan Frame, c.depth)}
+	}
+	return nil
+}
+
+// DropLink removes the directed link from→to. A stale handle held by a
+// node that has not yet reconfigured keeps draining its channel; its
+// Sends drop and count as congestion losses.
+func (c *Chan) DropLink(from, to graph.ProcessID) {
+	key := [2]graph.ProcessID{from, to}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if l, ok := c.links[key]; ok {
+		l.dead.Store(true)
+		delete(c.links, key)
+	}
+}
+
 // Stats sums the per-link counters.
 func (c *Chan) Stats() Stats {
 	var s Stats
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	for _, l := range c.links {
 		ls := l.Stats()
 		s.FramesSent += ls.Sent
@@ -71,13 +107,14 @@ func (c *Chan) Close() error {
 type chanLink struct {
 	tr      *Chan
 	ch      chan Frame
+	dead    atomic.Bool // set by DropLink; Sends drop
 	sent    atomic.Uint64
 	bytes   atomic.Uint64
 	dropped atomic.Uint64
 }
 
 func (l *chanLink) Send(f Frame) bool {
-	if l.tr.closed.Load() {
+	if l.tr.closed.Load() || l.dead.Load() {
 		l.dropped.Add(1)
 		return false
 	}

@@ -179,6 +179,28 @@ func (c *Chaos) Link(from, to graph.ProcessID) Link {
 	return l
 }
 
+// EnsureLink forwards to the inner transport when it is elastic. The
+// impaired view is created lazily on the next Link call, as usual.
+func (c *Chaos) EnsureLink(from, to graph.ProcessID) error {
+	if el, ok := c.inner.(Elastic); ok {
+		return el.EnsureLink(from, to)
+	}
+	return nil
+}
+
+// DropLink forgets the cached impaired view (its dispatcher drains what
+// it already holds into a dead inner link) and forwards to the inner
+// transport when it is elastic.
+func (c *Chaos) DropLink(from, to graph.ProcessID) {
+	key := [2]graph.ProcessID{from, to}
+	c.mu.Lock()
+	delete(c.links, key)
+	c.mu.Unlock()
+	if el, ok := c.inner.(Elastic); ok {
+		el.DropLink(from, to)
+	}
+}
+
 // Stats merges the inner backend's counters with the impairment counters.
 func (c *Chaos) Stats() Stats {
 	s := c.inner.Stats()

@@ -40,6 +40,33 @@ func (m *Multi) Link(from, to graph.ProcessID) Link {
 	return l
 }
 
+// EnsureLink forwards to the two node transports that own the edge's
+// ends, when they are elastic.
+func (m *Multi) EnsureLink(from, to graph.ProcessID) error {
+	for _, p := range [2]graph.ProcessID{from, to} {
+		if el, ok := m.per[p].(Elastic); ok {
+			if err := el.EnsureLink(from, to); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// DropLink forgets the cached composite link and forwards to the edge's
+// owning node transports, when they are elastic.
+func (m *Multi) DropLink(from, to graph.ProcessID) {
+	key := [2]graph.ProcessID{from, to}
+	m.mu.Lock()
+	delete(m.links, key)
+	m.mu.Unlock()
+	for _, p := range [2]graph.ProcessID{from, to} {
+		if el, ok := m.per[p].(Elastic); ok {
+			el.DropLink(from, to)
+		}
+	}
+}
+
 // Stats sums every node transport's counters. Sends are counted at the
 // sender's transport and receives at the receiver's, so the sum counts
 // each frame once per direction.

@@ -20,7 +20,8 @@ type TCPOptions struct {
 	Local graph.ProcessID
 	// Peers maps each neighbor of Local to its dial address. It may also
 	// carry Local's own listen address (used when Listen is empty) and
-	// non-neighbor entries, which are ignored.
+	// non-neighbor entries, which are ignored. The transport copies the
+	// map; later AddPeer calls extend the copy, not the caller's map.
 	Peers map[graph.ProcessID]string
 	// Listen is the address to listen on; empty selects Peers[Local].
 	Listen string
@@ -68,13 +69,21 @@ func (o TCPOptions) withDefaults() TCPOptions {
 // drops. Frames queued while the link is down are flushed after
 // reconnect; frames overflowing the queue are dropped and recovered by
 // the protocol's retransmission, so a process can start, crash, or come
-// up late without any coordination.
+// up late without any coordination. The transport is elastic: AddPeer
+// teaches it a new neighbor's address and EnsureLink/DropLink grow and
+// shrink the link set at runtime — how a long-lived node rides cluster
+// membership changes.
 type TCP struct {
 	opts TCPOptions
 	ln   net.Listener
+	rng  *rand.Rand // seeds per-writer jitter streams; guarded by lmu
 
-	out map[graph.ProcessID]*tcpSendLink
-	in  map[graph.ProcessID]*tcpRecvLink
+	// lmu guards the elastic state: the link maps and the peer address
+	// book. Hot paths hold it only for a map read.
+	lmu   sync.RWMutex
+	out   map[graph.ProcessID]*tcpSendLink
+	in    map[graph.ProcessID]*tcpRecvLink
+	peers map[graph.ProcessID]string
 
 	bytesSent   atomic.Uint64
 	bytesRecvd  atomic.Uint64
@@ -119,32 +128,99 @@ func NewTCP(g *graph.Graph, opts TCPOptions) (*TCP, error) {
 	t := &TCP{
 		opts:  opts,
 		ln:    ln,
+		rng:   rand.New(rand.NewSource(opts.Seed ^ int64(opts.Local)<<17)),
 		out:   make(map[graph.ProcessID]*tcpSendLink, len(nbrs)),
 		in:    make(map[graph.ProcessID]*tcpRecvLink, len(nbrs)),
+		peers: make(map[graph.ProcessID]string, len(opts.Peers)),
 		stop:  make(chan struct{}),
 		conns: make(map[net.Conn]struct{}),
 	}
-	rng := rand.New(rand.NewSource(opts.Seed ^ int64(opts.Local)<<17))
+	for q, addr := range opts.Peers {
+		t.peers[q] = addr
+	}
 	for _, q := range nbrs {
-		sl := &tcpSendLink{tr: t, peer: q, outq: make(chan Frame, opts.Depth)}
-		t.out[q] = sl
+		t.addSendLinkLocked(q)
 		t.in[q] = &tcpRecvLink{ch: make(chan Frame, opts.Depth)}
-		t.wg.Add(1)
-		go t.writer(sl, rand.New(rand.NewSource(rng.Int63())))
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()
 	return t, nil
 }
 
+// addSendLinkLocked creates the outbound link to q and starts its writer.
+// Caller holds lmu (or is still in NewTCP, pre-publication).
+func (t *TCP) addSendLinkLocked(q graph.ProcessID) {
+	sl := &tcpSendLink{tr: t, peer: q, outq: make(chan Frame, t.opts.Depth), stop: make(chan struct{})}
+	t.out[q] = sl
+	t.wg.Add(1)
+	go t.writer(sl, rand.New(rand.NewSource(t.rng.Int63())))
+}
+
 // Addr is the listener's address — with port-0 binds, the address peers
 // must be given to dial this node.
 func (t *TCP) Addr() string { return t.ln.Addr().String() }
+
+// AddPeer records (or updates) a peer's dial address, so a link to it can
+// be ensured later. Safe while traffic flows.
+func (t *TCP) AddPeer(q graph.ProcessID, addr string) {
+	t.lmu.Lock()
+	t.peers[q] = addr
+	t.lmu.Unlock()
+}
+
+// peerAddr reads q's dial address under the lock.
+func (t *TCP) peerAddr(q graph.ProcessID) string {
+	t.lmu.RLock()
+	defer t.lmu.RUnlock()
+	return t.peers[q]
+}
+
+// EnsureLink grows the link set at runtime. Only edges incident to the
+// local processor are meaningful; the outbound direction requires the
+// peer's address to be known (AddPeer).
+func (t *TCP) EnsureLink(from, to graph.ProcessID) error {
+	t.lmu.Lock()
+	defer t.lmu.Unlock()
+	switch {
+	case from == t.opts.Local:
+		if _, ok := t.out[to]; ok {
+			return nil
+		}
+		if _, known := t.peers[to]; !known {
+			return fmt.Errorf("transport: tcp node %d has no address for new peer %d", t.opts.Local, to)
+		}
+		t.addSendLinkLocked(to)
+	case to == t.opts.Local:
+		if _, ok := t.in[from]; !ok {
+			t.in[from] = &tcpRecvLink{ch: make(chan Frame, t.opts.Depth)}
+		}
+	}
+	return nil // non-incident edges are another node's business
+}
+
+// DropLink shrinks the link set: the outbound writer stops and its
+// connection closes; the inbound demux forgets the peer (its frames count
+// as unknown-sender noise until it too reconfigures).
+func (t *TCP) DropLink(from, to graph.ProcessID) {
+	t.lmu.Lock()
+	defer t.lmu.Unlock()
+	switch {
+	case from == t.opts.Local:
+		if sl, ok := t.out[to]; ok {
+			close(sl.stop)
+			delete(t.out, to)
+		}
+	case to == t.opts.Local:
+		delete(t.in, from)
+	}
+}
 
 // Link returns the operative end of the directed edge: the send end for
 // from == Local, the receive end for to == Local. Asking for an edge not
 // incident to Local, or a non-neighbor edge, panics.
 func (t *TCP) Link(from, to graph.ProcessID) Link {
+	t.lmu.RLock()
+	defer t.lmu.RUnlock()
 	switch {
 	case from == t.opts.Local:
 		if l, ok := t.out[to]; ok {
@@ -166,6 +242,8 @@ func (t *TCP) Stats() Stats {
 		Dials:      t.dials.Load(),
 		Redials:    t.redials.Load(),
 	}
+	t.lmu.RLock()
+	defer t.lmu.RUnlock()
 	for _, l := range t.out {
 		ls := l.Stats()
 		s.FramesSent += ls.Sent
@@ -253,7 +331,9 @@ func (t *TCP) readLoop(conn net.Conn) {
 			// the connection, since framing can no longer be trusted.
 			return
 		}
+		t.lmu.RLock()
 		rl, ok := t.in[f.From]
+		t.lmu.RUnlock()
 		if !ok {
 			t.recvUnknown.Add(1)
 			continue
@@ -272,7 +352,8 @@ func (t *TCP) readLoop(conn net.Conn) {
 // the first queued frame, writes length-prefixed frames with batched
 // flushes, and on any error closes the connection and re-dials with
 // exponential backoff + jitter while frames keep queueing (or dropping,
-// once the queue fills).
+// once the queue fills). It exits when the transport stops or the link is
+// dropped by an epoch transition.
 func (t *TCP) writer(sl *tcpSendLink, rng *rand.Rand) {
 	defer t.wg.Done()
 	var conn net.Conn
@@ -291,6 +372,8 @@ func (t *TCP) writer(sl *tcpSendLink, rng *rand.Rand) {
 		var f Frame
 		select {
 		case f = <-sl.outq:
+		case <-sl.stop:
+			return
 		case <-t.stop:
 			return
 		}
@@ -298,11 +381,11 @@ func (t *TCP) writer(sl *tcpSendLink, rng *rand.Rand) {
 			t.dials.Add(1)
 			if everConnected {
 				t.redials.Add(1)
-				t.observe("tcp: redial "+t.opts.Peers[sl.peer], t.opts.Local, sl.peer)
+				t.observe("tcp: redial "+t.peerAddr(sl.peer), t.opts.Local, sl.peer)
 			} else {
-				t.observe("tcp: dial "+t.opts.Peers[sl.peer], t.opts.Local, sl.peer)
+				t.observe("tcp: dial "+t.peerAddr(sl.peer), t.opts.Local, sl.peer)
 			}
-			c, err := net.DialTimeout("tcp", t.opts.Peers[sl.peer], t.opts.DialTimeout)
+			c, err := net.DialTimeout("tcp", t.peerAddr(sl.peer), t.opts.DialTimeout)
 			if err == nil {
 				// 32 KiB of write buffer lets the drain loop coalesce a
 				// whole burst of small control frames (acks and offers are
@@ -319,6 +402,8 @@ func (t *TCP) writer(sl *tcpSendLink, rng *rand.Rand) {
 			}
 			select {
 			case <-time.After(wait):
+			case <-sl.stop:
+				return
 			case <-t.stop:
 				return
 			}
@@ -358,12 +443,19 @@ type tcpSendLink struct {
 	tr      *TCP
 	peer    graph.ProcessID
 	outq    chan Frame
+	stop    chan struct{} // closed by DropLink; ends the writer
 	sent    atomic.Uint64
 	bytes   atomic.Uint64
 	dropped atomic.Uint64
 }
 
 func (l *tcpSendLink) Send(f Frame) bool {
+	select {
+	case <-l.stop:
+		l.dropped.Add(1)
+		return false
+	default:
+	}
 	select {
 	case l.outq <- f:
 		return true

@@ -168,6 +168,26 @@ type Stats struct {
 	Redials uint64 `json:"redials"`
 }
 
+// Elastic is the optional interface of transports that support runtime
+// topology change — the wire half of an elastic cluster. A backend that
+// implements it can gain and lose directed links while traffic flows;
+// msgpass.Network.ApplyEpoch requires it whenever an epoch transition
+// adds or removes edges. All three backends (Chan, TCP, Chaos) implement
+// it; Chaos forwards to its inner transport.
+type Elastic interface {
+	// EnsureLink makes the directed link from→to available. Idempotent:
+	// an existing link is left untouched. For node-scoped backends (TCP)
+	// only edges incident to the local processor are meaningful; the far
+	// peer's dial address must already be known (TCP.AddPeer).
+	EnsureLink(from, to graph.ProcessID) error
+	// DropLink tears the directed link from→to down. Idempotent. Frames
+	// in flight are lost (the handshake's retransmission machinery — or
+	// the epoch protocol's graceful two-phase cut — is what keeps message
+	// transfer safe); Sends on a stale handle drop and count as
+	// congestion losses.
+	DropLink(from, to graph.ProcessID)
+}
+
 // Transport hands out the directed links of a deployment.
 type Transport interface {
 	// Link returns the directed link from→to. Implementations cache

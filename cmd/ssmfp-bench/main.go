@@ -6,16 +6,19 @@
 //
 // Usage:
 //
-//	ssmfp-bench [-seed N] [-seeds K] [-parallel W] [-filter p5,ep/grid]
-//	            [-quick] [-paranoid] [-json BENCH.json] [-cells]
+//	ssmfp-bench [-seed N] [-seeds K] [-parallel W] [-shards S]
+//	            [-filter p5,ep/grid] [-quick] [-paranoid]
+//	            [-json BENCH.json] [-normalize] [-cells]
 //	            [-progress] [-trace-out f3.jsonl]
 //	ssmfp-bench compare BASELINE.json CURRENT.json
 //	            [-wall-pct 25] [-alloc-pct 10] [-guard-pct 1]
 //
 // The campaign is deterministic: the normalized report (wall-clock,
 // allocation and host fields excluded) is byte-identical for any
-// -parallel value. compare exits 1 on a regression against the baseline
-// and 2 on usage or I/O errors.
+// -parallel and any -shards value; -normalize writes the -json report
+// pre-normalized so reports from different shard/worker counts can be
+// diffed byte-for-byte. compare exits 1 on a regression against the
+// baseline and 2 on usage or I/O errors.
 package main
 
 import (
@@ -46,18 +49,20 @@ func benchMain(args []string) int {
 	seed := fs.Int64("seed", 2009, "campaign seed (repetition 0 of every cell runs it directly)")
 	seeds := fs.Int("seeds", 1, "repetitions per cell (rep > 0 uses derived seeds)")
 	parallel := fs.Int("parallel", runtime.NumCPU(), "worker count (any value yields the same normalized report)")
+	shards := fs.Int("shards", 1, "run every engine on the sharded parallel step engine with this many shards (any value yields the same normalized report)")
 	filter := fs.String("filter", "", "comma-separated cell-key prefixes (p5, ep/grid, f3)")
 	experiment := fs.String("experiment", "", "alias for -filter (legacy flag)")
 	quick := fs.Bool("quick", false, "skip the heavy cells")
 	paranoid := fs.Bool("paranoid", false, "run every engine with the incremental self-check enabled (naive rescan cross-checks each step)")
 	jsonOut := fs.String("json", "", "write the machine-readable campaign report to this file")
+	normalize := fs.Bool("normalize", false, "normalize the -json report (zero volatile wall/alloc/host fields) for byte-for-byte diffing")
 	listCells := fs.Bool("cells", false, "list the selected cells and exit without running")
 	progress := fs.Bool("progress", false, "print per-cell progress to stderr")
 	traceOut := fs.String("trace-out", "", "write the f3 replay as a JSONL event trace to this file")
 	fs.Parse(args)
 
 	cfg := campaign.Config{
-		Seed: *seed, Seeds: *seeds, Parallel: *parallel,
+		Seed: *seed, Seeds: *seeds, Parallel: *parallel, Shards: *shards,
 		Filter: *filter, Quick: *quick, Paranoid: *paranoid,
 	}
 	if cfg.Filter == "" {
@@ -98,6 +103,9 @@ func benchMain(args []string) int {
 	}
 	render(rep, results)
 	if *jsonOut != "" {
+		if *normalize {
+			rep.Normalize()
+		}
 		if err := rep.WriteFile(*jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, "ssmfp-bench:", err)
 			return 2

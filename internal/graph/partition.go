@@ -1,0 +1,162 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Partition is a deterministic, seeded decomposition of a frozen graph
+// into k shards: connected-ish regions of near-equal size grown by
+// round-robin multi-source BFS from farthest-point-sampled seeds. The
+// sharded step engine (internal/statemodel) uses it to assign guard
+// evaluation and action execution to workers; a processor is a boundary
+// processor when it has a neighbor in another shard, and only boundary
+// processors can ever conflict with a move owned by a different shard.
+//
+// The decomposition is a pure function of (graph, k, seed): the same
+// inputs always yield the same shard assignment, which is what lets a
+// sharded execution stay bit-identical to a serial one regardless of how
+// the scheduler interleaves the workers.
+type Partition struct {
+	g        *Graph
+	k        int
+	seed     int64
+	of       []int         // processor -> shard
+	boundary []bool        // processor has a neighbor in another shard
+	members  [][]ProcessID // per shard, ascending processor IDs
+	cut      int           // edges whose endpoints land in different shards
+}
+
+// Partition decomposes the frozen graph into k shards under the given
+// seed. k is clamped to [1, n]. The assignment is deterministic: shard
+// seeds are farthest-point sampled (seed picks the first), regions grow
+// by round-robin BFS claiming one processor per shard per turn, and any
+// processor left unreachable (isolated slots of elastic graphs) falls
+// back to ID-order round-robin.
+func (g *Graph) Partition(k int, seed int64) *Partition {
+	g.mustBeFrozen()
+	if k < 1 {
+		k = 1
+	}
+	if k > g.n {
+		k = g.n
+	}
+	pt := &Partition{g: g, k: k, seed: seed, of: make([]int, g.n), boundary: make([]bool, g.n)}
+	for i := range pt.of {
+		pt.of[i] = -1
+	}
+	starts := pt.sampleStarts()
+	frontiers := make([][]ProcessID, k)
+	remaining := g.n
+	for s, v := range starts {
+		frontiers[s] = append(frontiers[s], v)
+	}
+	for remaining > 0 {
+		progress := false
+		for s := 0; s < k; s++ {
+			for len(frontiers[s]) > 0 {
+				v := frontiers[s][0]
+				frontiers[s] = frontiers[s][1:]
+				if pt.of[v] >= 0 {
+					continue
+				}
+				pt.of[v] = s
+				remaining--
+				for _, w := range g.adj[v] {
+					if pt.of[w] < 0 {
+						frontiers[s] = append(frontiers[s], w)
+					}
+				}
+				progress = true
+				break
+			}
+		}
+		if !progress {
+			// Unreachable leftovers (isolated slots): deterministic fallback.
+			next := 0
+			for v := range pt.of {
+				if pt.of[v] < 0 {
+					pt.of[v] = next % k
+					next++
+					remaining--
+				}
+			}
+		}
+	}
+	pt.members = make([][]ProcessID, k)
+	for v := 0; v < g.n; v++ {
+		pt.members[pt.of[v]] = append(pt.members[pt.of[v]], ProcessID(v))
+	}
+	for v := 0; v < g.n; v++ {
+		for _, w := range g.adj[v] {
+			if pt.of[w] != pt.of[v] {
+				pt.boundary[v] = true
+				if ProcessID(v) < w {
+					pt.cut++
+				}
+			}
+		}
+	}
+	return pt
+}
+
+// sampleStarts picks k distinct start processors: the first uniformly
+// under the seed, each next maximizing the minimal BFS distance to the
+// already chosen set (ties broken by lowest ID, unreachable processors
+// treated as maximally far so every component gets a seed eventually).
+func (pt *Partition) sampleStarts() []ProcessID {
+	g, k := pt.g, pt.k
+	rng := rand.New(rand.NewSource(pt.seed))
+	starts := []ProcessID{ProcessID(rng.Intn(g.n))}
+	chosen := make([]bool, g.n)
+	chosen[starts[0]] = true
+	for len(starts) < k {
+		best, bestDist := ProcessID(-1), -1
+		for v := 0; v < g.n; v++ {
+			if chosen[v] {
+				continue
+			}
+			min := int(^uint(0) >> 1)
+			for _, s := range starts {
+				d := g.dist[v][s]
+				if d < 0 {
+					d = g.n // unreachable: farther than any real path
+				}
+				if d < min {
+					min = d
+				}
+			}
+			if min > bestDist {
+				best, bestDist = ProcessID(v), min
+			}
+		}
+		starts = append(starts, best)
+		chosen[best] = true
+	}
+	return starts
+}
+
+// K returns the shard count.
+func (pt *Partition) K() int { return pt.k }
+
+// Of returns the shard owning processor p.
+func (pt *Partition) Of(p ProcessID) int { return pt.of[p] }
+
+// Boundary reports whether p has a neighbor in another shard. Interior
+// processors of distinct shards are never adjacent, so their moves can
+// always execute in the same parallel batch.
+func (pt *Partition) Boundary(p ProcessID) bool { return pt.boundary[p] }
+
+// Members returns the processors of shard s in ascending ID order. The
+// returned slice must not be modified.
+func (pt *Partition) Members(s int) []ProcessID { return pt.members[s] }
+
+// CutEdges returns the number of edges crossing shard boundaries — the
+// quantity the BFS growth heuristic tries to keep small, since only
+// boundary processors serialize against other shards.
+func (pt *Partition) CutEdges() int { return pt.cut }
+
+// String renders a compact summary, e.g. "partition(k=4, cut=12/40)".
+func (pt *Partition) String() string {
+	return fmt.Sprintf("partition(k=%d, cut=%d/%d)", pt.k, pt.cut, pt.g.M())
+}

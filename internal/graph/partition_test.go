@@ -1,0 +1,142 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestPartitionCoversEveryProcessor: every processor lands in exactly
+// one shard, every shard is non-empty, and member lists are ascending.
+func TestPartitionCoversEveryProcessor(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := RandomConnected(10+rng.Intn(40), 80, rng)
+		k := 1 + rng.Intn(6)
+		pt := g.Partition(k, seed)
+		if pt.K() != k {
+			t.Fatalf("K() = %d, want %d", pt.K(), k)
+		}
+		total := 0
+		for s := 0; s < k; s++ {
+			ms := pt.Members(s)
+			if len(ms) == 0 {
+				t.Fatalf("seed %d: shard %d of %d is empty on %v", seed, s, k, g)
+			}
+			total += len(ms)
+			for i, p := range ms {
+				if pt.Of(p) != s {
+					t.Fatalf("seed %d: member %d of shard %d has Of=%d", seed, p, s, pt.Of(p))
+				}
+				if i > 0 && ms[i-1] >= p {
+					t.Fatalf("seed %d: shard %d members not ascending: %v", seed, s, ms)
+				}
+			}
+		}
+		if total != g.N() {
+			t.Fatalf("seed %d: %d members across shards, want %d", seed, total, g.N())
+		}
+	}
+}
+
+// TestPartitionDeterministic: the same (graph, k, seed) always yields
+// the same assignment; a different seed generally yields a different one.
+func TestPartitionDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := RandomConnected(40, 80, rng)
+	a := g.Partition(4, 11)
+	b := g.Partition(4, 11)
+	if !reflect.DeepEqual(a.of, b.of) {
+		t.Fatal("same seed produced different partitions")
+	}
+	differs := false
+	for seed := int64(0); seed < 8 && !differs; seed++ {
+		if !reflect.DeepEqual(a.of, g.Partition(4, 100+seed).of) {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("eight different seeds all reproduced the same partition (seed unused?)")
+	}
+}
+
+// TestPartitionBoundary: Boundary(p) holds exactly when p has a neighbor
+// in another shard, and CutEdges counts each crossing edge once.
+func TestPartitionBoundary(t *testing.T) {
+	g := Grid(5, 5)
+	pt := g.Partition(3, 7)
+	cut := 0
+	for p := 0; p < g.N(); p++ {
+		want := false
+		for _, q := range g.Neighbors(ProcessID(p)) {
+			if pt.Of(q) != pt.Of(ProcessID(p)) {
+				want = true
+				if ProcessID(p) < q {
+					cut++
+				}
+			}
+		}
+		if pt.Boundary(ProcessID(p)) != want {
+			t.Fatalf("Boundary(%d) = %v, want %v", p, pt.Boundary(ProcessID(p)), want)
+		}
+	}
+	if pt.CutEdges() != cut {
+		t.Fatalf("CutEdges() = %d, want %d", pt.CutEdges(), cut)
+	}
+	if pt.CutEdges() >= g.M() {
+		t.Fatalf("BFS growth should keep some edges interior: cut %d of %d", pt.CutEdges(), g.M())
+	}
+}
+
+// TestPartitionClamps: k below 1 and above n are clamped; k = n gives
+// singleton shards; a single shard has no boundary.
+func TestPartitionClamps(t *testing.T) {
+	g := Ring(6)
+	if got := g.Partition(0, 1).K(); got != 1 {
+		t.Fatalf("K() = %d, want 1", got)
+	}
+	if got := g.Partition(99, 1).K(); got != 6 {
+		t.Fatalf("K() = %d, want 6", got)
+	}
+	one := g.Partition(1, 1)
+	for p := 0; p < 6; p++ {
+		if one.Boundary(ProcessID(p)) {
+			t.Fatalf("single shard has boundary at %d", p)
+		}
+	}
+	if one.CutEdges() != 0 {
+		t.Fatalf("single shard cut = %d", one.CutEdges())
+	}
+}
+
+// TestPartitionBalanced: round-robin BFS growth keeps shard sizes within
+// a reasonable envelope of the even split on well-connected graphs.
+func TestPartitionBalanced(t *testing.T) {
+	g := Grid(10, 10)
+	pt := g.Partition(4, 5)
+	for s := 0; s < 4; s++ {
+		n := len(pt.Members(s))
+		if n < 13 || n > 37 {
+			t.Fatalf("shard %d has %d of 100 processors (want near 25)", s, n)
+		}
+	}
+}
+
+// TestPartitionIsolated: partitioning an elastic graph with isolated
+// slots assigns every slot without panicking.
+func TestPartitionIsolated(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	// slots 3 and 4 are detached
+	g.FreezeIsolated()
+	pt := g.Partition(2, 1)
+	total := 0
+	for s := 0; s < pt.K(); s++ {
+		total += len(pt.Members(s))
+	}
+	if total != 5 {
+		t.Fatalf("assigned %d of 5 processors", total)
+	}
+}

@@ -53,6 +53,14 @@ type Options struct {
 	// to the canonical index, not the subset position.
 	Cases []string
 
+	// Shards > 1 runs every engine the experiment builds on the sharded
+	// parallel step engine (statemodel.WithShards): guard evaluation and
+	// non-adjacent action batches execute concurrently across Shards
+	// workers. Executions — and therefore every deterministic quantity
+	// in a campaign report — are bit-identical for any value; sharding
+	// only changes wall-clock time.
+	Shards int
+
 	// OnCell, when non-nil, receives each case's measurements as the
 	// case completes. The campaign runner collects per-cell quantities
 	// through it without running anything twice.
@@ -61,10 +69,14 @@ type Options struct {
 
 // engineOpts translates the options into engine construction options.
 func (o Options) engineOpts() []sm.EngineOption {
+	var opts []sm.EngineOption
 	if o.Paranoid {
-		return []sm.EngineOption{sm.WithSelfCheck(true)}
+		opts = append(opts, sm.WithSelfCheck(true))
 	}
-	return nil
+	if o.Shards > 1 {
+		opts = append(opts, sm.WithShards(o.Shards, o.Seed))
+	}
+	return opts
 }
 
 // wants reports whether the named case is selected.
@@ -288,6 +300,7 @@ func p4Cell(o Options, n int) (P4Row, CellMeasure) {
 		NoRA:      true,
 		Ctx:       o.Ctx,
 		SelfCheck: o.Paranoid,
+		Shards:    o.Shards,
 	})
 	row := P4Row{
 		N:              n,
@@ -389,6 +402,7 @@ func p5Cell(o Options, idx int) (P5Row, bool, CellMeasure) {
 		NoRA:      true,
 		Ctx:       o.Ctx,
 		SelfCheck: o.Paranoid,
+		Shards:    o.Shards,
 	})
 	row := P5Row{
 		Topology:   c.name,
@@ -479,6 +493,7 @@ func p6Cell(o Options, idx int) (P6Row, CellMeasure) {
 		NoRA:      true,
 		Ctx:       o.Ctx,
 		SelfCheck: o.Paranoid,
+		Shards:    o.Shards,
 	})
 	gens := r.GenRoundsBySource[probe]
 	row := P6Row{Topology: g.String(), Delta: g.MaxDegree(), D: g.Diameter()}
@@ -559,6 +574,7 @@ func p7Cell(o Options, d int) (P7Row, bool, CellMeasure) {
 		NoRA:      true,
 		Ctx:       o.Ctx,
 		SelfCheck: o.Paranoid,
+		Shards:    o.Shards,
 	})
 	deliveries := r.DeliveredValid + r.InvalidDelivered
 	row := P7Row{D: d, Rounds: r.Rounds, Deliveries: deliveries}
@@ -767,6 +783,7 @@ func x2Cell(o Options, idx int) (X2Row, CellMeasure) {
 		NoRA:      true,
 		Ctx:       o.Ctx,
 		SelfCheck: o.Paranoid,
+		Shards:    o.Shards,
 	})
 	fwMoves := 0
 	for base, c := range r.MovesByRule {

@@ -81,6 +81,11 @@ type Scenario struct {
 	// engine's default (on under `go test`, off otherwise).
 	SelfCheck bool
 
+	// Shards > 1 runs the scenario on the sharded parallel step engine
+	// (seeded from Seed). Bit-identical to a serial run at any value;
+	// only wall-clock time changes.
+	Shards int
+
 	// Monitors are invariant probes evaluated on the configuration before
 	// every step (and once at the end); the first error aborts the run and
 	// is reported in Result.MonitorErr. MonitorEvery thins the probing to
@@ -221,6 +226,9 @@ func Run(s Scenario) Result {
 	var eopts []sm.EngineOption
 	if s.SelfCheck {
 		eopts = append(eopts, sm.WithSelfCheck(true))
+	}
+	if s.Shards > 1 {
+		eopts = append(eopts, sm.WithShards(s.Shards, s.Seed))
 	}
 	e := sm.NewEngine(g, core.FullProgramWithPolicy(g, s.Policy), NewDaemon(s.Daemon, s.Seed, g.N()), cfg, eopts...)
 	tr := checker.New(g)

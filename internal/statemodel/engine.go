@@ -28,6 +28,11 @@ type Stats struct {
 	DirtyMarks     int64 // cumulative dirty-set sizes at flush time
 
 	SelfChecks int // naive recomputations performed by the self-check mode
+
+	// Sharded-engine counters (zero on a serial engine).
+	ParallelBatches int   // non-adjacent execution batches run concurrently
+	ParallelMoves   int64 // selections executed through the parallel path
+	BoundaryChecks  int   // batches re-verified by the boundary-conflict oracle
 }
 
 // Engine executes a Program on a Graph under a Daemon, starting from an
@@ -42,6 +47,11 @@ type Stats struct {
 // the naive full scan per step; WithSelfCheck(true) — the default under
 // `go test` and when SSMFP_PARANOID is set — recomputes the enabled set
 // naively every step and panics with a minimal diff on any divergence.
+//
+// WithShards(k, seed) turns on the sharded parallel step engine (see
+// parallel.go): guard scans and non-adjacent action batches execute
+// concurrently across workers, with results merged in canonical order so
+// the execution stays bit-identical to the serial engine at any k.
 type Engine struct {
 	g       *graph.Graph
 	program Program
@@ -70,6 +80,10 @@ type Engine struct {
 	dirty        []bool
 	dirtyList    []graph.ProcessID
 	stats        Stats
+
+	// sharded parallel execution (parallel.go); nil = serial engine
+	part          *graph.Partition
+	boundaryCheck *bool // nil = follow selfCheck
 }
 
 // EngineOption configures an Engine at construction time.
@@ -276,12 +290,12 @@ func (e *Engine) enabledCurrent() []Choice {
 	if !e.incremental {
 		e.stats.FullScans++
 		e.stats.ProcsEvaluated += int64(e.g.N())
-		return scanEnabled(e.g, e.rules, e.states, e.step, &e.stats.GuardEvals)
+		return e.fullScan()
 	}
 	if !e.enabledValid {
 		e.stats.FullScans++
 		e.stats.ProcsEvaluated += int64(e.g.N())
-		e.enabledList = scanEnabled(e.g, e.rules, e.states, e.step, &e.stats.GuardEvals)
+		e.enabledList = e.fullScan()
 		e.enabledValid = true
 		e.clearDirty()
 		return e.enabledList
@@ -289,13 +303,30 @@ func (e *Engine) enabledCurrent() []Choice {
 	if len(e.dirtyList) > 0 {
 		e.stats.Flushes++
 		e.stats.DirtyMarks += int64(len(e.dirtyList))
-		out, evaluated := enabledDelta(e.g, e.rules, e.states, e.enabledList, e.dirtyList, e.step, &e.stats.GuardEvals)
+		var out []Choice
+		var evaluated int
+		if e.part != nil {
+			out, evaluated = e.parFlushEnabled(e.enabledList, e.dirtyList, &e.stats.GuardEvals)
+		} else {
+			out, evaluated = enabledDelta(e.g, e.rules, e.states, e.enabledList, e.dirtyList, e.step, &e.stats.GuardEvals)
+		}
 		e.stats.ProcsEvaluated += int64(evaluated)
 		e.stats.ProcsSkipped += int64(e.g.N() - evaluated)
 		e.enabledList = out
 		e.clearDirty()
 	}
 	return e.enabledList
+}
+
+// fullScan computes the complete enabled set, sharded across workers
+// when the engine is parallel and the graph is large enough to pay for
+// the fan-out. Both paths yield the same list and guard-evaluation
+// count.
+func (e *Engine) fullScan() []Choice {
+	if e.part != nil && e.g.N() >= parScanMinProcs {
+		return e.parScanEnabled(&e.stats.GuardEvals)
+	}
+	return scanEnabled(e.g, e.rules, e.states, e.step, &e.stats.GuardEvals)
 }
 
 // selfCheckEnabled recomputes the enabled set with the naive full scan and
@@ -399,6 +430,54 @@ func (e *Engine) Step() bool {
 	var events []Event
 	observing := e.bus.Active()
 	var typed []obs.Event
+	if e.part != nil && len(sels) > 1 {
+		// Sharded path: execute non-adjacent batches concurrently into
+		// per-selection slots, then merge in canonical selection order so
+		// the commit, the event stream, and the move counts are identical
+		// to the serial loop below.
+		results := e.executeParallel(sels, snapshot, observing)
+		for i, sel := range sels {
+			newStates[sel.Process] = results[i].state
+			events = append(events, results[i].events...)
+			e.moves[e.rules[sel.Rule].Name]++
+			if observing {
+				typed = append(typed, results[i].typed...)
+			}
+		}
+	} else {
+		e.executeSerial(sels, snapshot, observing, newStates, &events, &typed)
+	}
+	for p, s := range newStates {
+		e.states[p] = s
+		e.markDirty(p)
+	}
+	for _, sel := range sels {
+		delete(e.roundPending, sel.Process)
+	}
+	e.rememberEnabled(enabled)
+	for i := range events {
+		if events[i].Rule == "" {
+			// Events emitted via View.Emit carry the rule of the emitting
+			// selection; fill it from the matching fire event if absent.
+			events[i].Rule = ruleOf(events, i)
+		}
+		e.publish(events[i])
+	}
+	if observing {
+		for _, ev := range typed {
+			e.bus.Publish(ev)
+		}
+		e.bus.Publish(obs.Event{Kind: obs.KindStep, Step: e.step, Round: e.rounds, Count: len(sels)})
+	}
+	e.step++
+	e.stats.Steps++
+	return true
+}
+
+// executeSerial is the original single-goroutine execution loop.
+func (e *Engine) executeSerial(sels []Selection, snapshot []State, observing bool, newStates map[graph.ProcessID]State, eventsOut *[]Event, typedOut *[]obs.Event) {
+	events := *eventsOut
+	typed := *typedOut
 	for _, sel := range sels {
 		r := e.rules[sel.Rule]
 		v := &View{
@@ -432,31 +511,8 @@ func (e *Engine) Step() bool {
 			})
 		}
 	}
-	for p, s := range newStates {
-		e.states[p] = s
-		e.markDirty(p)
-	}
-	for _, sel := range sels {
-		delete(e.roundPending, sel.Process)
-	}
-	e.rememberEnabled(enabled)
-	for i := range events {
-		if events[i].Rule == "" {
-			// Events emitted via View.Emit carry the rule of the emitting
-			// selection; fill it from the matching fire event if absent.
-			events[i].Rule = ruleOf(events, i)
-		}
-		e.publish(events[i])
-	}
-	if observing {
-		for _, ev := range typed {
-			e.bus.Publish(ev)
-		}
-		e.bus.Publish(obs.Event{Kind: obs.KindStep, Step: e.step, Round: e.rounds, Count: len(sels)})
-	}
-	e.step++
-	e.stats.Steps++
-	return true
+	*eventsOut = events
+	*typedOut = typed
 }
 
 // ruleOf backfills the rule name for an Emit event from the next "fire"

@@ -14,7 +14,7 @@ BENCH_FLAGS ?= -quick -seeds 2 -parallel 1
 .PHONY: all build test test-short race bench experiments check cluster examples \
 	cover cover-check fmt lint vet fuzz campaign bench-baseline load-smoke \
 	bench-allocs load-baseline load-compare cluster-metrics cluster-elastic \
-	engine-parallel
+	engine-parallel cluster-tls
 
 all: build vet test
 
@@ -97,6 +97,19 @@ cluster-elastic:
 	$(GO) test -race ./internal/cluster/
 	$(GO) run ./cmd/ssmfp-node -elastic -spawn 4 -seed 11 -timeout 60s > /dev/null
 
+# Tier 2: the secure transport under the race detector, then the full
+# byzantine-injection judge — a mutual-TLS 3-node ring under paced load,
+# struck with forged, replayed and role-violating frames from rogue
+# certificates; exits nonzero unless exactly-once holds AND every
+# injected frame is balanced against the right rejection counter. A
+# plain TLS cluster (no rogue) must also pass with zero rejections.
+cluster-tls:
+	$(GO) test -race ./internal/secure/
+	$(GO) run ./cmd/ssmfp-node -spawn 3 -topology ring -require-tls \
+		-messages 30 -rate 100 -seed 7 -timeout 60s > /dev/null
+	$(GO) run ./cmd/ssmfp-node -byzantine -spawn 3 -topology ring \
+		-messages 30 -rate 100 -burst 5 -seed 7 -timeout 60s > /dev/null
+
 examples:
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/figure3
@@ -145,13 +158,15 @@ load-smoke:
 		-rate 2000 -messages 20000 -seed 42 -drain-timeout 30s -json /tmp/load-smoke.json
 	$(GO) run ./cmd/ssmfp-bench compare /tmp/load-smoke.json /tmp/load-smoke.json
 
-# Fuzz pass over every fuzz target: the transport frame codec and the
-# load-trace tag parser (seeds committed under each package's
-# testdata/fuzz). FUZZTIME is per target; the nightly workflow raises it.
+# Fuzz pass over every fuzz target: the transport frame codec, the
+# load-trace tag parser, and the certificate role-extension decoder
+# (seeds committed under each package's testdata/fuzz). FUZZTIME is per
+# target; the nightly workflow raises it.
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -fuzz=FuzzFrameCodec -fuzztime=$(FUZZTIME) -run '^$$' ./internal/transport/
 	$(GO) test -fuzz=FuzzParseTag -fuzztime=$(FUZZTIME) -run '^$$' ./internal/load/
+	$(GO) test -fuzz=FuzzCertRoleParse -fuzztime=$(FUZZTIME) -run '^$$' ./internal/secure/
 
 # Sharded-engine determinism gate: the engine's oracles under the race
 # detector, then the full quick E-EP grid at -shards 1, 2 and 4 — the

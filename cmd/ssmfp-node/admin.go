@@ -66,19 +66,33 @@ func parseTargets(s string) (map[graph.ProcessID]string, error) {
 	return out, nil
 }
 
+// adminClient builds the node client for one admin URL, speaking mutual
+// TLS when the certificate flags are set and refusing plaintext targets
+// under -require-tls.
+func adminClient(cfg config, url string) (*cluster.HTTPClient, error) {
+	hc, _, err := clientFromFlags(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkTargetScheme(cfg, url); err != nil {
+		return nil, err
+	}
+	return cluster.NewHTTPClientWith(url, hc), nil
+}
+
 // targetClient resolves the single-node client for -target (falling back
 // to the lowest-id entry of -targets, so "status against the cluster I
 // already listed" needs no extra flag).
 func targetClient(cfg config) (*cluster.HTTPClient, error) {
 	if cfg.target != "" {
-		return cluster.NewHTTPClient(cfg.target), nil
+		return adminClient(cfg, cfg.target)
 	}
 	targets, err := parseTargets(cfg.targets)
 	if err != nil {
 		return nil, fmt.Errorf("this op needs -target (or -targets)")
 	}
 	ids := sortedIDs(targets)
-	return cluster.NewHTTPClient(targets[ids[0]]), nil
+	return adminClient(cfg, targets[ids[0]])
 }
 
 func sortedIDs(targets map[graph.ProcessID]string) []graph.ProcessID {
@@ -128,10 +142,14 @@ func topoFrom(slots int, edges [][2]graph.ProcessID) (*graph.Topology, error) {
 // the first answering node for its status, rebuild the topology it
 // reports, resume the epoch sequence there, and attach an HTTP client
 // for every listed node.
-func console(targets map[graph.ProcessID]string) (*cluster.Manager, error) {
+func console(cfg config, targets map[graph.ProcessID]string) (*cluster.Manager, error) {
 	var lastErr error
 	for _, id := range sortedIDs(targets) {
-		st, err := cluster.NewHTTPClient(targets[id]).Status()
+		hc, err := adminClient(cfg, targets[id])
+		if err != nil {
+			return nil, err
+		}
+		st, err := hc.Status()
 		if err != nil {
 			lastErr = fmt.Errorf("node %d (%s): %w", id, targets[id], err)
 			continue
@@ -143,7 +161,11 @@ func console(targets map[graph.ProcessID]string) (*cluster.Manager, error) {
 		mgr := cluster.NewManager(topo)
 		mgr.ResumeAt(st.Epoch)
 		for nid, url := range targets {
-			mgr.Attach(nid, cluster.NewHTTPClient(url), "")
+			nhc, err := adminClient(cfg, url)
+			if err != nil {
+				return nil, err
+			}
+			mgr.Attach(nid, nhc, "")
 		}
 		return mgr, nil
 	}
@@ -156,7 +178,7 @@ func adminStatus(cfg config) error {
 		if err != nil {
 			return err
 		}
-		mgr, err := console(targets)
+		mgr, err := console(cfg, targets)
 		if err != nil {
 			return err
 		}
@@ -198,7 +220,7 @@ func adminInject(cfg config) error {
 		if err != nil {
 			return err
 		}
-		mgr, err := console(targets)
+		mgr, err := console(cfg, targets)
 		if err != nil {
 			return err
 		}
@@ -227,7 +249,7 @@ func adminDrain(cfg config) error {
 	if err != nil {
 		return err
 	}
-	mgr, err := console(targets)
+	mgr, err := console(cfg, targets)
 	if err != nil {
 		return err
 	}
@@ -250,7 +272,7 @@ func adminLink(cfg config) error {
 	if err != nil {
 		return err
 	}
-	mgr, err := console(targets)
+	mgr, err := console(cfg, targets)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ssmfp/internal/graph"
+	"ssmfp/internal/secure"
+)
+
+// certSet names the on-disk files of one provisioned trust domain: the
+// CA pair, one node credential per processor, and the two human-role
+// credentials (operator mutates the admin plane, observer only reads).
+// The spawn launcher builds one in its temp dir and hands each child its
+// own slice of it; -gen-certs writes the same layout somewhere durable.
+type certSet struct {
+	dir string
+	n   int
+}
+
+func (c *certSet) caCert() string { return filepath.Join(c.dir, "ca.pem") }
+func (c *certSet) caKey() string  { return filepath.Join(c.dir, "ca.key") }
+func (c *certSet) nodeCert(p graph.ProcessID) string {
+	return filepath.Join(c.dir, fmt.Sprintf("node-%d.pem", p))
+}
+func (c *certSet) nodeKey(p graph.ProcessID) string {
+	return filepath.Join(c.dir, fmt.Sprintf("node-%d.key", p))
+}
+func (c *certSet) roleCert(role secure.Role) string {
+	return filepath.Join(c.dir, role.String()+".pem")
+}
+func (c *certSet) roleKey(role secure.Role) string {
+	return filepath.Join(c.dir, role.String()+".key")
+}
+
+// provisionCerts mints a fresh CA and the full credential set for an
+// n-node cluster into dir, returning the live CA (the byzantine rogue
+// needs it to mint its own bad certificates) alongside the file layout.
+func provisionCerts(dir string, n int) (*secure.CA, *certSet, error) {
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, nil, err
+	}
+	ca, err := secure.GenCA("ssmfp-cluster-ca")
+	if err != nil {
+		return nil, nil, err
+	}
+	set := &certSet{dir: dir, n: n}
+	if err := ca.WriteFiles(set.caCert(), set.caKey()); err != nil {
+		return nil, nil, err
+	}
+	for i := 0; i < n; i++ {
+		p := graph.ProcessID(i)
+		cred, err := ca.IssueNode(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := cred.WriteFiles(set.nodeCert(p), set.nodeKey(p)); err != nil {
+			return nil, nil, err
+		}
+	}
+	for _, role := range []secure.Role{secure.RoleOperator, secure.RoleObserver} {
+		cred, err := ca.Issue("ssmfp-"+role.String(), role)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := cred.WriteFiles(set.roleCert(role), set.roleKey(role)); err != nil {
+			return nil, nil, err
+		}
+	}
+	return ca, set, nil
+}
+
+// runGenCerts is the -gen-certs helper: provision a trust domain on disk
+// so operators can run TLS clusters by hand. Prints the layout as JSON.
+func runGenCerts(cfg config) error {
+	n := cfg.n
+	if n == 0 {
+		n = cfg.spawn
+	}
+	if n < 1 {
+		return fmt.Errorf("-gen-certs needs -n (how many node credentials to mint)")
+	}
+	_, set, err := provisionCerts(cfg.certsDir, n)
+	if err != nil {
+		return err
+	}
+	files := []string{set.caCert(), set.caKey()}
+	for i := 0; i < n; i++ {
+		files = append(files, set.nodeCert(graph.ProcessID(i)), set.nodeKey(graph.ProcessID(i)))
+	}
+	for _, role := range []secure.Role{secure.RoleOperator, secure.RoleObserver} {
+		files = append(files, set.roleCert(role), set.roleKey(role))
+	}
+	return printJSON(struct {
+		Dir   string   `json:"dir"`
+		Nodes int      `json:"nodes"`
+		Files []string `json:"files"`
+	}{cfg.certsDir, n, files})
+}

@@ -8,11 +8,44 @@ import (
 	"strings"
 	"time"
 
+	"ssmfp/internal/secure"
 	"ssmfp/internal/telemetry"
 )
 
 // scrapeTimeout bounds one GET of a node's /metrics endpoint.
 const scrapeTimeout = 5 * time.Second
+
+// clientFromFlags builds the HTTP client the operator-side modes
+// (-scrape, -admin) talk through, plus the scheme to assume for bare
+// host:port targets. With any certificate flag set it loads the full
+// identity and speaks mutual TLS; -require-tls alone (no certs) is the
+// operator asking for the impossible and fails fast.
+func clientFromFlags(cfg config) (*http.Client, string, error) {
+	if !tlsConfigured(cfg) {
+		return &http.Client{Timeout: scrapeTimeout}, "http://", nil
+	}
+	cred, pool, err := loadTLSIdentity(cfg)
+	if err != nil {
+		return nil, "", err
+	}
+	return &http.Client{
+		Timeout:   scrapeTimeout,
+		Transport: &http.Transport{TLSClientConfig: secure.ClientConfig(cred, pool)},
+	}, "https://", nil
+}
+
+// checkTargetScheme enforces the plaintext policy on one explicit target
+// URL: -require-tls refuses http:// outright, and an https:// target
+// without a trust anchor to verify it against is unusable.
+func checkTargetScheme(cfg config, url string) error {
+	if cfg.requireTLS && strings.HasPrefix(url, "http://") {
+		return fmt.Errorf("-require-tls: refusing plaintext target %s", url)
+	}
+	if strings.HasPrefix(url, "https://") && cfg.caFile == "" {
+		return fmt.Errorf("target %s is TLS but no -ca/-cert/-key were given to speak it", url)
+	}
+	return nil
+}
 
 // nodeScrape is one endpoint's contribution to the cluster view.
 type nodeScrape struct {
@@ -36,7 +69,10 @@ type scrapeSummary struct {
 // -scrape-validate the core series must all be present on every node and
 // the merged health verdict must be clean.
 func runScrape(cfg config) error {
-	client := &http.Client{Timeout: scrapeTimeout}
+	client, scheme, err := clientFromFlags(cfg)
+	if err != nil {
+		return err
+	}
 	var all []telemetry.PromSample
 	sum := scrapeSummary{
 		Totals: make(map[string]float64),
@@ -49,7 +85,10 @@ func runScrape(cfg config) error {
 		}
 		url := target
 		if !strings.Contains(url, "://") {
-			url = "http://" + url
+			url = scheme + url
+		}
+		if err := checkTargetScheme(cfg, url); err != nil {
+			return err
 		}
 		if !strings.HasSuffix(url, "/metrics") {
 			url = strings.TrimSuffix(url, "/") + "/metrics"

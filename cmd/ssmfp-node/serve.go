@@ -1,6 +1,7 @@
 package main
 
 import (
+	"crypto/x509"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -12,6 +13,7 @@ import (
 	"ssmfp/internal/load"
 	"ssmfp/internal/msgpass"
 	"ssmfp/internal/obs"
+	"ssmfp/internal/secure"
 	"ssmfp/internal/telemetry"
 	"ssmfp/internal/transport"
 )
@@ -27,6 +29,36 @@ type nodeRuntime struct {
 	reg   *telemetry.Registry
 	nw    *msgpass.Network
 	agent *cluster.Agent
+
+	// Secure mode: the mutual-TLS transport plus the credential and CA
+	// pool the debug/admin server reuses. All nil in plaintext mode.
+	sec  *secure.TLS
+	cred *secure.Credential
+	pool *x509.CertPool
+}
+
+// tlsConfigured reports whether any of the certificate flags is set —
+// partial configuration is an error loadTLSIdentity names precisely.
+func tlsConfigured(cfg config) bool {
+	return cfg.caFile != "" || cfg.certFile != "" || cfg.keyFile != "" || cfg.requireTLS
+}
+
+// loadTLSIdentity loads this process's credential and the cluster CA
+// from the certificate flags, insisting on all three.
+func loadTLSIdentity(cfg config) (*secure.Credential, *x509.CertPool, error) {
+	if cfg.caFile == "" || cfg.certFile == "" || cfg.keyFile == "" {
+		return nil, nil, fmt.Errorf("TLS needs all of -ca, -cert and -key (have ca=%q cert=%q key=%q)",
+			cfg.caFile, cfg.certFile, cfg.keyFile)
+	}
+	cred, err := secure.LoadCredential(cfg.certFile, cfg.keyFile)
+	if err != nil {
+		return nil, nil, fmt.Errorf("-cert/-key: %w", err)
+	}
+	pool, err := secure.LoadPool(cfg.caFile)
+	if err != nil {
+		return nil, nil, fmt.Errorf("-ca %s: %w", cfg.caFile, err)
+	}
+	return cred, pool, nil
 }
 
 func (rt *nodeRuntime) close() {
@@ -73,25 +105,51 @@ func bootNode(cfg config) (*nodeRuntime, error) {
 		}
 	}
 
-	tcp, err := transport.NewTCP(g, transport.TCPOptions{
-		Local: local,
-		Peers: peers,
-		Seed:  cfg.seed + int64(cfg.id), // jitter streams differ per process
-	})
-	if err != nil {
-		return nil, err
+	// The registry exists before the wire so the secure transport's
+	// rejection counters land in this node's scrape, not a private one.
+	reg := telemetry.New()
+	rt := &nodeRuntime{g: g, local: local, reg: reg}
+	var (
+		tr   transport.Transport
+		book cluster.PeerBook
+	)
+	if tlsConfigured(cfg) {
+		cred, pool, err := loadTLSIdentity(cfg)
+		if err != nil {
+			return nil, err
+		}
+		sec, err := secure.NewTLS(g, secure.TLSOptions{
+			Local:     local,
+			Peers:     peers,
+			Cred:      cred,
+			Pool:      pool,
+			Telemetry: reg,
+			Seed:      cfg.seed + int64(cfg.id), // jitter streams differ per process
+		})
+		if err != nil {
+			return nil, err
+		}
+		tr, book = sec, sec
+		rt.sec, rt.cred, rt.pool = sec, cred, pool
+	} else {
+		tcp, err := transport.NewTCP(g, transport.TCPOptions{
+			Local: local,
+			Peers: peers,
+			Seed:  cfg.seed + int64(cfg.id),
+		})
+		if err != nil {
+			return nil, err
+		}
+		tr, book = tcp, tcp
 	}
-	var tr transport.Transport = tcp
 	copts, impaired, err := chaosOpts(cfg)
 	if err != nil {
-		tcp.Close()
+		tr.Close()
 		return nil, err
 	}
 	if impaired {
-		tr = transport.NewChaos(tcp, copts)
+		tr = transport.NewChaos(tr, copts)
 	}
-
-	reg := telemetry.New()
 	nw := msgpass.New(g, msgpass.Options{
 		Tick:      cfg.tick,
 		Seed:      cfg.seed,
@@ -104,28 +162,41 @@ func bootNode(cfg config) (*nodeRuntime, error) {
 		HoldStamp: load.AddHold,
 	})
 	nw.Start()
-	// The agent feeds epoch address books into the TCP peer table, so
+	// The agent feeds epoch address books into the wire's peer table, so
 	// links to processors that join after boot can be dialed.
-	return &nodeRuntime{g: g, local: local, tr: tr, reg: reg, nw: nw, agent: cluster.NewAgent(nw, tcp)}, nil
+	rt.tr, rt.nw, rt.agent = tr, nw, cluster.NewAgent(nw, book)
+	return rt, nil
 }
 
 // serveDebug starts the introspection endpoint with the admin surface
-// mounted; nil when -http is unset.
+// mounted; nil when -http is unset. A TLS node serves it over mutual TLS
+// against the same trust domain as the wire — any CA-signed role cert
+// may scrape /metrics, but /admin/ sits behind the certificate-role
+// guard: observers read, operators mutate, nodes get nothing.
 func serveDebug(cfg config, rt *nodeRuntime) (*obs.Server, error) {
 	if cfg.httpAddr == "" {
 		return nil, nil
 	}
-	srv, err := obs.ServeWith(cfg.httpAddr,
-		func() any {
-			return struct {
-				ID     int                  `json:"id"`
-				Epoch  uint64               `json:"epoch"`
-				Stats  msgpass.Stats        `json:"stats"`
-				Queues []msgpass.QueueDepth `json:"queues"`
-			}{cfg.id, rt.nw.CurrentEpoch(), rt.nw.Stats(), rt.nw.QueueDepths()}
-		},
-		telemetry.Handler(rt.reg),
-		obs.Route{Pattern: "/admin/", Handler: rt.agent.Handler()})
+	snapshot := func() any {
+		return struct {
+			ID     int                  `json:"id"`
+			Epoch  uint64               `json:"epoch"`
+			Stats  msgpass.Stats        `json:"stats"`
+			Queues []msgpass.QueueDepth `json:"queues"`
+		}{cfg.id, rt.nw.CurrentEpoch(), rt.nw.Stats(), rt.nw.QueueDepths()}
+	}
+	var (
+		srv *obs.Server
+		err error
+	)
+	if rt.sec != nil {
+		srv, err = obs.ServeTLSWith(cfg.httpAddr, secure.ServerConfig(rt.cred, rt.pool),
+			snapshot, telemetry.Handler(rt.reg),
+			obs.Route{Pattern: "/admin/", Handler: secure.AdminGuard(rt.agent.Handler(), rt.reg)})
+	} else {
+		srv, err = obs.ServeWith(cfg.httpAddr, snapshot, telemetry.Handler(rt.reg),
+			obs.Route{Pattern: "/admin/", Handler: rt.agent.Handler()})
+	}
 	if err != nil {
 		return nil, fmt.Errorf("-http %s: %w", cfg.httpAddr, err)
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"crypto/tls"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -16,6 +17,7 @@ import (
 	"ssmfp/internal/graph"
 	"ssmfp/internal/load"
 	"ssmfp/internal/metrics"
+	"ssmfp/internal/secure"
 	"ssmfp/internal/telemetry"
 	"ssmfp/internal/transport"
 )
@@ -71,6 +73,20 @@ func runSpawn(cfg config) error {
 	peersPath := filepath.Join(dir, "peers.txt")
 	if err := os.WriteFile(peersPath, []byte(transport.FormatPeers(peers)), 0o644); err != nil {
 		return err
+	}
+
+	// TLS mode: provision one trust domain for the whole cluster in the
+	// temp dir and hand every child its own node credential. The live CA
+	// stays in memory — the byzantine rogue needs it to mint observer and
+	// alien-node certificates the cluster will trust.
+	var (
+		certs *certSet
+		ca    *secure.CA
+	)
+	if cfg.requireTLS {
+		if ca, certs, err = provisionCerts(filepath.Join(dir, "certs"), g.N()); err != nil {
+			return err
+		}
 	}
 
 	self, err := os.Executable()
@@ -137,6 +153,13 @@ func runSpawn(cfg config) error {
 		if legacy[p] {
 			args = append(args, "-legacy-tags")
 		}
+		if certs != nil {
+			args = append(args,
+				"-require-tls",
+				"-ca", certs.caCert(),
+				"-cert", certs.nodeCert(p),
+				"-key", certs.nodeKey(p))
+		}
 		cmd := exec.Command(self, args...)
 		cmd.Stderr = os.Stderr
 		stdinR, stdinW, err := os.Pipe()
@@ -174,6 +197,21 @@ func runSpawn(cfg config) error {
 		children = append(children, c)
 	}
 
+	// Byzantine mode: while the cluster carries its paced workload, a
+	// rogue process (this one, wearing bad certificates) strikes every
+	// node's wire listener with the full attack surface — untrusted
+	// handshakes, role-violating frames, forged senders, replays from a
+	// non-member. The ledger records exactly what was injected; the books
+	// are balanced against the cluster's rejection counters below.
+	var ledger *secure.RogueCounts
+	if cfg.byzantine {
+		counts, err := strikeCluster(cfg, g, ca, peers)
+		if err != nil {
+			return fmt.Errorf("byzantine strike: %w", err)
+		}
+		ledger = &counts
+	}
+
 	// Children stop waiting after cfg.timeout and report whatever they
 	// have; allow slack on top for process startup and JSON plumbing.
 	deadline := time.After(cfg.timeout + 15*time.Second)
@@ -201,7 +239,7 @@ func runSpawn(cfg config) error {
 	// The children are still alive (they idle on stdin until the deferred
 	// close), so their /metrics endpoints are scrapeable right now — the
 	// telemetry plane is judged like the delivery record.
-	health, scrapeViolations := scrapeCluster(reports, &merged)
+	health, scrapeViolations := scrapeCluster(certs, reports, &merged, ledger)
 	violations = append(violations, scrapeViolations...)
 
 	summary := struct {
@@ -209,6 +247,9 @@ func runSpawn(cfg config) error {
 		Messages   int      `json:"messages"`
 		Delivered  int      `json:"delivered"`
 		Violations []string `json:"violations"`
+
+		// Byzantine mode: the rogue's injection ledger, per category.
+		Byzantine *secure.RogueCounts `json:"byzantine,omitempty"`
 
 		// Rate mode: cluster-wide latency quantiles from the merged
 		// per-node histogram shards — the shards are mergeable by
@@ -222,7 +263,7 @@ func runSpawn(cfg config) error {
 
 		Reports []report `json:"reports"`
 	}{Nodes: len(reports), Messages: cfg.messages, Delivered: delivered,
-		Violations: violations, Health: health, Reports: reports}
+		Violations: violations, Byzantine: ledger, Health: health, Reports: reports}
 	if merged.Count() > 0 {
 		sum := load.SummarizeHist(&merged)
 		summary.Latency = &sum
@@ -234,7 +275,48 @@ func runSpawn(cfg config) error {
 	}
 	fmt.Fprintf(os.Stderr, "ssmfp-node: %d nodes, %d messages, exactly-once verified\n",
 		len(reports), cfg.messages)
+	if ledger != nil {
+		fmt.Fprintf(os.Stderr, "ssmfp-node: byzantine books balanced — %d injected frames, every one rejected for the right reason\n",
+			ledger.Total())
+	}
 	return nil
+}
+
+// strikeCluster waits until every node's wire listener answers a mutual-
+// TLS probe, then drives the rogue's full attack surface against each
+// one. The probe uses a fresh operator credential: its handshake
+// *succeeds*, so it never pollutes the handshake-rejection counter the
+// ledger audit later insists on balancing exactly.
+func strikeCluster(cfg config, g *graph.Graph, ca *secure.CA, peers map[graph.ProcessID]string) (secure.RogueCounts, error) {
+	probe, err := ca.Issue("spawn-probe", secure.RoleOperator)
+	if err != nil {
+		return secure.RogueCounts{}, err
+	}
+	conf := secure.ClientConfig(probe, ca.Pool())
+	targets := make([]string, 0, g.N())
+	deadline := time.Now().Add(15 * time.Second)
+	for _, p := range g.Processors() {
+		addr := peers[p]
+		for {
+			conn, derr := tls.DialWithDialer(&net.Dialer{Timeout: time.Second}, "tcp", addr, conf)
+			if derr == nil {
+				conn.Close()
+				break
+			}
+			if time.Now().After(deadline) {
+				return secure.RogueCounts{}, fmt.Errorf("node %d never listened on %s: %v", p, addr, derr)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		targets = append(targets, addr)
+	}
+	// The rogue impersonates a real member (node 0) and also holds a
+	// valid certificate for a processor the topology has never heard of.
+	rogue, err := secure.NewRogue(ca, 0, graph.ProcessID(g.N()+9), targets)
+	if err != nil {
+		return secure.RogueCounts{}, err
+	}
+	return rogue.Strike(cfg.burst)
 }
 
 // scrapeCluster judges the telemetry plane the way judge judges the
@@ -243,12 +325,36 @@ func runSpawn(cfg config) error {
 // union of all scrapes must pass the stabilization-health checks; and in
 // rate mode the node-stamped latency-attribution components must fit
 // inside the collector-measured end-to-end latency.
-func scrapeCluster(reports []report, merged *metrics.LatencyHist) (*telemetry.HealthReport, []string) {
+//
+// With certs the children serve /metrics behind mutual TLS, so the judge
+// scrapes as an operator. With a byzantine ledger the secure-rejection
+// health flag is *expected* — every other flag stays a violation — and
+// the cluster's per-reason rejection counters must balance the ledger
+// exactly.
+func scrapeCluster(certs *certSet, reports []report, merged *metrics.LatencyHist, ledger *secure.RogueCounts) (*telemetry.HealthReport, []string) {
 	var violations []string
 	badf := func(format string, a ...any) {
 		violations = append(violations, fmt.Sprintf(format, a...))
 	}
 	client := &http.Client{Timeout: scrapeTimeout}
+	scheme := "http://"
+	if certs != nil {
+		cred, err := secure.LoadCredential(certs.roleCert(secure.RoleOperator), certs.roleKey(secure.RoleOperator))
+		if err != nil {
+			badf("loading the operator scrape credential: %v", err)
+			return nil, violations
+		}
+		pool, err := secure.LoadPool(certs.caCert())
+		if err != nil {
+			badf("loading the cluster CA: %v", err)
+			return nil, violations
+		}
+		client = &http.Client{
+			Timeout:   scrapeTimeout,
+			Transport: &http.Transport{TLSClientConfig: secure.ClientConfig(cred, pool)},
+		}
+		scheme = "https://"
+	}
 	var all []telemetry.PromSample
 	for _, r := range reports {
 		// Report-internal consistency first — the peaks are event-driven,
@@ -268,7 +374,7 @@ func scrapeCluster(reports []report, merged *metrics.LatencyHist) (*telemetry.He
 			badf("node %d reported no metrics address", r.ID)
 			continue
 		}
-		resp, err := client.Get("http://" + r.MetricsAddr + "/metrics")
+		resp, err := client.Get(scheme + r.MetricsAddr + "/metrics")
 		if err != nil {
 			badf("node %d: scraping /metrics: %v", r.ID, err)
 			continue
@@ -295,7 +401,23 @@ func scrapeCluster(reports []report, merged *metrics.LatencyHist) (*telemetry.He
 	}
 	health := telemetry.CheckHealth(all)
 	if !health.Healthy {
-		badf("cluster %s", health)
+		if ledger == nil {
+			badf("cluster %s", health)
+		} else {
+			// Under attack the secure-rejection flag is the system working;
+			// any other flag is still a violation.
+			for _, f := range health.Flags {
+				if !f.SecureFlag() {
+					badf("cluster flag [%s=%g: %s]", f.Series, f.Value, f.Why)
+				}
+			}
+		}
+	}
+	if ledger != nil {
+		if ledger.Total() > 0 && !flaggedSecure(health) {
+			badf("rogue injected %d frames but the cluster counted no secure rejections", ledger.Total())
+		}
+		violations = append(violations, auditLedger(client, scheme, reports, all, *ledger)...)
 	}
 
 	// Attribution: summed across the cluster, the stamped components
@@ -383,6 +505,87 @@ func judge(g *graph.Graph, reports []report, plan []workloadEntry) []string {
 		}
 	}
 	return violations
+}
+
+func flaggedSecure(h telemetry.HealthReport) bool {
+	for _, f := range h.Flags {
+		if f.SecureFlag() {
+			return true
+		}
+	}
+	return false
+}
+
+// auditLedger balances the byzantine books: every frame the rogue
+// injected must appear in exactly the right rejection counter, summed
+// across the cluster. The victims count asynchronously to the rogue's
+// writes, so the audit re-scrapes until no counter runs short of the
+// ledger (bounded), then insists on exact equality — an overshoot means
+// the trust domain rejected traffic the rogue never sent, which is just
+// as much an accounting failure as a miss.
+func auditLedger(client *http.Client, scheme string, reports []report, all []telemetry.PromSample, ledger secure.RogueCounts) []string {
+	want := map[string]float64{
+		secure.ReasonHandshake:  float64(ledger.Handshake),
+		secure.ReasonRole:       float64(ledger.Role),
+		secure.ReasonSender:     float64(ledger.Sender),
+		secure.ReasonMembership: float64(ledger.Membership),
+		secure.ReasonAdmin:      0, // nothing touched the admin plane
+	}
+	sums := func(samples []telemetry.PromSample) map[string]float64 {
+		got := make(map[string]float64, len(want))
+		for reason := range want {
+			got[reason] = telemetry.SumSeriesLabel(samples, telemetry.SeriesSecureRejected, "reason", reason)
+		}
+		return got
+	}
+	got := sums(all)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		short := false
+		for reason, w := range want {
+			if got[reason] < w {
+				short = true
+			}
+		}
+		if !short || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+		if fresh, ok := scrapeSamples(client, scheme, reports); ok {
+			got = sums(fresh)
+		}
+	}
+	var violations []string
+	for _, reason := range secure.Reasons {
+		if got[reason] != want[reason] {
+			violations = append(violations, fmt.Sprintf(
+				"byzantine books don't balance: reason %q counted %g rejections, rogue ledger says %g",
+				reason, got[reason], want[reason]))
+		}
+	}
+	return violations
+}
+
+// scrapeSamples re-reads every node's /metrics for the audit's settle
+// loop; ok is false when any endpoint failed (keep the previous view).
+func scrapeSamples(client *http.Client, scheme string, reports []report) ([]telemetry.PromSample, bool) {
+	var all []telemetry.PromSample
+	for _, r := range reports {
+		if r.MetricsAddr == "" {
+			return nil, false
+		}
+		resp, err := client.Get(scheme + r.MetricsAddr + "/metrics")
+		if err != nil {
+			return nil, false
+		}
+		samples, perr := telemetry.ParsePrometheus(resp.Body)
+		resp.Body.Close()
+		if perr != nil {
+			return nil, false
+		}
+		all = append(all, samples...)
+	}
+	return all, true
 }
 
 type planShare struct{ sent, recv int }

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSpawnTLSClusterExactlyOnce: the spawn judge with -require-tls
+// provisions a trust domain, forks children speaking mutual TLS on every
+// link, scrapes them over https as an operator, and still verifies
+// exactly-once — with zero rejections, since everyone is legitimate.
+func TestSpawnTLSClusterExactlyOnce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process cluster test skipped in -short mode")
+	}
+	t.Setenv("SSMFP_NODE_CHILD", "1")
+	cfg := clusterConfig()
+	cfg.requireTLS = true
+	if err := run(cfg); err != nil {
+		t.Fatalf("TLS cluster failed: %v", err)
+	}
+}
+
+// TestByzantineJudge is the tentpole scenario end to end: a mutual-TLS
+// cluster under paced load is struck by a rogue with self-signed,
+// wrong-role and alien certificates; the judge must hold exactly-once
+// AND balance every injected frame against the right rejection counter.
+func TestByzantineJudge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process cluster test skipped in -short mode")
+	}
+	t.Setenv("SSMFP_NODE_CHILD", "1")
+	cfg := clusterConfig()
+	cfg.byzantine = true
+	cfg.burst = 3
+	if err := run(cfg); err != nil {
+		t.Fatalf("byzantine judge failed: %v", err)
+	}
+}
+
+// TestGenCerts: the -gen-certs helper writes a complete, loadable trust
+// domain where it is told to.
+func TestGenCerts(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "certs")
+	cfg := config{genCerts: true, n: 2, certsDir: dir}
+	if err := run(cfg); err != nil {
+		t.Fatalf("gen-certs: %v", err)
+	}
+	for _, f := range []string{
+		"ca.pem", "ca.key",
+		"node-0.pem", "node-0.key", "node-1.pem", "node-1.key",
+		"operator.pem", "operator.key", "observer.pem", "observer.key",
+	} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("missing %s: %v", f, err)
+		}
+	}
+}
+
+// TestRequireTLSRefusesPlaintext locks the client-side policy: an
+// explicit http:// target under -require-tls must be refused before any
+// byte leaves the process.
+func TestRequireTLSRefusesPlaintext(t *testing.T) {
+	cfg := config{requireTLS: true}
+	if err := checkTargetScheme(cfg, "http://127.0.0.1:1/admin"); err == nil {
+		t.Fatal("-require-tls accepted a plaintext target")
+	}
+	if err := checkTargetScheme(config{}, "https://127.0.0.1:1/admin"); err == nil {
+		t.Fatal("https target accepted without a CA to verify it")
+	}
+	if _, _, err := clientFromFlags(config{requireTLS: true}); err == nil {
+		t.Fatal("-require-tls with no certificates built a client")
+	}
+}

@@ -43,6 +43,14 @@ func NewHTTPClient(base string) *HTTPClient {
 	return &HTTPClient{Base: base}
 }
 
+// NewHTTPClientWith builds a client carrying an explicit *http.Client —
+// how an operator console reaches nodes behind mutual TLS (hc carries the
+// client certificate and the cluster CA pool). A nil hc falls back to the
+// private plaintext default.
+func NewHTTPClientWith(base string, hc *http.Client) *HTTPClient {
+	return &HTTPClient{Base: base, HTTP: hc}
+}
+
 func (c *HTTPClient) http() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"crypto/tls"
 	"encoding/json"
 	"expvar"
 	"fmt"
@@ -94,6 +95,22 @@ func ServeWith(addr string, snapshot func() any, metrics http.Handler, extra ...
 	}
 	s := &Server{ln: ln, srv: &http.Server{Handler: HandlerWith(snapshot, metrics, extra...), ReadHeaderTimeout: 5 * time.Second}}
 	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// ServeTLSWith is ServeWith behind mutual TLS: the listener is wrapped
+// with conf (which should demand and verify client certificates), so the
+// debug/metrics/admin surface is only reachable inside the cluster's
+// trust domain. conf is used as given; role-based authorization on top of
+// authentication is the host's business (an extra Route wrapping the
+// admin mux).
+func ServeTLSWith(addr string, conf *tls.Config, snapshot func() any, metrics http.Handler, extra ...Route) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: HandlerWith(snapshot, metrics, extra...), ReadHeaderTimeout: 5 * time.Second}}
+	go func() { _ = s.srv.Serve(tls.NewListener(ln, conf)) }()
 	return s, nil
 }
 

@@ -1,0 +1,59 @@
+package secure
+
+import (
+	"fmt"
+	"net/http"
+
+	"ssmfp/internal/telemetry"
+)
+
+// AdminGuard authorizes the /admin/ operator plane by certificate role.
+// It assumes the server already *authenticated* the caller (mutual TLS
+// via ServerConfig — obs.ServeTLSWith); this layer decides what the
+// authenticated role may do:
+//
+//   - GET/HEAD (status, quiesce probes, delivery ledgers): operator or
+//     observer;
+//   - anything else (epoch mutations, injection): operator only.
+//
+// Node-role peers are data-plane participants with no admin business and
+// are refused outright. Every refusal is counted under
+// ssmfp_secure_rejected_frames_total{reason="admin"} in reg (nil builds a
+// private registry) and answered with the admin plane's JSON error
+// envelope, so cluster.HTTPClient surfaces the server's reason verbatim.
+func AdminGuard(next http.Handler, reg *telemetry.Registry) http.Handler {
+	rej := newRejectCounters(reg)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.TLS == nil || len(r.TLS.PeerCertificates) == 0 {
+			rej.inc(ReasonAdmin)
+			writeAdminErr(w, http.StatusUnauthorized, "admin plane requires a client certificate")
+			return
+		}
+		id, err := IdentityOf(r.TLS.PeerCertificates[0])
+		if err != nil {
+			rej.inc(ReasonAdmin)
+			writeAdminErr(w, http.StatusForbidden, err.Error())
+			return
+		}
+		allowed := false
+		switch r.Method {
+		case http.MethodGet, http.MethodHead:
+			allowed = id.Role == RoleOperator || id.Role == RoleObserver
+		default:
+			allowed = id.Role == RoleOperator
+		}
+		if !allowed {
+			rej.inc(ReasonAdmin)
+			writeAdminErr(w, http.StatusForbidden,
+				fmt.Sprintf("role %s may not %s %s", id.Role, r.Method, r.URL.Path))
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+func writeAdminErr(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	fmt.Fprintf(w, "{\"error\":%q}\n", msg)
+}

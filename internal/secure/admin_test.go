@@ -1,0 +1,100 @@
+package secure_test
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"ssmfp/internal/obs"
+	"ssmfp/internal/secure"
+	"ssmfp/internal/telemetry"
+)
+
+// TestAdminGuardRoles serves a stub /admin/ surface behind mutual TLS
+// plus the role guard and exercises it with every role: observers read
+// but never mutate, operators do both, nodes do neither.
+func TestAdminGuardRoles(t *testing.T) {
+	ca, err := secure.GenCA("admin-ca")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := ca.Pool()
+	server, err := ca.IssueNode(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	admin := http.NewServeMux()
+	admin.HandleFunc("/admin/status", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"proc":0}`)
+	})
+	admin.HandleFunc("/admin/epoch", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"applied":true}`)
+	})
+	reg := telemetry.New()
+	srv, err := obs.ServeTLSWith("127.0.0.1:0", secure.ServerConfig(server, pool), nil, nil,
+		obs.Route{Pattern: "/admin/", Handler: secure.AdminGuard(admin, reg)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "https://" + srv.Addr()
+
+	client := func(role secure.Role, name string) *http.Client {
+		t.Helper()
+		cred, err := ca.Issue(name, role)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &http.Client{
+			Timeout: 10 * time.Second,
+			Transport: &http.Transport{
+				TLSClientConfig: secure.ClientConfig(cred, pool),
+			},
+		}
+	}
+	observer := client(secure.RoleObserver, "watcher")
+	operator := client(secure.RoleOperator, "ops")
+	node := client(secure.RoleNode, "node-5")
+
+	check := func(c *http.Client, method, path string, want int) {
+		t.Helper()
+		req, err := http.NewRequest(method, base+path, strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := c.Do(req)
+		if err != nil {
+			t.Fatalf("%s %s: %v", method, path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("%s %s = %d, want %d", method, path, resp.StatusCode, want)
+		}
+	}
+
+	// The satellite contract: observers read status, never mutate epochs.
+	check(observer, http.MethodGet, "/admin/status", http.StatusOK)
+	check(observer, http.MethodPost, "/admin/epoch", http.StatusForbidden)
+
+	check(operator, http.MethodGet, "/admin/status", http.StatusOK)
+	check(operator, http.MethodPost, "/admin/epoch", http.StatusOK)
+
+	check(node, http.MethodGet, "/admin/status", http.StatusForbidden)
+	check(node, http.MethodPost, "/admin/epoch", http.StatusForbidden)
+
+	if v, ok := reg.Value(telemetry.SeriesSecureRejected, telemetry.L("reason", secure.ReasonAdmin)); !ok || v != 3 {
+		t.Fatalf("admin rejections = %d (ok=%v), want 3", v, ok)
+	}
+
+	// Plaintext to a TLS-only admin plane must fail outright.
+	plain := &http.Client{Timeout: 5 * time.Second}
+	if resp, err := plain.Get("http://" + srv.Addr() + "/admin/status"); err == nil {
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			t.Fatal("plaintext request reached a TLS-only admin plane")
+		}
+	}
+}

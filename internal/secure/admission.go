@@ -1,0 +1,230 @@
+package secure
+
+import (
+	"sync"
+
+	"ssmfp/internal/graph"
+	"ssmfp/internal/telemetry"
+	"ssmfp/internal/transport"
+)
+
+// Policy decides whether a peer holding role may deliver a frame of the
+// given kind. The TLS transport evaluates it per inbound frame at the
+// connection gate; the Admission wrapper evaluates it per received frame
+// on any backend.
+type Policy func(role Role, kind transport.FrameKind) bool
+
+// DefaultPolicy is SSNTP's rule specialized to SSMFP: every protocol
+// frame kind — DV routing gossip and the offer/accept/cancel/cancelAck
+// hop handshake — is admitted from node-role peers only. Operators and
+// observers authenticate fine but have no business on the data plane.
+func DefaultPolicy(role Role, kind transport.FrameKind) bool {
+	switch kind {
+	case transport.KindDV, transport.KindOffer, transport.KindAccept,
+		transport.KindCancel, transport.KindCancelAck:
+		return role == RoleNode
+	}
+	return false
+}
+
+// The rejection reasons of the secure plane, the label values of
+// telemetry.SeriesSecureRejected.
+const (
+	ReasonHandshake  = "handshake"  // TLS handshake refused (wrong CA, expired, no role)
+	ReasonRole       = "role"       // authenticated role does not admit the frame kind
+	ReasonSender     = "sender"     // certificate identity contradicts Frame.From
+	ReasonMembership = "membership" // valid node certificate, but not a configured peer
+	ReasonAdmin      = "admin"      // authenticated role does not admit the admin verb
+)
+
+// Reasons lists every rejection reason, in the order reports render them.
+var Reasons = []string{ReasonHandshake, ReasonRole, ReasonSender, ReasonMembership, ReasonAdmin}
+
+// rejectCounters resolves the per-reason telemetry counters once.
+type rejectCounters struct {
+	reg *telemetry.Registry
+	by  map[string]*telemetry.Counter
+}
+
+func newRejectCounters(reg *telemetry.Registry) *rejectCounters {
+	if reg == nil {
+		reg = telemetry.New()
+	}
+	rc := &rejectCounters{reg: reg, by: make(map[string]*telemetry.Counter, len(Reasons))}
+	for _, reason := range Reasons {
+		rc.by[reason] = reg.Counter(telemetry.SeriesSecureRejected,
+			"Frames, handshakes or admin calls rejected by the trust domain.",
+			telemetry.L("reason", reason))
+	}
+	return rc
+}
+
+func (rc *rejectCounters) inc(reason string) {
+	if c, ok := rc.by[reason]; ok {
+		c.Inc()
+	}
+}
+
+// snapshot reads the per-reason totals back (tests and reports).
+func (rc *rejectCounters) snapshot() map[string]uint64 {
+	out := make(map[string]uint64, len(rc.by))
+	for reason, c := range rc.by {
+		out[reason] = uint64(c.Load())
+	}
+	return out
+}
+
+// AdmissionOptions configure a role-based admission wrapper.
+type AdmissionOptions struct {
+	// RoleOf maps a processor to its role — on backends without
+	// certificates (Chan), the static role assignment of the deployment.
+	// Unknown processors should return RoleInvalid. Required.
+	RoleOf func(p graph.ProcessID) Role
+	// Policy decides admission; nil selects DefaultPolicy.
+	Policy Policy
+	// Depth is the filtered receive buffer per link (≤0 = transport
+	// DefaultDepth).
+	Depth int
+	// Telemetry receives the rejection counters; nil builds a private
+	// registry.
+	Telemetry *telemetry.Registry
+}
+
+// Admission filters the receive side of an inner transport by (peer role,
+// frame kind) policy, plus the self-identification check that a link
+// from u only yields frames claiming From == u. It composes like Chaos:
+// over Chan, over TCP, over secure.TLS, in any order. (Over secure.TLS it
+// is belt-and-suspenders — the TLS gate already enforced the same policy
+// against certificate-attested roles; over Chan it is the only
+// enforcement, with roles assigned by configuration.)
+type Admission struct {
+	inner transport.Transport
+	opts  AdmissionOptions
+	rej   *rejectCounters
+
+	mu    sync.Mutex
+	links map[[2]graph.ProcessID]*admitLink
+	stop  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// NewAdmission wraps inner.
+func NewAdmission(inner transport.Transport, opts AdmissionOptions) *Admission {
+	if opts.Policy == nil {
+		opts.Policy = DefaultPolicy
+	}
+	if opts.Depth <= 0 {
+		opts.Depth = transport.DefaultDepth
+	}
+	return &Admission{
+		inner: inner,
+		opts:  opts,
+		rej:   newRejectCounters(opts.Telemetry),
+		links: make(map[[2]graph.ProcessID]*admitLink),
+		stop:  make(chan struct{}),
+	}
+}
+
+// Link wraps the inner link's receive side with the admission pump; the
+// send side passes through untouched.
+func (a *Admission) Link(from, to graph.ProcessID) transport.Link {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	key := [2]graph.ProcessID{from, to}
+	if l, ok := a.links[key]; ok {
+		return l
+	}
+	l := &admitLink{a: a, from: from, inner: a.inner.Link(from, to)}
+	a.links[key] = l
+	return l
+}
+
+// Stats delegates to the inner transport.
+func (a *Admission) Stats() transport.Stats { return a.inner.Stats() }
+
+// Rejections reads the per-reason rejection totals.
+func (a *Admission) Rejections() map[string]uint64 { return a.rej.snapshot() }
+
+// Close stops every pump and closes the inner transport.
+func (a *Admission) Close() error {
+	a.mu.Lock()
+	select {
+	case <-a.stop:
+	default:
+		close(a.stop)
+	}
+	a.mu.Unlock()
+	err := a.inner.Close()
+	a.wg.Wait()
+	return err
+}
+
+// EnsureLink forwards elastic growth to the inner transport.
+func (a *Admission) EnsureLink(from, to graph.ProcessID) error {
+	if e, ok := a.inner.(transport.Elastic); ok {
+		return e.EnsureLink(from, to)
+	}
+	return nil
+}
+
+// DropLink forwards elastic shrinkage to the inner transport.
+func (a *Admission) DropLink(from, to graph.ProcessID) {
+	if e, ok := a.inner.(transport.Elastic); ok {
+		e.DropLink(from, to)
+	}
+}
+
+// admitLink is one wrapped directed edge.
+type admitLink struct {
+	a     *Admission
+	from  graph.ProcessID
+	inner transport.Link
+
+	once sync.Once
+	out  chan transport.Frame
+}
+
+func (l *admitLink) Send(f transport.Frame) bool { return l.inner.Send(f) }
+
+// Recv starts the filtering pump on first use and returns its output.
+func (l *admitLink) Recv() <-chan transport.Frame {
+	l.once.Do(func() {
+		l.out = make(chan transport.Frame, l.a.opts.Depth)
+		l.a.wg.Add(1)
+		go l.pump()
+	})
+	return l.out
+}
+
+func (l *admitLink) pump() {
+	defer l.a.wg.Done()
+	in := l.inner.Recv()
+	for {
+		select {
+		case f := <-in:
+			if f.From != l.from {
+				l.a.rej.inc(ReasonSender)
+				continue
+			}
+			if !l.a.opts.Policy(l.a.opts.RoleOf(f.From), f.Kind) {
+				l.a.rej.inc(ReasonRole)
+				continue
+			}
+			select {
+			case l.out <- f:
+			case <-l.a.stop:
+				return
+			}
+		case <-l.a.stop:
+			return
+		}
+	}
+}
+
+func (l *admitLink) Stats() transport.LinkStats { return l.inner.Stats() }
+func (l *admitLink) Close() error               { return l.inner.Close() }
+
+var (
+	_ transport.Transport = (*Admission)(nil)
+	_ transport.Elastic   = (*Admission)(nil)
+)

@@ -1,0 +1,99 @@
+package secure_test
+
+import (
+	"testing"
+	"time"
+
+	"ssmfp/internal/graph"
+	"ssmfp/internal/secure"
+	"ssmfp/internal/transport"
+)
+
+// TestAdmissionFiltersByRoleAndSender runs the composable admission
+// wrapper over the Chan backend — no certificates anywhere, roles are
+// deployment configuration — and checks the same policy the TLS gate
+// enforces: protocol frames pass from node-role peers only, and a frame
+// whose From contradicts its link is discarded.
+func TestAdmissionFiltersByRoleAndSender(t *testing.T) {
+	g := graph.Line(3)
+	roles := map[graph.ProcessID]secure.Role{
+		0: secure.RoleNode,
+		1: secure.RoleNode,
+		2: secure.RoleObserver, // an observer wired into the graph anyway
+	}
+	inner := transport.NewChan(g, 64)
+	adm := secure.NewAdmission(inner, secure.AdmissionOptions{
+		RoleOf: func(p graph.ProcessID) secure.Role { return roles[p] },
+	})
+	defer adm.Close()
+
+	frame := func(from graph.ProcessID, seq uint64) transport.Frame {
+		return transport.Frame{Kind: transport.KindCancel, From: from, Ack: transport.Ack{Dest: 1, Seq: seq}}
+	}
+
+	recv01 := adm.Link(0, 1)
+	recv21 := adm.Link(2, 1)
+
+	// Legitimate node frame passes.
+	if !recv01.Send(frame(0, 1)) {
+		t.Fatal("send refused")
+	}
+	select {
+	case f := <-recv01.Recv():
+		if f.From != 0 || f.Ack.Seq != 1 {
+			t.Fatalf("delivered %+v", f)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("node frame never admitted")
+	}
+
+	// Observer frames are dropped by role, even on a real graph edge.
+	recv21.Send(frame(2, 2))
+	// Forged sender: a frame on link 0→1 claiming From=2.
+	recv01.Send(frame(2, 3))
+	// Follow with a legitimate frame; it must be the only arrival.
+	recv01.Send(frame(0, 4))
+
+	select {
+	case f := <-recv01.Recv():
+		if f.From != 0 || f.Ack.Seq != 4 {
+			t.Fatalf("admitted contraband frame %+v", f)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("follow-up frame never admitted")
+	}
+	select {
+	case f := <-recv21.Recv():
+		t.Fatalf("observer frame admitted: %+v", f)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	rej := adm.Rejections()
+	if rej[secure.ReasonRole] != 1 {
+		t.Fatalf("role rejections = %d, want 1 (all %v)", rej[secure.ReasonRole], rej)
+	}
+	if rej[secure.ReasonSender] != 1 {
+		t.Fatalf("sender rejections = %d, want 1 (all %v)", rej[secure.ReasonSender], rej)
+	}
+}
+
+func TestDefaultPolicy(t *testing.T) {
+	kinds := []transport.FrameKind{
+		transport.KindDV, transport.KindOffer, transport.KindAccept,
+		transport.KindCancel, transport.KindCancelAck,
+	}
+	for _, k := range kinds {
+		if !secure.DefaultPolicy(secure.RoleNode, k) {
+			t.Errorf("node refused kind %s", k)
+		}
+		if secure.DefaultPolicy(secure.RoleOperator, k) {
+			t.Errorf("operator admitted kind %s", k)
+		}
+		if secure.DefaultPolicy(secure.RoleObserver, k) {
+			t.Errorf("observer admitted kind %s", k)
+		}
+	}
+	if secure.DefaultPolicy(secure.RoleNode, transport.KindInvalid) {
+		t.Error("invalid kind admitted")
+	}
+}

@@ -1,0 +1,43 @@
+package secure_test
+
+import (
+	"testing"
+
+	"ssmfp/internal/secure"
+)
+
+// FuzzCertRoleParse locks the role-extension decoder: adversarial
+// certificates reach it, so it must be total (no panics, no hangs) and
+// closed under re-encoding — any accepted value names a role whose
+// canonical encoding parses back to itself.
+func FuzzCertRoleParse(f *testing.F) {
+	for _, role := range []secure.Role{secure.RoleNode, secure.RoleOperator, secure.RoleObserver} {
+		ext, err := secure.EncodeRoleExtension(role)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(ext.Value)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x13, 0x04, 'n', 'o', 'd', 'e', 0xff}) // trailing byte
+	f.Add([]byte{0x13, 0x04, 'r', 'o', 'o', 't'})       // unknown role
+	f.Add([]byte{0x30, 0x03, 0x02, 0x01, 0x01})         // wrong DER type
+	f.Add([]byte{0x13, 0x7f, 'n'})                      // length overrun
+	f.Fuzz(func(t *testing.T, data []byte) {
+		role, err := secure.ParseRoleExtension(data)
+		if err != nil {
+			return
+		}
+		if role != secure.RoleNode && role != secure.RoleOperator && role != secure.RoleObserver {
+			t.Fatalf("parser accepted unknown role %d from %x", role, data)
+		}
+		ext, err := secure.EncodeRoleExtension(role)
+		if err != nil {
+			t.Fatalf("accepted role %s does not re-encode: %v", role, err)
+		}
+		again, err := secure.ParseRoleExtension(ext.Value)
+		if err != nil || again != role {
+			t.Fatalf("canonical encoding of %s does not round-trip: %v", role, err)
+		}
+	})
+}

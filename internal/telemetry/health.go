@@ -34,7 +34,13 @@ var healthChecks = []struct {
 	{SeriesPhantomDeliveries, "phantom deliveries: messages delivered that no plan entry sent"},
 	{SeriesInvalidDeliveries, "invalid messages delivered: corrupted initial buffer state reached a destination"},
 	{SeriesWatermarkViolations, "watermark violations: handshake acks referencing sequences never issued"},
+	{SeriesSecureRejected, "secure rejections: frames, handshakes or admin calls refused by the trust domain — someone is probing the cluster"},
 }
+
+// SecureFlag reports whether f is the secure-rejection indicator — the
+// one flag a byzantine-injection judge *expects* to fire while any other
+// flag stays a violation.
+func (f HealthFlagged) SecureFlag() bool { return f.Series == SeriesSecureRejected }
 
 // CheckHealth evaluates the stabilization-health indicators over samples
 // (typically the union of every node's scrape).

@@ -46,6 +46,16 @@ const (
 	SeriesLinkBytesSent  = "ssmfp_link_bytes_sent_total"
 	SeriesLinkDropped    = "ssmfp_link_dropped_total"
 	SeriesLinkQueued     = "ssmfp_link_queued"
+	// Secure transport: inbound frames (or handshakes, or admin requests)
+	// rejected by the trust domain, labelled by reason:
+	//   handshake  — TLS handshake failed (wrong CA, expired, no role)
+	//   role       — authenticated peer's role does not admit the frame kind
+	//   sender     — certificate identity contradicts Frame.From
+	//   membership — valid node certificate, but not a configured neighbor
+	//   admin      — authenticated client's role does not admit the admin verb
+	// Registered only by nodes running a secure transport; deliberately not
+	// in CoreSeries so plaintext clusters scrape clean.
+	SeriesSecureRejected = "ssmfp_secure_rejected_frames_total"
 	// Elastic membership: the applied epoch sequence, the member count,
 	// and drain progress (started/completed drains, buffered messages a
 	// draining processor handed off on its way out).

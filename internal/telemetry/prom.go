@@ -286,6 +286,19 @@ func SumSeries(samples []PromSample, name string) float64 {
 	return sum
 }
 
+// SumSeriesLabel sums the values of every sample named name whose label
+// key equals val — e.g. the per-reason slices of the secure-rejection
+// counter across a cluster's merged scrapes.
+func SumSeriesLabel(samples []PromSample, name, key, val string) float64 {
+	var sum float64
+	for _, s := range samples {
+		if s.Name == name && s.Labels[key] == val {
+			sum += s.Value
+		}
+	}
+	return sum
+}
+
 // MaxSeries returns the maximum value of every sample named name.
 func MaxSeries(samples []PromSample, name string) float64 {
 	var max float64

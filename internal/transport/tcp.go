@@ -43,7 +43,23 @@ type TCPOptions struct {
 	// Bus, when non-nil, receives KindWire events for dials, redials and
 	// accepted connections (wall-clock domain, Step/Round −1).
 	Bus *obs.Bus
+	// Dial, when non-nil, replaces net.DialTimeout for outbound
+	// connections — how a secure wrapper substitutes a TLS client
+	// handshake without re-implementing the writer's reconnect logic.
+	Dial func(addr string, timeout time.Duration) (net.Conn, error)
+	// Inbound, when non-nil, is consulted for every decoded inbound frame
+	// before it is demultiplexed, with the connection it arrived on. A nil
+	// return admits the frame; ErrRejectFrame drops the frame but keeps
+	// the connection (a recoverable policy rejection); any other error
+	// drops the frame AND ends the connection (the stream can no longer
+	// be trusted — e.g. a peer whose certificate identity contradicts the
+	// frame's self-identified sender).
+	Inbound func(conn net.Conn, f *Frame) error
 }
+
+// ErrRejectFrame is the sentinel an Inbound gate returns to drop one frame
+// without condemning the connection it arrived on.
+var ErrRejectFrame = errors.New("transport: frame rejected by inbound gate")
 
 func (o TCPOptions) withDefaults() TCPOptions {
 	if o.Depth <= 0 {
@@ -173,6 +189,26 @@ func (t *TCP) peerAddr(q graph.ProcessID) string {
 	t.lmu.RLock()
 	defer t.lmu.RUnlock()
 	return t.peers[q]
+}
+
+// KnownSender reports whether p currently has an inbound demux slot —
+// i.e. whether p is a member this node would accept frames from. Inbound
+// gates use it to distinguish a stranger with a valid certificate from a
+// configured neighbor.
+func (t *TCP) KnownSender(p graph.ProcessID) bool {
+	t.lmu.RLock()
+	_, ok := t.in[p]
+	t.lmu.RUnlock()
+	return ok
+}
+
+// dial opens one outbound connection via the configured Dial hook (or
+// plain TCP when unset).
+func (t *TCP) dial(addr string) (net.Conn, error) {
+	if d := t.opts.Dial; d != nil {
+		return d(addr, t.opts.DialTimeout)
+	}
+	return net.DialTimeout("tcp", addr, t.opts.DialTimeout)
 }
 
 // EnsureLink grows the link set at runtime. Only edges incident to the
@@ -331,6 +367,14 @@ func (t *TCP) readLoop(conn net.Conn) {
 			// the connection, since framing can no longer be trusted.
 			return
 		}
+		if gate := t.opts.Inbound; gate != nil {
+			if gerr := gate(conn, &f); gerr != nil {
+				if errors.Is(gerr, ErrRejectFrame) {
+					continue
+				}
+				return
+			}
+		}
 		t.lmu.RLock()
 		rl, ok := t.in[f.From]
 		t.lmu.RUnlock()
@@ -385,7 +429,7 @@ func (t *TCP) writer(sl *tcpSendLink, rng *rand.Rand) {
 			} else {
 				t.observe("tcp: dial "+t.peerAddr(sl.peer), t.opts.Local, sl.peer)
 			}
-			c, err := net.DialTimeout("tcp", t.peerAddr(sl.peer), t.opts.DialTimeout)
+			c, err := t.dial(t.peerAddr(sl.peer))
 			if err == nil {
 				// 32 KiB of write buffer lets the drain loop coalesce a
 				// whole burst of small control frames (acks and offers are
